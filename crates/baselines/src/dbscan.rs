@@ -1,0 +1,210 @@
+//! From-scratch DBSCAN (Ester et al., KDD '96), recomputed every slide.
+//!
+//! This is the paper's baseline denominator: it pays one ε-range search per
+//! window point on *every* slide, independent of the stride, which is why
+//! its per-slide cost is flat in Figs. 4–5 while the incremental methods
+//! move.
+
+use crate::traits::WindowClusterer;
+use disc_geom::{FxHashMap, Point, PointId};
+use disc_index::RTree;
+use disc_window::SlideBatch;
+
+/// A static DBSCAN re-run per slide.
+pub struct Dbscan<const D: usize> {
+    eps: f64,
+    tau: usize,
+    window: FxHashMap<PointId, Point<D>>,
+    /// Result of the latest run.
+    labels: FxHashMap<PointId, i64>,
+    range_searches: u64,
+}
+
+impl<const D: usize> Dbscan<D> {
+    /// Creates a DBSCAN runner with the given thresholds (τ counts the
+    /// point itself, matching the rest of the workspace).
+    pub fn new(eps: f64, tau: usize) -> Self {
+        assert!(eps > 0.0 && tau >= 1);
+        Dbscan {
+            eps,
+            tau,
+            window: FxHashMap::default(),
+            labels: FxHashMap::default(),
+            range_searches: 0,
+        }
+    }
+
+    /// Runs DBSCAN over `points`, returning `(id, cluster)` with `-1` noise.
+    /// Exposed so other components (quality truth for Fig. 10, tests) can
+    /// cluster arbitrary point sets.
+    pub fn run(
+        points: &[(PointId, Point<D>)],
+        eps: f64,
+        tau: usize,
+    ) -> (FxHashMap<PointId, i64>, u64) {
+        let mut tree = RTree::bulk_load(points.to_vec());
+        let mut labels: FxHashMap<PointId, i64> = FxHashMap::default();
+        let mut visited: FxHashMap<PointId, bool> = FxHashMap::default(); // true = expanded
+        let mut next_cluster = 0i64;
+        let mut hits: Vec<PointId> = Vec::new();
+
+        // Deterministic order: by arrival id.
+        let mut order: Vec<(PointId, Point<D>)> = points.to_vec();
+        order.sort_unstable_by_key(|(id, _)| *id);
+
+        for (id, pos) in &order {
+            if visited.contains_key(id) {
+                continue;
+            }
+            visited.insert(*id, true);
+            hits.clear();
+            tree.for_each_in_ball(pos, eps, |q, _| hits.push(q));
+            if hits.len() < tau {
+                // Tentatively noise; may be claimed as border later.
+                labels.entry(*id).or_insert(-1);
+                continue;
+            }
+            // Seed a new cluster and grow it.
+            let cid = next_cluster;
+            next_cluster += 1;
+            labels.insert(*id, cid);
+            let mut queue: Vec<PointId> = hits.clone();
+            while let Some(q) = queue.pop() {
+                let first_claim = match labels.get(&q) {
+                    None | Some(-1) => {
+                        labels.insert(q, cid);
+                        true
+                    }
+                    Some(_) => false,
+                };
+                let _ = first_claim;
+                if visited.insert(q, true).is_some() {
+                    continue; // already expanded
+                }
+                let qpos = tree_point(&order, q);
+                hits.clear();
+                tree.for_each_in_ball(&qpos, eps, |x, _| hits.push(x));
+                if hits.len() >= tau {
+                    for &x in &hits {
+                        let unexpanded = !visited.contains_key(&x);
+                        let unclaimed = matches!(labels.get(&x), None | Some(-1));
+                        if unclaimed {
+                            labels.insert(x, cid);
+                        }
+                        if unexpanded {
+                            queue.push(x);
+                        }
+                    }
+                }
+            }
+        }
+        let searches = tree.stats().range_searches;
+        (labels, searches)
+    }
+}
+
+fn tree_point<const D: usize>(order: &[(PointId, Point<D>)], id: PointId) -> Point<D> {
+    // `order` is sorted by id; arrival ids are dense within a window but we
+    // binary-search to stay robust to gaps.
+    let idx = order
+        .binary_search_by_key(&id, |(i, _)| *i)
+        .expect("unknown id");
+    order[idx].1
+}
+
+impl<const D: usize> WindowClusterer<D> for Dbscan<D> {
+    fn name(&self) -> &'static str {
+        "DBSCAN"
+    }
+
+    fn apply(&mut self, batch: &SlideBatch<D>) {
+        for (id, _) in &batch.outgoing {
+            self.window.remove(id);
+        }
+        for (id, p) in &batch.incoming {
+            self.window.insert(*id, *p);
+        }
+        let pts: Vec<(PointId, Point<D>)> =
+            self.window.iter().map(|(id, p)| (*id, *p)).collect();
+        let (labels, searches) = Self::run(&pts, self.eps, self.tau);
+        self.labels = labels;
+        self.range_searches += searches;
+    }
+
+    fn assignments(&self) -> Vec<(PointId, i64)> {
+        let mut out: Vec<(PointId, i64)> = self
+            .labels
+            .iter()
+            .map(|(id, l)| (*id, *l))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    fn range_searches(&self) -> u64 {
+        self.range_searches
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.window.len() * (std::mem::size_of::<Point<D>>() + 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_window::{datasets, SlidingWindow};
+
+    #[test]
+    fn two_separated_blobs_make_two_clusters() {
+        let recs = datasets::gaussian_blobs::<2>(300, 2, 0.4, 5);
+        let pts: Vec<(PointId, Point<2>)> = recs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (PointId(i as u64), r.point))
+            .collect();
+        let (labels, searches) = Dbscan::run(&pts, 1.0, 4);
+        let mut clusters: Vec<i64> = labels.values().copied().filter(|&l| l >= 0).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        assert_eq!(clusters.len(), 2);
+        assert!(searches >= 300, "one search per point at minimum");
+    }
+
+    #[test]
+    fn sparse_points_are_noise() {
+        let pts: Vec<(PointId, Point<2>)> = (0..10)
+            .map(|i| (PointId(i), Point::new([i as f64 * 100.0, 0.0])))
+            .collect();
+        let (labels, _) = Dbscan::run(&pts, 1.0, 2);
+        assert!(labels.values().all(|&l| l == -1));
+    }
+
+    #[test]
+    fn borders_join_an_adjacent_cluster() {
+        // 5 tight points + 1 at distance eps from the edge point.
+        let mut pts: Vec<(PointId, Point<2>)> = (0..5)
+            .map(|i| (PointId(i), Point::new([i as f64 * 0.1, 0.0])))
+            .collect();
+        pts.push((PointId(5), Point::new([1.3, 0.0]))); // near p4 (0.4)
+        let (labels, _) = Dbscan::run(&pts, 1.0, 4);
+        let border = labels[&PointId(5)];
+        assert!(border >= 0, "p5 must be a border of the cluster");
+        assert_eq!(border, labels[&PointId(0)]);
+    }
+
+    #[test]
+    fn window_driver_reclusters_each_slide() {
+        let recs = datasets::gaussian_blobs::<2>(600, 3, 0.5, 9);
+        let mut w = SlidingWindow::new(recs, 200, 100);
+        let mut db = Dbscan::new(1.0, 4);
+        db.apply(&w.fill());
+        let first = db.range_searches();
+        assert!(first > 0);
+        while let Some(b) = w.advance() {
+            db.apply(&b);
+        }
+        assert!(db.range_searches() > first);
+        assert_eq!(db.assignments().len(), 200);
+    }
+}

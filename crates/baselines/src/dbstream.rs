@@ -1,0 +1,333 @@
+//! DBSTREAM (Hahsler & Bolaños, TKDE '16): micro-clusters with shared
+//! density reclustering.
+//!
+//! An insertion-only, exponentially decaying summarisation method. Each
+//! arriving point either creates a new micro-cluster (MC) or is absorbed by
+//! every MC within radius `r` (weights bump, the closest centre drifts
+//! toward the point); when a point falls inside the intersection of two
+//! MCs, their *shared density* counter grows. Reclustering connects MC
+//! pairs whose shared density is high relative to their weights and labels
+//! macro-clusters as the connected components.
+//!
+//! The method never deletes: expired window points keep influencing the
+//! summary until decay erases them — exactly why the paper measures only
+//! its insertion latency and why its ARI degrades as windows grow.
+
+use crate::traits::WindowClusterer;
+use disc_geom::{FxHashMap, Point, PointId};
+use disc_window::SlideBatch;
+
+/// Tunables of [`DbStream`].
+#[derive(Clone, Copy, Debug)]
+pub struct DbStreamConfig {
+    /// Micro-cluster radius.
+    pub radius: f64,
+    /// Exponential decay rate λ (per point).
+    pub lambda: f64,
+    /// Minimum weight below which an MC is pruned.
+    pub w_min: f64,
+    /// Shared-density connectivity threshold α.
+    pub alpha: f64,
+    /// Centre drift step towards absorbed points.
+    pub drift: f64,
+}
+
+impl Default for DbStreamConfig {
+    fn default() -> Self {
+        DbStreamConfig {
+            radius: 1.0,
+            lambda: 1e-4,
+            w_min: 1.5,
+            alpha: 0.3,
+            drift: 0.05,
+        }
+    }
+}
+
+struct Micro<const D: usize> {
+    center: Point<D>,
+    weight: f64,
+    last: u64,
+    alive: bool,
+}
+
+/// The DBSTREAM clusterer.
+pub struct DbStream<const D: usize> {
+    cfg: DbStreamConfig,
+    mcs: Vec<Micro<D>>,
+    /// Shared density between MC pairs, keyed `(min, max)`.
+    shared: FxHashMap<(u32, u32), (f64, u64)>,
+    /// Logical time = number of points ingested.
+    time: u64,
+    /// Current window contents, kept only so quality can be evaluated
+    /// against the same population as the exact methods.
+    window: FxHashMap<PointId, Point<D>>,
+    /// Macro-cluster id per MC after the latest reclustering.
+    macro_of: Vec<i64>,
+}
+
+impl<const D: usize> DbStream<D> {
+    /// Creates a DBSTREAM instance.
+    pub fn new(cfg: DbStreamConfig) -> Self {
+        assert!(cfg.radius > 0.0 && cfg.lambda >= 0.0);
+        DbStream {
+            cfg,
+            mcs: Vec::new(),
+            shared: FxHashMap::default(),
+            time: 0,
+            window: FxHashMap::default(),
+            macro_of: Vec::new(),
+        }
+    }
+
+    /// Number of live micro-clusters.
+    pub fn micro_count(&self) -> usize {
+        self.mcs.iter().filter(|m| m.alive).count()
+    }
+
+    fn decay_factor(&self, dt: u64) -> f64 {
+        (-self.cfg.lambda * dt as f64).exp2()
+    }
+
+    fn insert(&mut self, p: &Point<D>) {
+        self.time += 1;
+        let t = self.time;
+        let r2 = self.cfg.radius * self.cfg.radius;
+        // MCs within radius.
+        let mut hits: Vec<usize> = Vec::new();
+        let mut closest: Option<(usize, f64)> = None;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            if !mc.alive {
+                continue;
+            }
+            let d2 = mc.center.dist2(p);
+            if d2 <= r2 {
+                hits.push(i);
+                if closest.map(|(_, best)| d2 < best).unwrap_or(true) {
+                    closest = Some((i, d2));
+                }
+            }
+        }
+        if hits.is_empty() {
+            self.mcs.push(Micro {
+                center: *p,
+                weight: 1.0,
+                last: t,
+                alive: true,
+            });
+            self.macro_of.push(-1);
+            return;
+        }
+        for &i in &hits {
+            let dt = t - self.mcs[i].last;
+            let decay = self.decay_factor(dt);
+            let mc = &mut self.mcs[i];
+            mc.weight = mc.weight * decay + 1.0;
+            mc.last = t;
+        }
+        // Only the closest centre drifts (keeps MCs from collapsing).
+        if let Some((i, _)) = closest {
+            let mc = &mut self.mcs[i];
+            let mut c = mc.center;
+            for d in 0..D {
+                c[d] += self.cfg.drift * (p[d] - c[d]);
+            }
+            mc.center = c;
+        }
+        // Shared density for every pair that absorbed this point.
+        for a in 0..hits.len() {
+            for b in (a + 1)..hits.len() {
+                let key = (
+                    hits[a].min(hits[b]) as u32,
+                    hits[a].max(hits[b]) as u32,
+                );
+                let lambda = self.cfg.lambda;
+                let entry = self.shared.entry(key).or_insert((0.0, t));
+                let decay = (-lambda * (t - entry.1) as f64).exp2();
+                entry.0 = entry.0 * decay + 1.0;
+                entry.1 = t;
+            }
+        }
+    }
+
+    fn cleanup_and_recluster(&mut self) {
+        let t = self.time;
+        // Prune weak MCs.
+        let lambda = self.cfg.lambda;
+        let w_min = self.cfg.w_min;
+        for mc in &mut self.mcs {
+            if mc.alive {
+                let w = mc.weight * (-lambda * (t - mc.last) as f64).exp2();
+                if w < w_min {
+                    mc.alive = false;
+                }
+            }
+        }
+        // Connected components over strong shared-density edges.
+        let n = self.mcs.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for (&(a, b), &(s, last)) in &self.shared {
+            let (a, b) = (a as usize, b as usize);
+            if !self.mcs[a].alive || !self.mcs[b].alive {
+                continue;
+            }
+            let s_now = s * self.decay_factor(t - last);
+            let wa = self.mcs[a].weight * self.decay_factor(t - self.mcs[a].last);
+            let wb = self.mcs[b].weight * self.decay_factor(t - self.mcs[b].last);
+            // Connectivity: shared density relative to the mean weight.
+            if s_now / ((wa + wb) / 2.0) >= self.cfg.alpha {
+                let ra = find(&mut parent, a as u32);
+                let rb = find(&mut parent, b as u32);
+                parent[ra as usize] = rb;
+            }
+        }
+        self.macro_of = (0..n)
+            .map(|i| {
+                if self.mcs[i].alive {
+                    find(&mut parent, i as u32) as i64
+                } else {
+                    -1
+                }
+            })
+            .collect();
+    }
+
+    fn nearest_mc(&self, p: &Point<D>) -> Option<usize> {
+        let r2 = self.cfg.radius * self.cfg.radius;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            if !mc.alive {
+                continue;
+            }
+            let d2 = mc.center.dist2(p);
+            if d2 <= r2 && best.map(|(_, b)| d2 < b).unwrap_or(true) {
+                best = Some((i, d2));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl<const D: usize> WindowClusterer<D> for DbStream<D> {
+    fn name(&self) -> &'static str {
+        "DBSTREAM"
+    }
+
+    fn apply(&mut self, batch: &SlideBatch<D>) {
+        // Insertion-only: outgoing points merely fall out of the evaluation
+        // window; their influence decays.
+        for (id, _) in &batch.outgoing {
+            self.window.remove(id);
+        }
+        for (id, p) in &batch.incoming {
+            self.window.insert(*id, *p);
+            self.insert(p);
+        }
+        self.cleanup_and_recluster();
+    }
+
+    fn assignments(&self) -> Vec<(PointId, i64)> {
+        let mut out: Vec<(PointId, i64)> = self
+            .window
+            .iter()
+            .map(|(id, p)| {
+                let label = match self.nearest_mc(p) {
+                    Some(i) => self.macro_of[i],
+                    None => -1,
+                };
+                (*id, label)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.mcs.len() * std::mem::size_of::<Micro<D>>() + self.shared.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_window::{datasets, SlidingWindow};
+
+    fn drive(cfg: DbStreamConfig, window: usize, stride: usize, seed: u64) -> DbStream<2> {
+        let recs = datasets::gaussian_blobs::<2>(window * 3, 3, 0.5, seed);
+        let mut w = SlidingWindow::new(recs, window, stride);
+        let mut db = DbStream::new(cfg);
+        db.apply(&w.fill());
+        while let Some(b) = w.advance() {
+            db.apply(&b);
+        }
+        db
+    }
+
+    #[test]
+    fn summarises_blobs_into_few_macros() {
+        let db = drive(DbStreamConfig::default(), 600, 200, 3);
+        let a = db.assignments();
+        let clusters: std::collections::HashSet<i64> =
+            a.iter().map(|(_, l)| *l).filter(|&l| l >= 0).collect();
+        assert!(
+            !clusters.is_empty() && clusters.len() <= 10,
+            "blobs must form a handful of macro-clusters, got {}",
+            clusters.len()
+        );
+        assert!(db.micro_count() < 600, "summary must be much smaller than data");
+    }
+
+    #[test]
+    fn separated_blobs_never_share_a_macro() {
+        let db = drive(DbStreamConfig::default(), 600, 200, 5);
+        let a = db.assignments();
+        // Points of blob 0 are near (0,0); blob 1 near (12,0) etc. Macro of
+        // far-apart points must differ (or at least one be noise).
+        let pts: FxHashMap<PointId, Point<2>> = db.window.clone();
+        for (id1, l1) in &a {
+            for (id2, l2) in &a {
+                if *l1 >= 0 && l1 == l2 {
+                    let d = pts[id1].dist(&pts[id2]);
+                    assert!(d < 10.0, "macro spans separated blobs: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_micro_clusters_are_pruned() {
+        let mut db: DbStream<2> = DbStream::new(DbStreamConfig {
+            lambda: 0.05, // aggressive decay
+            ..DbStreamConfig::default()
+        });
+        // A burst at the origin, then lots of far-away points: the origin
+        // MC must eventually decay away.
+        let batch = SlideBatch {
+            incoming: (0..5u64)
+                .map(|i| (PointId(i), Point::new([0.0, 0.0])))
+                .collect(),
+            outgoing: vec![],
+        };
+        db.apply(&batch);
+        assert!(db.micro_count() >= 1);
+        let far = SlideBatch {
+            incoming: (5..400u64)
+                .map(|i| (PointId(i), Point::new([50.0 + (i % 7) as f64 * 0.1, 50.0])))
+                .collect(),
+            outgoing: (0..5u64).map(|i| (PointId(i), Point::new([0.0, 0.0]))).collect(),
+        };
+        db.apply(&far);
+        let origin_alive = db
+            .mcs
+            .iter()
+            .any(|m| m.alive && m.center.dist(&Point::new([0.0, 0.0])) < 1.0);
+        assert!(!origin_alive, "decayed origin MC must be pruned");
+    }
+}

@@ -1,0 +1,357 @@
+//! DenStream (Cao, Ester, Qian, Zhou — SDM '06): density-based clustering
+//! over an evolving stream with noise.
+//!
+//! The seminal damped-window summarisation method the paper cites in its
+//! related work (§VII-B, ref. 6) as the root of the micro-cluster family that
+//! DBSTREAM and EDMStream refine. Included beyond the paper's evaluated set
+//! to round out the summarisation baseline family.
+//!
+//! Points are absorbed into **potential** micro-clusters (p-MCs) when they
+//! fit within the radius bound, otherwise into **outlier** micro-clusters
+//! (o-MCs) that are promoted to potential once their decayed weight
+//! reaches `beta * mu`. Periodic maintenance demotes decayed p-MCs and
+//! evicts stale o-MCs. The offline phase runs DBSCAN over the p-MC centres
+//! (weighted), connecting p-MCs within `2 * radius`.
+
+use crate::traits::WindowClusterer;
+use disc_geom::{FxHashMap, Point, PointId};
+use disc_window::SlideBatch;
+
+/// Tunables of [`DenStream`].
+#[derive(Clone, Copy, Debug)]
+pub struct DenStreamConfig {
+    /// Maximum micro-cluster radius.
+    pub radius: f64,
+    /// Exponential decay rate λ (per point).
+    pub lambda: f64,
+    /// Core-weight threshold µ: a p-MC is a core MC when weight ≥ µ.
+    pub mu: f64,
+    /// Outlier factor β ∈ (0, 1]: o-MCs promote at weight β·µ.
+    pub beta: f64,
+}
+
+impl Default for DenStreamConfig {
+    fn default() -> Self {
+        DenStreamConfig {
+            radius: 1.0,
+            lambda: 1e-4,
+            mu: 3.0,
+            beta: 0.5,
+        }
+    }
+}
+
+/// A micro-cluster: decayed weight plus weighted linear/squared sums.
+struct Micro<const D: usize> {
+    weight: f64,
+    /// Weighted linear sum of absorbed points.
+    ls: [f64; D],
+    last: u64,
+    potential: bool,
+}
+
+impl<const D: usize> Micro<D> {
+    fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for (o, l) in c.iter_mut().zip(self.ls.iter()) {
+            *o = l / self.weight;
+        }
+        Point::new(c)
+    }
+}
+
+/// The DenStream clusterer (insertion-only, damped window).
+pub struct DenStream<const D: usize> {
+    cfg: DenStreamConfig,
+    mcs: Vec<Micro<D>>,
+    time: u64,
+    window: FxHashMap<PointId, Point<D>>,
+    /// Macro-cluster id per MC after the latest offline phase (−1: none).
+    macro_of: Vec<i64>,
+}
+
+impl<const D: usize> DenStream<D> {
+    /// Creates a DenStream instance.
+    pub fn new(cfg: DenStreamConfig) -> Self {
+        assert!(cfg.radius > 0.0 && cfg.mu > 0.0 && (0.0..=1.0).contains(&cfg.beta));
+        DenStream {
+            cfg,
+            mcs: Vec::new(),
+            time: 0,
+            window: FxHashMap::default(),
+            macro_of: Vec::new(),
+        }
+    }
+
+    /// Number of live micro-clusters (potential + outlier).
+    pub fn micro_count(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// Number of potential micro-clusters.
+    pub fn potential_count(&self) -> usize {
+        self.mcs.iter().filter(|m| m.potential).count()
+    }
+
+    fn decayed(&self, m: &Micro<D>) -> f64 {
+        m.weight * (-self.cfg.lambda * (self.time - m.last) as f64).exp2()
+    }
+
+    fn insert(&mut self, p: &Point<D>) {
+        self.time += 1;
+        let r2 = self.cfg.radius * self.cfg.radius;
+
+        // Try the nearest potential MC first, then the nearest outlier MC
+        // (the DenStream merge order).
+        let mut best: [Option<(usize, f64)>; 2] = [None, None];
+        for (i, m) in self.mcs.iter().enumerate() {
+            let d2 = m.center().dist2(p);
+            let slot = usize::from(!m.potential);
+            if d2 <= r2 && best[slot].map(|(_, b)| d2 < b).unwrap_or(true) {
+                best[slot] = Some((i, d2));
+            }
+        }
+        let target = best[0].or(best[1]).map(|(i, _)| i);
+        match target {
+            Some(i) => {
+                let t = self.time;
+                let w = self.decayed(&self.mcs[i]);
+                let m = &mut self.mcs[i];
+                let decay = w / m.weight;
+                for (l, c) in m.ls.iter_mut().zip(p.as_slice()) {
+                    *l = *l * decay + c;
+                }
+                m.weight = w + 1.0;
+                m.last = t;
+                // Outlier promotion.
+                if !m.potential && m.weight >= self.cfg.beta * self.cfg.mu {
+                    m.potential = true;
+                }
+            }
+            None => {
+                let mut ls = [0.0; D];
+                ls.copy_from_slice(p.as_slice());
+                self.mcs.push(Micro {
+                    weight: 1.0,
+                    ls,
+                    last: self.time,
+                    potential: false,
+                });
+            }
+        }
+    }
+
+    /// Maintenance + offline DBSCAN over potential MC centres.
+    fn offline(&mut self) {
+        // Demote/evict decayed MCs.
+        let beta_mu = self.cfg.beta * self.cfg.mu;
+        let t = self.time;
+        let lambda = self.cfg.lambda;
+        for m in &mut self.mcs {
+            let w = m.weight * (-lambda * (t - m.last) as f64).exp2();
+            m.weight = w;
+            m.last = t;
+            if m.potential && w < beta_mu {
+                m.potential = false;
+            }
+        }
+        self.mcs.retain(|m| m.weight >= 0.1);
+
+        // Offline: connect core p-MCs (weight ≥ µ) within 2·radius;
+        // non-core p-MCs join the nearest core component in range.
+        let n = self.mcs.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let reach = 2.0 * self.cfg.radius;
+        let reach2 = reach * reach;
+        let is_core_mc =
+            |m: &Micro<D>| m.potential && m.weight >= self.cfg.mu;
+        for i in 0..n {
+            if !is_core_mc(&self.mcs[i]) {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !is_core_mc(&self.mcs[j]) {
+                    continue;
+                }
+                if self.mcs[i].center().dist2(&self.mcs[j].center()) <= reach2 {
+                    let (ri, rj) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
+                    parent[ri as usize] = rj;
+                }
+            }
+        }
+        self.macro_of = (0..n)
+            .map(|i| {
+                if is_core_mc(&self.mcs[i]) {
+                    find(&mut parent, i as u32) as i64
+                } else if self.mcs[i].potential {
+                    // Attach to the nearest core MC within reach.
+                    let c = self.mcs[i].center();
+                    let mut best: Option<(u32, f64)> = None;
+                    for j in 0..n {
+                        if !is_core_mc(&self.mcs[j]) {
+                            continue;
+                        }
+                        let d2 = c.dist2(&self.mcs[j].center());
+                        if d2 <= reach2 && best.map(|(_, b)| d2 < b).unwrap_or(true) {
+                            best = Some((j as u32, d2));
+                        }
+                    }
+                    best.map(|(j, _)| find(&mut parent, j) as i64).unwrap_or(-1)
+                } else {
+                    -1
+                }
+            })
+            .collect();
+    }
+
+    fn nearest_mc(&self, p: &Point<D>) -> Option<usize> {
+        let r2 = self.cfg.radius * self.cfg.radius;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, m) in self.mcs.iter().enumerate() {
+            if !m.potential {
+                continue;
+            }
+            let d2 = m.center().dist2(p);
+            if d2 <= r2 && best.map(|(_, b)| d2 < b).unwrap_or(true) {
+                best = Some((i, d2));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl<const D: usize> WindowClusterer<D> for DenStream<D> {
+    fn name(&self) -> &'static str {
+        "DenStream"
+    }
+
+    fn apply(&mut self, batch: &SlideBatch<D>) {
+        for (id, _) in &batch.outgoing {
+            self.window.remove(id);
+        }
+        for (id, p) in &batch.incoming {
+            self.window.insert(*id, *p);
+            self.insert(p);
+        }
+        self.offline();
+    }
+
+    fn assignments(&self) -> Vec<(PointId, i64)> {
+        let mut out: Vec<(PointId, i64)> = self
+            .window
+            .iter()
+            .map(|(id, p)| {
+                let label = match self.nearest_mc(p) {
+                    Some(i) => self.macro_of[i],
+                    None => -1,
+                };
+                (*id, label)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.mcs.len() * std::mem::size_of::<Micro<D>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_window::{datasets, SlidingWindow};
+
+    #[test]
+    fn blobs_summarise_into_few_macro_clusters() {
+        let recs = datasets::gaussian_blobs::<2>(2_000, 3, 0.5, 13);
+        let mut w = SlidingWindow::new(recs, 800, 200);
+        let mut den = DenStream::new(DenStreamConfig::default());
+        den.apply(&w.fill());
+        while let Some(b) = w.advance() {
+            den.apply(&b);
+        }
+        let clusters: std::collections::HashSet<i64> = den
+            .assignments()
+            .into_iter()
+            .map(|(_, l)| l)
+            .filter(|&l| l >= 0)
+            .collect();
+        assert!(
+            !clusters.is_empty() && clusters.len() <= 9,
+            "got {} macro clusters",
+            clusters.len()
+        );
+        assert!(den.micro_count() < 400, "summary must compress");
+    }
+
+    #[test]
+    fn isolated_points_stay_outliers() {
+        let mut den: DenStream<2> = DenStream::new(DenStreamConfig::default());
+        let batch = SlideBatch {
+            incoming: (0..5u64)
+                .map(|i| (PointId(i), Point::new([i as f64 * 100.0, 0.0])))
+                .collect(),
+            outgoing: vec![],
+        };
+        den.apply(&batch);
+        // Single-point o-MCs never reach β·µ → everything noise.
+        assert!(den.assignments().iter().all(|(_, l)| *l < 0));
+        assert_eq!(den.potential_count(), 0);
+    }
+
+    #[test]
+    fn repeated_hits_promote_an_outlier_micro_cluster() {
+        let mut den: DenStream<2> = DenStream::new(DenStreamConfig::default());
+        let batch = SlideBatch {
+            incoming: (0..10u64)
+                .map(|i| (PointId(i), Point::new([0.1 * (i % 3) as f64, 0.0])))
+                .collect(),
+            outgoing: vec![],
+        };
+        den.apply(&batch);
+        assert!(den.potential_count() >= 1, "dense spot must promote");
+        let a = den.assignments();
+        assert!(a.iter().filter(|(_, l)| *l >= 0).count() >= 8);
+    }
+
+    #[test]
+    fn decay_eventually_demotes() {
+        let mut den: DenStream<2> = DenStream::new(DenStreamConfig {
+            lambda: 0.05,
+            ..DenStreamConfig::default()
+        });
+        let burst = SlideBatch {
+            incoming: (0..10u64)
+                .map(|i| (PointId(i), Point::new([0.0, 0.0])))
+                .collect(),
+            outgoing: vec![],
+        };
+        den.apply(&burst);
+        assert!(den.potential_count() >= 1);
+        // Flood elsewhere: the origin MC decays below β·µ and demotes,
+        // then gets evicted.
+        let far = SlideBatch {
+            incoming: (10..600u64)
+                .map(|i| (PointId(i), Point::new([50.0, 50.0])))
+                .collect(),
+            outgoing: (0..10u64).map(|i| (PointId(i), Point::new([0.0, 0.0]))).collect(),
+        };
+        den.apply(&far);
+        let origin_potential = self_origin_potential(&den);
+        assert!(!origin_potential, "decayed origin MC must demote");
+    }
+
+    fn self_origin_potential(den: &DenStream<2>) -> bool {
+        den.mcs
+            .iter()
+            .any(|m| m.potential && m.center().dist(&Point::new([0.0, 0.0])) < 1.0)
+    }
+}

@@ -1,0 +1,82 @@
+//! The uniform driver interface for all clustering methods.
+
+use disc_core::Disc;
+use disc_geom::PointId;
+use disc_window::SlideBatch;
+
+/// A clustering method that consumes sliding-window batches.
+///
+/// The benchmark harness drives every method — exact and approximate —
+/// through this interface, measuring per-slide wall time, range searches,
+/// and the quality of [`assignments`](WindowClusterer::assignments).
+pub trait WindowClusterer<const D: usize> {
+    /// Human-readable method name, as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Ingests one slide (`Δin` + `Δout`). Insertion-only summarisation
+    /// methods ignore `Δout` (their state decays instead), matching how
+    /// the paper measures them.
+    fn apply(&mut self, batch: &SlideBatch<D>);
+
+    /// Cluster assignment of every current-window point, sorted by arrival
+    /// id; `-1` is noise. For decaying methods the "window" is whatever
+    /// point set the driver last told them about via `assign_window`.
+    fn assignments(&self) -> Vec<(PointId, i64)>;
+
+    /// Total ε-range searches executed so far (0 for methods that do not
+    /// use a spatial index).
+    fn range_searches(&self) -> u64 {
+        0
+    }
+
+    /// Approximate resident state size in bytes (used to demonstrate
+    /// EXTRA-N's memory blow-up, Fig. 5).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<const D: usize> WindowClusterer<D> for Disc<D> {
+    fn name(&self) -> &'static str {
+        "DISC"
+    }
+
+    fn apply(&mut self, batch: &SlideBatch<D>) {
+        Disc::apply(self, batch);
+    }
+
+    fn assignments(&self) -> Vec<(PointId, i64)> {
+        Disc::assignments(self)
+    }
+
+    fn range_searches(&self) -> u64 {
+        self.index_stats().range_searches
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Point record + map/index overhead, rough but comparable.
+        self.window_len() * (std::mem::size_of::<disc_geom::Point<D>>() + 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::DiscConfig;
+    use disc_window::{datasets, SlidingWindow};
+
+    #[test]
+    fn disc_implements_the_driver_interface() {
+        let recs = datasets::gaussian_blobs::<2>(400, 2, 0.5, 1);
+        let mut w = SlidingWindow::new(recs, 200, 50);
+        let mut m: Box<dyn WindowClusterer<2>> = Box::new(Disc::new(DiscConfig::new(1.0, 4)));
+        m.apply(&w.fill());
+        while let Some(b) = w.advance() {
+            m.apply(&b);
+        }
+        assert_eq!(m.name(), "DISC");
+        assert_eq!(m.assignments().len(), 200);
+        assert!(m.range_searches() > 0);
+        assert!(m.memory_bytes() > 0);
+    }
+}

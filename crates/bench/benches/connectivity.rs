@@ -1,0 +1,50 @@
+//! Criterion micro-bench: the MS-BFS / epoch ablation on the connectivity
+//! check itself (the Fig. 8 hot path in isolation).
+//!
+//! Drives DISC over a Maze stream in each of the four optimisation
+//! configurations; the dominant per-slide cost is the `M⁻`
+//! density-connectedness check, so this isolates §IV's contributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disc_core::{Disc, DiscConfig};
+use disc_window::{datasets, SlidingWindow};
+
+const WINDOW: usize = 3_000;
+const STRIDE: usize = 150;
+
+fn bench_variant(c: &mut Criterion, name: &str, cfg: DiscConfig) {
+    let recs = datasets::maze(WINDOW + STRIDE * 400, 40, 11);
+    c.bench_function(&format!("connectivity/{name}"), |b| {
+        let mut w = SlidingWindow::new(recs.clone(), WINDOW, STRIDE);
+        let mut disc = Disc::new(cfg);
+        disc.apply(&w.fill());
+        b.iter(|| {
+            let batch = match w.advance() {
+                Some(batch) => batch,
+                None => {
+                    w = SlidingWindow::new(recs.clone(), WINDOW, STRIDE);
+                    disc = Disc::new(cfg);
+                    let fill = w.fill();
+                    disc.apply(&fill);
+                    w.advance().expect("fresh stream has slides")
+                }
+            };
+            disc.apply(&batch);
+        });
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let cfg = DiscConfig::new(0.6, 6);
+    bench_variant(c, "none", cfg.without_msbfs().without_epoch_probe());
+    bench_variant(c, "epoch_only", cfg.without_msbfs());
+    bench_variant(c, "msbfs_only", cfg.without_epoch_probe());
+    bench_variant(c, "both", cfg);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,86 @@
+//! The experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p disc-bench --bin experiments -- all
+//! cargo run --release -p disc-bench --bin experiments -- fig4 fig7 --scale 0.5
+//! ```
+//!
+//! Results are printed as aligned tables and written as CSV under `out/`.
+
+use disc_bench::{suites, Scale};
+
+const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|evolution|all]... [--scale X]";
+
+fn main() {
+    let mut targets: Vec<String> = Vec::new();
+    let mut scale = Scale(1.0);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("{USAGE}");
+                        std::process::exit(2);
+                    });
+                assert!(v > 0.0, "--scale must be positive");
+                scale = Scale(v);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let wants = |name: &str| all || targets.iter().any(|t| t == name);
+
+    let t0 = std::time::Instant::now();
+    println!(
+        "DISC experiment harness (scale {:.2}; synthetic analogues per DESIGN.md §4)\n",
+        scale.0
+    );
+    if wants("table2") {
+        suites::table2::run(scale);
+    }
+    if wants("fig4") {
+        suites::fig4::run(scale);
+    }
+    if wants("fig5") {
+        suites::fig5::run(scale);
+    }
+    if wants("fig6") {
+        suites::fig6::run(scale);
+    }
+    if wants("fig7") {
+        suites::fig7::run(scale);
+    }
+    if wants("fig8") {
+        suites::fig8::run(scale);
+    }
+    if wants("fig9") {
+        suites::fig9::run(scale);
+    }
+    if wants("fig10") {
+        suites::fig10::run(scale);
+    }
+    if wants("fig11") {
+        suites::fig11::run(scale);
+    }
+    if wants("fig12") {
+        suites::fig12::run(scale);
+    }
+    if wants("graph") {
+        suites::graph_ablation::run(scale);
+    }
+    if wants("evolution") {
+        suites::evolution_stats::run(scale);
+    }
+    println!("\ntotal harness time: {:?}", t0.elapsed());
+}

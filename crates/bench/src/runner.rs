@@ -1,0 +1,165 @@
+//! Shared measurement machinery.
+
+use disc_baselines::WindowClusterer;
+use disc_window::{Record, SlidingWindow};
+use std::time::{Duration, Instant};
+
+/// One method's per-slide measurement over a windowed stream.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Method name.
+    pub name: String,
+    /// Mean wall time per slide.
+    pub avg_slide: Duration,
+    /// Mean wall time per *point* of the slide (`avg_slide / stride`).
+    pub per_point: Duration,
+    /// Mean ε-range searches per slide.
+    pub searches_per_slide: f64,
+    /// Resident state estimate after the last slide.
+    pub memory: usize,
+    /// Slides measured.
+    pub slides: u32,
+    /// Final assignments (for quality measurements).
+    pub assignments: Vec<(disc_geom::PointId, i64)>,
+}
+
+/// Drives `method` over `records` with the given window/stride, measuring
+/// up to `max_slides` slides (the fill is setup, not measured).
+pub fn measure<const D: usize, M: WindowClusterer<D>>(
+    mut method: M,
+    records: &[Record<D>],
+    window: usize,
+    stride: usize,
+    max_slides: u32,
+) -> Measurement {
+    let mut w = SlidingWindow::new(records.to_vec(), window, stride);
+    method.apply(&w.fill());
+
+    let searches_before = method.range_searches();
+    let mut total = Duration::ZERO;
+    let mut slides = 0u32;
+    while slides < max_slides {
+        let Some(batch) = w.advance() else { break };
+        let t = Instant::now();
+        method.apply(&batch);
+        total += t.elapsed();
+        slides += 1;
+    }
+    let avg = if slides > 0 {
+        total / slides
+    } else {
+        Duration::ZERO
+    };
+    let searches = method.range_searches() - searches_before;
+    Measurement {
+        name: method.name().to_string(),
+        avg_slide: avg,
+        per_point: avg / stride.max(1) as u32,
+        searches_per_slide: if slides > 0 {
+            searches as f64 / slides as f64
+        } else {
+            0.0
+        },
+        memory: method.memory_bytes(),
+        slides,
+        assignments: method.assignments(),
+    }
+}
+
+/// Like [`measure`], also returning the driven window so callers can read
+/// ground truth for quality metrics.
+pub fn measure_with_window<const D: usize, M: WindowClusterer<D>>(
+    mut method: M,
+    records: &[Record<D>],
+    window: usize,
+    stride: usize,
+    max_slides: u32,
+) -> (Measurement, SlidingWindow<D>) {
+    let mut w = SlidingWindow::new(records.to_vec(), window, stride);
+    method.apply(&w.fill());
+    let searches_before = method.range_searches();
+    let mut total = Duration::ZERO;
+    let mut slides = 0u32;
+    while slides < max_slides {
+        let Some(batch) = w.advance() else { break };
+        let t = Instant::now();
+        method.apply(&batch);
+        total += t.elapsed();
+        slides += 1;
+    }
+    let avg = if slides > 0 {
+        total / slides
+    } else {
+        Duration::ZERO
+    };
+    let searches = method.range_searches() - searches_before;
+    let m = Measurement {
+        name: method.name().to_string(),
+        avg_slide: avg,
+        per_point: avg / stride.max(1) as u32,
+        searches_per_slide: if slides > 0 {
+            searches as f64 / slides as f64
+        } else {
+            0.0
+        },
+        memory: method.memory_bytes(),
+        slides,
+        assignments: method.assignments(),
+    };
+    (m, w)
+}
+
+/// Rounds `window` so that `stride` tiles it (EXTRA-N requirement); keeps
+/// the stride and adjusts the window to the nearest multiple.
+pub fn tile(window: usize, stride: usize) -> (usize, usize) {
+    let stride = stride.max(1).min(window);
+    let mult = (window as f64 / stride as f64).round().max(1.0) as usize;
+    (stride * mult, stride)
+}
+
+/// Slide budget for a stride: tiny strides need many slides for a stable
+/// mean (each slide is microseconds), large strides need few.
+pub fn slides_for(stride: usize) -> u32 {
+    ((2_000 / stride.max(1)) as u32).clamp(5, 250)
+}
+
+/// How many records a run needs: fill plus `slides` strides.
+pub fn records_needed(window: usize, stride: usize, slides: u32) -> usize {
+    window + stride * slides as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{Disc, DiscConfig};
+    use disc_window::datasets;
+
+    #[test]
+    fn tile_produces_divisible_pairs() {
+        for (w, s) in [(1000, 37), (1000, 250), (16_000, 16), (100, 100)] {
+            let (tw, ts) = tile(w, s);
+            assert_eq!(tw % ts, 0);
+            assert!(ts <= tw);
+            // Window changed by less than one stride's rounding.
+            assert!((tw as f64 - w as f64).abs() <= s as f64 / 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn measure_reports_sane_numbers() {
+        let recs = datasets::gaussian_blobs::<2>(2_000, 3, 0.5, 3);
+        let m = measure(Disc::new(DiscConfig::new(1.0, 5)), &recs, 500, 100, 5);
+        assert_eq!(m.slides, 5);
+        assert_eq!(m.assignments.len(), 500);
+        assert!(m.searches_per_slide > 0.0);
+        assert!(m.avg_slide > Duration::ZERO);
+        assert!(m.per_point <= m.avg_slide);
+    }
+
+    #[test]
+    fn short_stream_caps_slides() {
+        let recs = datasets::gaussian_blobs::<2>(700, 3, 0.5, 3);
+        let m = measure(Disc::new(DiscConfig::new(1.0, 5)), &recs, 500, 100, 100);
+        assert_eq!(m.slides, 2);
+    }
+}

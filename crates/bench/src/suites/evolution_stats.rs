@@ -1,0 +1,111 @@
+//! Extension experiment — the §III-C evolution taxonomy, quantified.
+//!
+//! The paper's machinery is motivated by how rarely each evolution type
+//! occurs: shrinks/expansions dominate, splits and mergers are rare, and
+//! Theorem 1's class consolidation shrinks the number of connectivity
+//! checks well below the number of ex-cores. This suite measures exactly
+//! those per-slide quantities for every dataset at the default 5% stride.
+
+use crate::report::Table;
+use crate::runner::{records_needed, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_core::{Disc, DiscConfig};
+use disc_window::datasets::{self, Profile};
+use disc_window::{Record, SlidingWindow};
+
+fn per_dataset<const D: usize>(
+    gen: impl Fn(usize) -> Vec<Record<D>>,
+    prof: Profile,
+    scale: Scale,
+    table: &mut Table,
+) {
+    let base = scale.apply(prof.window);
+    let (window, stride) = tile(base, (base / 20).max(1));
+    let slides = SLIDES.max(10);
+    let recs = gen(records_needed(window, stride, slides));
+    let mut w = SlidingWindow::new(recs, window, stride);
+    let mut disc = Disc::new(DiscConfig::new(prof.eps, prof.tau));
+    disc.apply(&w.fill());
+
+    let mut sums = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut n = 0u64;
+    while n < slides as u64 {
+        let Some(b) = w.advance() else { break };
+        let s = disc.apply(&b);
+        sums.0 += s.ex_cores as u64;
+        sums.1 += s.ex_classes as u64;
+        sums.2 += s.neo_cores as u64;
+        sums.3 += s.neo_classes as u64;
+        sums.4 += s.splits as u64;
+        sums.5 += s.merges as u64;
+        sums.6 += s.emerged as u64;
+        n += 1;
+    }
+    let avg = |v: u64| format!("{:.1}", v as f64 / n.max(1) as f64);
+    table.row(vec![
+        prof.name.to_string(),
+        avg(sums.0),
+        avg(sums.1),
+        format!(
+            "{:.1}x",
+            sums.0 as f64 / sums.1.max(1) as f64
+        ),
+        avg(sums.2),
+        avg(sums.3),
+        avg(sums.4),
+        avg(sums.5),
+        avg(sums.6),
+    ]);
+}
+
+/// Runs the evolution-statistics suite.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Extension: per-slide evolution statistics (stride 5%)",
+        &[
+            "dataset",
+            "ex-cores",
+            "ex-classes",
+            "consolidation",
+            "neo-cores",
+            "neo-classes",
+            "splits",
+            "merges",
+            "emerged",
+        ],
+    );
+    per_dataset(
+        |n| datasets::dtg_like(n, SEED),
+        datasets::DTG_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::geolife_like(n, SEED),
+        datasets::GEOLIFE_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::covid_like(n, SEED),
+        datasets::COVID_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::iris_like(n, SEED),
+        datasets::IRIS_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::maze(n, 60, SEED),
+        datasets::MAZE_PROFILE,
+        scale,
+        &mut t,
+    );
+    t.print();
+    let _ = t.write_csv("evolution_stats");
+    t
+}

@@ -1,0 +1,102 @@
+//! Fig. 10 — DTG: ARI and per-point update latency vs window size.
+//!
+//! As Fig. 9 but on the DTG-like workload, with DBSCAN's own output as the
+//! true labels (the paper does the same, DTG has no ground truth).
+//! Expected shape: DBSTREAM is *slow* here (fine-grained clusters force
+//! many micro-clusters) and summarisation ARI degrades; DISC holds ARI = 1.
+
+use crate::report::{fmt_duration, Table};
+use crate::runner::{measure_with_window, records_needed, tile, Measurement};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{DbStream, DbStreamConfig, Dbscan, EdmStream, EdmStreamConfig, RhoDbscan};
+use disc_core::{Disc, DiscConfig};
+use disc_geom::{Point, PointId};
+use disc_metrics::ari;
+use disc_window::datasets;
+
+/// Window multipliers for the sweep.
+pub const WINDOW_FACTORS: [f64; 3] = [0.5, 1.0, 2.0];
+
+/// Runs the Fig. 10 suite.
+pub fn run(scale: Scale) -> Table {
+    let prof = datasets::DTG_PROFILE;
+    let mut t = Table::new(
+        "Fig. 10: DTG — ARI (vs DBSCAN truth) and per-point latency vs window",
+        &["window", "method", "ARI", "latency/point"],
+    );
+    for factor in WINDOW_FACTORS {
+        let base = (scale.apply(prof.window) as f64 * factor) as usize;
+        let (window, stride) = tile(base, (base / 20).max(1));
+        let n = records_needed(window, stride, SLIDES);
+        let recs = datasets::dtg_like(n, SEED);
+
+        let runs: Vec<(Measurement, disc_window::SlidingWindow<2>)> = vec![
+            measure_with_window(
+                DbStream::new(DbStreamConfig {
+                    radius: prof.eps * 1.1,
+                    ..DbStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                EdmStream::new(EdmStreamConfig {
+                    radius: prof.eps * 1.1,
+                    delta: prof.eps * 3.0,
+                    ..EdmStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                RhoDbscan::new(prof.eps, prof.tau, 0.1),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                RhoDbscan::new(prof.eps, prof.tau, 0.001),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                Disc::new(DiscConfig::new(prof.eps, prof.tau)),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+        ];
+        let names = ["DBSTREAM", "EDMStream", "rho2(0.1)", "rho2(0.001)", "DISC"];
+
+        // DBSCAN truth on the final window (same for every method: the
+        // measured slide count is identical).
+        let w = &runs[0].1;
+        let pts: Vec<(PointId, Point<2>)> = w.current().collect();
+        let (truth_map, _) = Dbscan::run(&pts, prof.eps, prof.tau);
+        let mut ids: Vec<PointId> = pts.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        let truth: Vec<i64> = ids.iter().map(|id| truth_map[id]).collect();
+
+        for (i, (m, _)) in runs.iter().enumerate() {
+            let pred: Vec<i64> = m.assignments.iter().map(|(_, l)| *l).collect();
+            t.row(vec![
+                window.to_string(),
+                names[i].to_string(),
+                format!("{:.3}", ari(&truth, &pred)),
+                fmt_duration(m.per_point),
+            ]);
+        }
+    }
+    t.print();
+    let _ = t.write_csv("fig10_dtg_quality");
+    t
+}

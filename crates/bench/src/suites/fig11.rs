@@ -1,0 +1,79 @@
+//! Fig. 11 — update latency with varying ε: DISC vs ρ₂-DBSCAN.
+//!
+//! Expected shape: DISC wins at small ε (high resolution, where the grid
+//! method's cell population explodes); ρ₂ catches up or overtakes only at
+//! distance thresholds so large that the clustering collapses into one
+//! blob (the paper deems that regime useless).
+
+use crate::report::{fmt_duration, Table};
+use crate::runner::{measure, records_needed, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::RhoDbscan;
+use disc_core::{Disc, DiscConfig};
+use disc_window::datasets;
+use disc_window::Record;
+
+fn sweep<const D: usize>(
+    dataset: &str,
+    gen: impl Fn(usize) -> Vec<Record<D>>,
+    window_base: usize,
+    tau: usize,
+    eps_values: &[f64],
+    scale: Scale,
+    table: &mut Table,
+) {
+    let base = scale.apply(window_base);
+    let (window, stride) = tile(base, (base / 20).max(1));
+    let n = records_needed(window, stride, SLIDES);
+    let recs = gen(n);
+    for &eps in eps_values {
+        let disc = measure(
+            Disc::new(DiscConfig::new(eps, tau)),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
+        let rho_hi = measure(RhoDbscan::new(eps, tau, 0.001), &recs, window, stride, SLIDES);
+        let rho_lo = measure(RhoDbscan::new(eps, tau, 0.1), &recs, window, stride, SLIDES);
+        table.row(vec![
+            dataset.to_string(),
+            format!("{eps}"),
+            fmt_duration(disc.per_point),
+            fmt_duration(rho_hi.per_point),
+            fmt_duration(rho_lo.per_point),
+        ]);
+    }
+}
+
+/// Runs the Fig. 11 suite.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 11: per-point update latency vs eps — DISC vs rho2-DBSCAN",
+        &["dataset", "eps", "DISC", "rho2(0.001)", "rho2(0.1)"],
+    );
+    let maze = datasets::MAZE_PROFILE;
+    sweep(
+        "Maze",
+        |n| datasets::maze(n, 60, SEED),
+        maze.window,
+        maze.tau,
+        &[0.15, 0.3, 0.6, 1.2, 2.4, 4.8],
+        scale,
+        &mut t,
+    );
+    let dtg = datasets::DTG_PROFILE;
+    sweep(
+        "DTG",
+        |n| datasets::dtg_like(n, SEED),
+        dtg.window,
+        dtg.tau,
+        &[0.1, 0.2, 0.45, 0.9, 1.8, 3.6],
+        scale,
+        &mut t,
+    );
+    t.print();
+    let _ = t.write_csv("fig11_eps_latency");
+    t
+}

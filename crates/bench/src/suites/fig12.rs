@@ -1,0 +1,152 @@
+//! Fig. 12 — cluster illustrations.
+//!
+//! Dumps the cluster snapshot each method produces on Maze and DTG to CSV
+//! files under `out/` (one row per point: coordinates + cluster id, `-1`
+//! noise). Render them with any plotting tool; DISC's snapshot is the
+//! DBSCAN-exact reference, the summarisation methods visibly fragment or
+//! fuse trajectories — the paper's qualitative point.
+
+use crate::runner::{records_needed, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{DbStream, DbStreamConfig, EdmStream, EdmStreamConfig, WindowClusterer};
+use disc_core::{Disc, DiscConfig};
+use disc_geom::{FxHashMap, Point, PointId};
+use disc_window::{csv, datasets, Record, SlidingWindow};
+use std::path::Path;
+
+fn drive_and_dump<const D: usize, M: WindowClusterer<D>>(
+    mut m: M,
+    recs: &[Record<D>],
+    window: usize,
+    stride: usize,
+    stem: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut w = SlidingWindow::new(recs.to_vec(), window, stride);
+    m.apply(&w.fill());
+    for _ in 0..SLIDES {
+        if let Some(b) = w.advance() {
+            m.apply(&b);
+        }
+    }
+    let pos: FxHashMap<PointId, Point<D>> = w.current().collect();
+    let rows: Vec<(Point<D>, i64)> = m
+        .assignments()
+        .into_iter()
+        .map(|(id, l)| (pos[&id], l))
+        .collect();
+    std::fs::create_dir_all("out")?;
+    let path = Path::new("out").join(format!("{stem}.csv"));
+    csv::write_snapshot(&path, &rows)?;
+    Ok(path)
+}
+
+/// Runs the Fig. 12 suite: writes six snapshots and reports their paths.
+pub fn run(scale: Scale) -> Vec<std::path::PathBuf> {
+    let mut written = Vec::new();
+
+    let maze = datasets::MAZE_PROFILE;
+    let base = scale.apply(maze.window);
+    let (window, stride) = tile(base, (base / 20).max(1));
+    let recs = datasets::maze(records_needed(window, stride, SLIDES), 60, SEED);
+    for (stem, result) in [
+        (
+            "fig12_maze_disc",
+            drive_and_dump(
+                Disc::new(DiscConfig::new(maze.eps, maze.tau)),
+                &recs,
+                window,
+                stride,
+                "fig12_maze_disc",
+            ),
+        ),
+        (
+            "fig12_maze_edmstream",
+            drive_and_dump(
+                EdmStream::new(EdmStreamConfig {
+                    radius: maze.eps * 1.1,
+                    delta: maze.eps * 3.0,
+                    ..EdmStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                "fig12_maze_edmstream",
+            ),
+        ),
+        (
+            "fig12_maze_dbstream",
+            drive_and_dump(
+                DbStream::new(DbStreamConfig {
+                    radius: maze.eps * 1.1,
+                    ..DbStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                "fig12_maze_dbstream",
+            ),
+        ),
+    ] {
+        match result {
+            Ok(p) => {
+                println!("wrote {}", p.display());
+                written.push(p);
+            }
+            Err(e) => eprintln!("fig12 {stem}: {e}"),
+        }
+    }
+
+    let dtg = datasets::DTG_PROFILE;
+    let base = scale.apply(dtg.window);
+    let (window, stride) = tile(base, (base / 20).max(1));
+    let recs = datasets::dtg_like(records_needed(window, stride, SLIDES), SEED);
+    for (stem, result) in [
+        (
+            "fig12_dtg_disc",
+            drive_and_dump(
+                Disc::new(DiscConfig::new(dtg.eps, dtg.tau)),
+                &recs,
+                window,
+                stride,
+                "fig12_dtg_disc",
+            ),
+        ),
+        (
+            "fig12_dtg_edmstream",
+            drive_and_dump(
+                EdmStream::new(EdmStreamConfig {
+                    radius: dtg.eps * 1.1,
+                    delta: dtg.eps * 3.0,
+                    ..EdmStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                "fig12_dtg_edmstream",
+            ),
+        ),
+        (
+            "fig12_dtg_dbstream",
+            drive_and_dump(
+                DbStream::new(DbStreamConfig {
+                    radius: dtg.eps * 1.1,
+                    ..DbStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                "fig12_dtg_dbstream",
+            ),
+        ),
+    ] {
+        match result {
+            Ok(p) => {
+                println!("wrote {}", p.display());
+                written.push(p);
+            }
+            Err(e) => eprintln!("fig12 {stem}: {e}"),
+        }
+    }
+    written
+}

@@ -1,0 +1,111 @@
+//! Fig. 4 — relative speedup over DBSCAN with a varying stride size.
+//!
+//! For every dataset and stride ∈ {0.1, 0.5, 1, 5, 10, 25}% of the window,
+//! measures the mean per-slide time of DISC, IncDBSCAN and EXTRA-N and
+//! reports it relative to from-scratch DBSCAN. Expected shape: DISC best
+//! at small strides, every incremental method ≈ DBSCAN (or worse) at 25%.
+
+use crate::report::{fmt_duration, Table};
+use crate::runner::{measure, records_needed, slides_for, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{Dbscan, ExtraN, IncDbscan};
+use disc_core::{Disc, DiscConfig};
+use disc_window::datasets::{self, Profile};
+use disc_window::Record;
+
+/// Stride sizes as percentages of the window, as in the paper.
+pub const STRIDE_PCTS: [f64; 6] = [0.1, 0.5, 1.0, 5.0, 10.0, 25.0];
+
+fn per_dataset<const D: usize>(
+    gen: impl Fn(usize) -> Vec<Record<D>>,
+    prof: Profile,
+    scale: Scale,
+    table: &mut Table,
+) {
+    let base_window = scale.apply(prof.window);
+    for pct in STRIDE_PCTS {
+        let stride = ((base_window as f64 * pct / 100.0).round() as usize).max(1);
+        let (window, stride) = tile(base_window, stride);
+        let slides = slides_for(stride);
+        let n = records_needed(window, stride, slides);
+        let recs = gen(n);
+
+        let db = measure(Dbscan::new(prof.eps, prof.tau), &recs, window, stride, 3.min(SLIDES));
+        let inc = measure(
+            IncDbscan::new(prof.eps, prof.tau),
+            &recs,
+            window,
+            stride,
+            slides,
+        );
+        let exn = measure(
+            ExtraN::new(prof.eps, prof.tau, window, stride),
+            &recs,
+            window,
+            stride,
+            slides,
+        );
+        let disc = measure(
+            Disc::new(DiscConfig::new(prof.eps, prof.tau)),
+            &recs,
+            window,
+            stride,
+            slides,
+        );
+
+        let speedup = |m: &crate::runner::Measurement| {
+            db.avg_slide.as_secs_f64() / m.avg_slide.as_secs_f64().max(1e-12)
+        };
+        table.row(vec![
+            prof.name.to_string(),
+            format!("{pct}%"),
+            fmt_duration(db.avg_slide),
+            format!("{:.2}", speedup(&inc)),
+            format!("{:.2}", speedup(&exn)),
+            format!("{:.2}", speedup(&disc)),
+        ]);
+    }
+}
+
+/// Runs the Fig. 4 suite.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 4: speedup over DBSCAN vs stride (higher is better)",
+        &[
+            "dataset",
+            "stride",
+            "DBSCAN/slide",
+            "IncDBSCAN x",
+            "EXTRA-N x",
+            "DISC x",
+        ],
+    );
+    per_dataset(
+        |n| datasets::dtg_like(n, SEED),
+        datasets::DTG_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::geolife_like(n, SEED),
+        datasets::GEOLIFE_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::covid_like(n, SEED),
+        datasets::COVID_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::iris_like(n, SEED),
+        datasets::IRIS_PROFILE,
+        scale,
+        &mut t,
+    );
+    t.print();
+    let _ = t.write_csv("fig4_stride_speedup");
+    t
+}

@@ -1,0 +1,114 @@
+//! Fig. 5 — relative speedup over DBSCAN with a varying window size.
+//!
+//! Stride fixed at 5% of the window; window scaled ×{0.5, 1, 2, 4} of each
+//! dataset's default. Expected shape: DISC's advantage grows with the
+//! window; EXTRA-N's memory grows steeply (the paper's runs died on the
+//! largest windows) — memory is reported alongside.
+
+use crate::report::{fmt_bytes, fmt_duration, Table};
+use crate::runner::{measure, records_needed, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{Dbscan, ExtraN, IncDbscan};
+use disc_core::{Disc, DiscConfig};
+use disc_window::datasets::{self, Profile};
+use disc_window::Record;
+
+/// Window multipliers relative to each profile's default.
+pub const WINDOW_FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+fn per_dataset<const D: usize>(
+    gen: impl Fn(usize) -> Vec<Record<D>>,
+    prof: Profile,
+    scale: Scale,
+    table: &mut Table,
+) {
+    for factor in WINDOW_FACTORS {
+        let base = (scale.apply(prof.window) as f64 * factor) as usize;
+        let stride = (base / 20).max(1); // 5%
+        let (window, stride) = tile(base, stride);
+        let n = records_needed(window, stride, SLIDES);
+        let recs = gen(n);
+
+        let db = measure(Dbscan::new(prof.eps, prof.tau), &recs, window, stride, 3.min(SLIDES));
+        let inc = measure(
+            IncDbscan::new(prof.eps, prof.tau),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
+        let exn = measure(
+            ExtraN::new(prof.eps, prof.tau, window, stride),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
+        let disc = measure(
+            Disc::new(DiscConfig::new(prof.eps, prof.tau)),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
+
+        let speedup = |m: &crate::runner::Measurement| {
+            db.avg_slide.as_secs_f64() / m.avg_slide.as_secs_f64().max(1e-12)
+        };
+        table.row(vec![
+            prof.name.to_string(),
+            window.to_string(),
+            fmt_duration(db.avg_slide),
+            format!("{:.2}", speedup(&inc)),
+            format!("{:.2}", speedup(&exn)),
+            format!("{:.2}", speedup(&disc)),
+            fmt_bytes(exn.memory),
+            fmt_bytes(disc.memory),
+        ]);
+    }
+}
+
+/// Runs the Fig. 5 suite.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 5: speedup over DBSCAN vs window (stride 5%)",
+        &[
+            "dataset",
+            "window",
+            "DBSCAN/slide",
+            "IncDBSCAN x",
+            "EXTRA-N x",
+            "DISC x",
+            "EXTRA-N mem",
+            "DISC mem",
+        ],
+    );
+    per_dataset(
+        |n| datasets::dtg_like(n, SEED),
+        datasets::DTG_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::geolife_like(n, SEED),
+        datasets::GEOLIFE_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::covid_like(n, SEED),
+        datasets::COVID_PROFILE,
+        scale,
+        &mut t,
+    );
+    per_dataset(
+        |n| datasets::iris_like(n, SEED),
+        datasets::IRIS_PROFILE,
+        scale,
+        &mut t,
+    );
+    t.print();
+    let _ = t.write_csv("fig5_window_speedup");
+    t
+}

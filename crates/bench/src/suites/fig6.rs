@@ -1,0 +1,84 @@
+//! Fig. 6 — threshold effects: elapsed time with varying ε and τ (DTG).
+//!
+//! Stride fixed at 5%. Expected shape: every method slows as ε grows or τ
+//! shrinks (more neighbours / more cores); DISC stays flattest across the
+//! whole spectrum.
+
+use crate::report::{fmt_duration, Table};
+use crate::runner::{measure, records_needed, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{ExtraN, IncDbscan};
+use disc_core::{Disc, DiscConfig};
+use disc_window::datasets;
+
+/// Multipliers applied to the default ε.
+pub const EPS_FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+/// Multipliers applied to the default τ.
+pub const TAU_FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+fn sweep(
+    scale: Scale,
+    table: &mut Table,
+    label: &str,
+    configs: impl Iterator<Item = (String, f64, usize)>,
+) {
+    let prof = datasets::DTG_PROFILE;
+    let base = scale.apply(prof.window);
+    let (window, stride) = tile(base, (base / 20).max(1));
+    let n = records_needed(window, stride, SLIDES);
+    let recs = datasets::dtg_like(n, SEED);
+    for (name, eps, tau) in configs {
+        let inc = measure(IncDbscan::new(eps, tau), &recs, window, stride, SLIDES);
+        let exn = measure(
+            ExtraN::new(eps, tau, window, stride),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
+        let disc = measure(
+            Disc::new(DiscConfig::new(eps, tau)),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
+        table.row(vec![
+            label.to_string(),
+            name,
+            fmt_duration(inc.avg_slide),
+            fmt_duration(exn.avg_slide),
+            fmt_duration(disc.avg_slide),
+        ]);
+    }
+}
+
+/// Runs the Fig. 6 suite.
+pub fn run(scale: Scale) -> Table {
+    let prof = datasets::DTG_PROFILE;
+    let mut t = Table::new(
+        "Fig. 6: threshold effects on DTG (elapsed per slide, stride 5%)",
+        &["sweep", "value", "IncDBSCAN", "EXTRA-N", "DISC"],
+    );
+    sweep(
+        scale,
+        &mut t,
+        "eps",
+        EPS_FACTORS
+            .iter()
+            .map(|f| (format!("{:.3}", prof.eps * f), prof.eps * f, prof.tau)),
+    );
+    sweep(
+        scale,
+        &mut t,
+        "tau",
+        TAU_FACTORS.iter().map(|f| {
+            let tau = ((prof.tau as f64 * f).round() as usize).max(2);
+            (tau.to_string(), prof.eps, tau)
+        }),
+    );
+    t.print();
+    let _ = t.write_csv("fig6_thresholds");
+    t
+}

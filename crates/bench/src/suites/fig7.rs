@@ -1,0 +1,128 @@
+//! Fig. 7 — range searches executed.
+//!
+//! (a) per dataset, stride 5%: searches per slide for DISC vs IncDBSCAN —
+//! DISC must be consistently lower; (b) on DTG, searches relative to
+//! DBSCAN across stride ratios — DISC below IncDBSCAN below DBSCAN (=1.0)
+//! at small strides.
+
+use crate::report::Table;
+use crate::runner::{measure, records_needed, slides_for, tile};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{Dbscan, IncDbscan};
+use disc_core::{Disc, DiscConfig};
+use disc_window::datasets::{self, Profile};
+use disc_window::Record;
+
+fn part_a<const D: usize>(
+    gen: impl Fn(usize) -> Vec<Record<D>>,
+    prof: Profile,
+    scale: Scale,
+    table: &mut Table,
+) {
+    let base = scale.apply(prof.window);
+    let (window, stride) = tile(base, (base / 20).max(1));
+    let n = records_needed(window, stride, SLIDES);
+    let recs = gen(n);
+    let inc = measure(
+        IncDbscan::new(prof.eps, prof.tau),
+        &recs,
+        window,
+        stride,
+        SLIDES,
+    );
+    let disc = measure(
+        Disc::new(DiscConfig::new(prof.eps, prof.tau)),
+        &recs,
+        window,
+        stride,
+        SLIDES,
+    );
+    table.row(vec![
+        prof.name.to_string(),
+        format!("{:.0}", inc.searches_per_slide),
+        format!("{:.0}", disc.searches_per_slide),
+        format!(
+            "{:.2}",
+            inc.searches_per_slide / disc.searches_per_slide.max(1.0)
+        ),
+    ]);
+}
+
+/// Runs the Fig. 7 suite (both panels).
+pub fn run(scale: Scale) -> (Table, Table) {
+    let mut a = Table::new(
+        "Fig. 7a: range searches per slide (stride 5%)",
+        &["dataset", "IncDBSCAN", "DISC", "Inc/DISC"],
+    );
+    part_a(
+        |n| datasets::dtg_like(n, SEED),
+        datasets::DTG_PROFILE,
+        scale,
+        &mut a,
+    );
+    part_a(
+        |n| datasets::geolife_like(n, SEED),
+        datasets::GEOLIFE_PROFILE,
+        scale,
+        &mut a,
+    );
+    part_a(
+        |n| datasets::covid_like(n, SEED),
+        datasets::COVID_PROFILE,
+        scale,
+        &mut a,
+    );
+    part_a(
+        |n| datasets::iris_like(n, SEED),
+        datasets::IRIS_PROFILE,
+        scale,
+        &mut a,
+    );
+    a.print();
+    let _ = a.write_csv("fig7a_range_searches");
+
+    let mut b = Table::new(
+        "Fig. 7b: range searches relative to DBSCAN on DTG (lower is better)",
+        &["stride", "DBSCAN", "IncDBSCAN", "DISC"],
+    );
+    let prof = datasets::DTG_PROFILE;
+    let base = scale.apply(prof.window);
+    for pct in [0.5, 1.0, 5.0, 10.0, 25.0] {
+        let stride = ((base as f64 * pct / 100.0).round() as usize).max(1);
+        let (window, stride) = tile(base, stride);
+        let slides = slides_for(stride);
+        let n = records_needed(window, stride, slides);
+        let recs = datasets::dtg_like(n, SEED);
+        let db = measure(
+            Dbscan::new(prof.eps, prof.tau),
+            &recs,
+            window,
+            stride,
+            3.min(SLIDES),
+        );
+        let inc = measure(
+            IncDbscan::new(prof.eps, prof.tau),
+            &recs,
+            window,
+            stride,
+            slides,
+        );
+        let disc = measure(
+            Disc::new(DiscConfig::new(prof.eps, prof.tau)),
+            &recs,
+            window,
+            stride,
+            slides,
+        );
+        b.row(vec![
+            format!("{pct}%"),
+            "1.00".to_string(),
+            format!("{:.3}", inc.searches_per_slide / db.searches_per_slide),
+            format!("{:.3}", disc.searches_per_slide / db.searches_per_slide),
+        ]);
+    }
+    b.print();
+    let _ = b.write_csv("fig7b_relative_searches");
+    (a, b)
+}

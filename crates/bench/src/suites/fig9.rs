@@ -1,0 +1,100 @@
+//! Fig. 9 — Maze: ARI and per-point update latency vs window size.
+//!
+//! Methods: DBSTREAM, EDMStream (summarisation, insertion-only),
+//! ρ₂-DBSCAN with ρ = 0.1 (low accuracy) and ρ = 0.001 (high accuracy),
+//! and DISC. Truth is the Maze generator's per-trajectory labels.
+//! Expected shape: summarisation methods are fastest but their ARI decays
+//! as the window grows; ρ₂ and DISC hold ARI ≈ 1 with DISC faster.
+
+use crate::report::{fmt_duration, Table};
+use crate::runner::{measure_with_window, records_needed, tile, Measurement};
+use crate::suites::{SEED, SLIDES};
+use crate::Scale;
+use disc_baselines::{DbStream, DbStreamConfig, EdmStream, EdmStreamConfig, RhoDbscan};
+use disc_core::{Disc, DiscConfig};
+use disc_metrics::ari;
+use disc_window::datasets;
+
+/// Window multipliers for the sweep.
+pub const WINDOW_FACTORS: [f64; 3] = [0.5, 1.0, 2.0];
+
+fn quality(m: &Measurement, w: &disc_window::SlidingWindow<2>) -> f64 {
+    let truth: Vec<i64> = w
+        .current_truth()
+        .map(|(_, t)| t.map(|v| v as i64).unwrap_or(-1))
+        .collect();
+    let pred: Vec<i64> = m.assignments.iter().map(|(_, l)| *l).collect();
+    ari(&truth, &pred)
+}
+
+/// Runs the Fig. 9 suite.
+pub fn run(scale: Scale) -> Table {
+    let prof = datasets::MAZE_PROFILE;
+    let mut t = Table::new(
+        "Fig. 9: Maze — ARI and per-point update latency vs window",
+        &["window", "method", "ARI", "latency/point"],
+    );
+    for factor in WINDOW_FACTORS {
+        let base = (scale.apply(prof.window) as f64 * factor) as usize;
+        let (window, stride) = tile(base, (base / 20).max(1));
+        let n = records_needed(window, stride, SLIDES);
+        let recs = datasets::maze(n, 60, SEED);
+
+        let runs: Vec<(Measurement, disc_window::SlidingWindow<2>)> = vec![
+            measure_with_window(
+                DbStream::new(DbStreamConfig {
+                    radius: prof.eps * 1.1,
+                    ..DbStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                EdmStream::new(EdmStreamConfig {
+                    radius: prof.eps * 1.1,
+                    delta: prof.eps * 3.0,
+                    ..EdmStreamConfig::default()
+                }),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                RhoDbscan::new(prof.eps, prof.tau, 0.1),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                RhoDbscan::new(prof.eps, prof.tau, 0.001),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+            measure_with_window(
+                Disc::new(DiscConfig::new(prof.eps, prof.tau)),
+                &recs,
+                window,
+                stride,
+                SLIDES,
+            ),
+        ];
+        let names = ["DBSTREAM", "EDMStream", "rho2(0.1)", "rho2(0.001)", "DISC"];
+        for (i, (m, w)) in runs.iter().enumerate() {
+            t.row(vec![
+                window.to_string(),
+                names[i].to_string(),
+                format!("{:.3}", quality(m, w)),
+                fmt_duration(m.per_point),
+            ]);
+        }
+    }
+    t.print();
+    let _ = t.write_csv("fig9_maze_quality");
+    t
+}

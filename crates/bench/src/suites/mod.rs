@@ -1,0 +1,22 @@
+//! One suite per paper artefact. Each `run(scale)` prints its tables and
+//! writes matching CSVs under `out/`.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig4;
+pub mod evolution_stats;
+pub mod graph_ablation;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+
+/// RNG seed used by every suite, so results are reproducible run-to-run.
+pub const SEED: u64 = 20211_u64;
+
+/// Measured slides per configuration: enough to average out noise while
+/// keeping the full harness in the minutes range.
+pub const SLIDES: u32 = 5;

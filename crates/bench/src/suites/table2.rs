@@ -1,0 +1,26 @@
+//! Table II — threshold values and window sizes per dataset.
+
+use crate::report::Table;
+use crate::Scale;
+use disc_window::datasets;
+
+/// Prints the Table II analogue (scaled defaults actually used).
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table II: threshold values and window sizes (scaled synthetic analogues)",
+        &["dataset", "dim", "tau", "eps", "window", "stream"],
+    );
+    for p in datasets::profiles() {
+        t.row(vec![
+            p.name.to_string(),
+            p.dim.to_string(),
+            p.tau.to_string(),
+            format!("{}", p.eps),
+            scale.apply(p.window).to_string(),
+            scale.apply(p.stream_len).to_string(),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("table2");
+    t
+}

@@ -1,0 +1,145 @@
+//! CLI command implementations.
+
+use crate::Opts;
+use disc_baselines::{Dbscan, ExtraN, IncDbscan, RhoDbscan, WindowClusterer};
+use disc_core::{kdistance, Disc, DiscConfig};
+use disc_window::{csv, datasets, Record, SlidingWindow};
+use std::path::Path;
+
+/// A command that is generic over the point dimension.
+pub trait DimCommand {
+    /// Runs the command for one concrete dimension.
+    fn run<const D: usize>(&self, opts: &Opts) -> Result<(), String>;
+}
+
+fn load<const D: usize>(opts: &Opts) -> Result<Vec<Record<D>>, String> {
+    let input = opts
+        .input
+        .as_ref()
+        .ok_or("--input is required".to_string())?;
+    let records =
+        csv::read_records::<D>(input).map_err(|e| format!("{}: {e}", input.display()))?;
+    if records.is_empty() {
+        return Err("input stream is empty".to_string());
+    }
+    Ok(records)
+}
+
+/// `disc cluster` — stream a CSV through a sliding window.
+pub struct ClusterCmd;
+
+impl DimCommand for ClusterCmd {
+    fn run<const D: usize>(&self, opts: &Opts) -> Result<(), String> {
+        let records = load::<D>(opts)?;
+        let eps = opts.eps.ok_or("--eps is required")?;
+        let tau = opts.tau.ok_or("--tau is required")?;
+        let window = opts.window.ok_or("--window is required")?;
+        let stride = opts.stride.ok_or("--stride is required")?;
+        if window > records.len() {
+            return Err(format!(
+                "window {window} exceeds the stream ({} points)",
+                records.len()
+            ));
+        }
+
+        let mut method: Box<dyn WindowClusterer<D>> = match opts.method.as_str() {
+            "disc" => Box::new(Disc::new(DiscConfig::new(eps, tau))),
+            "incdbscan" => Box::new(IncDbscan::new(eps, tau)),
+            "extran" => Box::new(ExtraN::new(eps, tau, window, stride)),
+            "dbscan" => Box::new(Dbscan::new(eps, tau)),
+            "rho2" => Box::new(RhoDbscan::new(eps, tau, opts.rho)),
+            other => return Err(format!("unknown --method {other:?}")),
+        };
+
+        let mut w = SlidingWindow::new(records, window, stride);
+        let start = std::time::Instant::now();
+        method.apply(&w.fill());
+        let mut slides = 0u64;
+        while let Some(batch) = w.advance() {
+            method.apply(&batch);
+            slides += 1;
+            if !opts.quiet {
+                let clusters: std::collections::HashSet<i64> = method
+                    .assignments()
+                    .into_iter()
+                    .map(|(_, l)| l)
+                    .filter(|&l| l >= 0)
+                    .collect();
+                eprintln!("slide {slides}: {} clusters", clusters.len());
+            }
+        }
+        let elapsed = start.elapsed();
+
+        let assignments = method.assignments();
+        let clusters: std::collections::HashSet<i64> = assignments
+            .iter()
+            .map(|(_, l)| *l)
+            .filter(|&l| l >= 0)
+            .collect();
+        let noise = assignments.iter().filter(|(_, l)| *l < 0).count();
+        println!(
+            "{}: {} slides, {} window points, {} clusters, {} noise, {:?} total, {} range searches",
+            method.name(),
+            slides,
+            assignments.len(),
+            clusters.len(),
+            noise,
+            elapsed,
+            method.range_searches()
+        );
+
+        if let Some(out) = &opts.out {
+            let pos: disc_geom::FxHashMap<disc_geom::PointId, disc_geom::Point<D>> =
+                w.current().collect();
+            let rows: Vec<(disc_geom::Point<D>, i64)> = assignments
+                .iter()
+                .map(|(id, l)| (pos[id], *l))
+                .collect();
+            csv::write_snapshot(out, &rows).map_err(|e| format!("{}: {e}", out.display()))?;
+            println!("wrote {}", out.display());
+        }
+        Ok(())
+    }
+}
+
+/// `disc estimate` — suggest (ε, τ) via the K-distance method.
+pub struct EstimateCmd;
+
+impl DimCommand for EstimateCmd {
+    fn run<const D: usize>(&self, opts: &Opts) -> Result<(), String> {
+        let records = load::<D>(opts)?;
+        let est = kdistance::estimate(&records, opts.sample);
+        println!(
+            "suggested parameters (K-distance, k = {}): --eps {:.6} --tau {}",
+            est.k, est.eps, est.tau
+        );
+        Ok(())
+    }
+}
+
+/// `disc generate` — write a synthetic stream to CSV.
+pub fn generate(opts: &Opts) -> Result<(), String> {
+    let dataset = opts
+        .dataset
+        .as_ref()
+        .ok_or("--dataset is required".to_string())?;
+    let out = opts.out.as_ref().ok_or("--out is required".to_string())?;
+    let n = opts.n;
+    let seed = opts.seed;
+    match dataset.as_str() {
+        "maze" => write(out, &datasets::maze(n, 60, seed)),
+        "dtg" => write(out, &datasets::dtg_like(n, seed)),
+        "geolife" => write(out, &datasets::geolife_like(n, seed)),
+        "covid" => write(out, &datasets::covid_like(n, seed)),
+        "iris" => write(out, &datasets::iris_like(n, seed)),
+        "netflow" => write(out, &datasets::netflow_like(n, seed)),
+        "blobs" => write(out, &datasets::gaussian_blobs::<2>(n, 4, 0.5, seed)),
+        other => Err(format!("unknown --dataset {other:?}")),
+    }
+}
+
+fn write<const D: usize>(out: &Path, records: &[Record<D>]) -> Result<(), String> {
+    csv::write_records(out, records).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {} records to {}", records.len(), out.display());
+    Ok(())
+}

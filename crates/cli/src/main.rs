@@ -1,0 +1,254 @@
+//! `disc` — sliding-window density clustering from the command line.
+//!
+//! ```text
+//! disc cluster --input points.csv --dim 2 --eps 0.5 --tau 6 \
+//!              --window 10000 --stride 500 [--method disc] [--out snap.csv]
+//! disc estimate --input points.csv --dim 2
+//! disc generate --dataset maze --n 50000 --out maze.csv
+//! ```
+//!
+//! Input CSV: one point per row, `dim` coordinate columns, optionally a
+//! trailing integer ground-truth label. Output snapshots carry a header
+//! `x0,..,cluster` with `-1` for noise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  disc cluster  --input F --dim D --eps X --tau N --window W --stride S
+                [--method disc|incdbscan|extran|dbscan|rho2] [--rho X]
+                [--out F] [--quiet]
+  disc estimate --input F --dim D [--sample N]
+  disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
+                [--seed N]
+  disc --help";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing command\n{USAGE}"));
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match command.as_str() {
+        "cluster" => dispatch_dim(&opts, cmd::ClusterCmd),
+        "estimate" => dispatch_dim(&opts, cmd::EstimateCmd),
+        "generate" => cmd::generate(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Parsed command-line options (flat; commands validate what they need).
+pub struct Opts {
+    pub input: Option<PathBuf>,
+    pub out: Option<PathBuf>,
+    pub dim: usize,
+    pub eps: Option<f64>,
+    pub tau: Option<usize>,
+    pub window: Option<usize>,
+    pub stride: Option<usize>,
+    pub method: String,
+    pub rho: f64,
+    pub dataset: Option<String>,
+    pub n: usize,
+    pub seed: u64,
+    pub sample: usize,
+    pub quiet: bool,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Opts {
+            input: None,
+            out: None,
+            dim: 2,
+            eps: None,
+            tau: None,
+            window: None,
+            stride: None,
+            method: "disc".to_string(),
+            rho: 0.001,
+            dataset: None,
+            n: 10_000,
+            seed: 42,
+            sample: 2_000,
+            quiet: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--input" => o.input = Some(PathBuf::from(value()?)),
+                "--out" => o.out = Some(PathBuf::from(value()?)),
+                "--dim" => o.dim = parse_num(flag, &value()?)?,
+                "--eps" => o.eps = Some(parse_num(flag, &value()?)?),
+                "--tau" => o.tau = Some(parse_num(flag, &value()?)?),
+                "--window" => o.window = Some(parse_num(flag, &value()?)?),
+                "--stride" => o.stride = Some(parse_num(flag, &value()?)?),
+                "--method" => o.method = value()?,
+                "--rho" => o.rho = parse_num(flag, &value()?)?,
+                "--dataset" => o.dataset = Some(value()?),
+                "--n" => o.n = parse_num(flag, &value()?)?,
+                "--seed" => o.seed = parse_num(flag, &value()?)?,
+                "--sample" => o.sample = parse_num(flag, &value()?)?,
+                "--quiet" => o.quiet = true,
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("flag {flag}: cannot parse {s:?}"))
+}
+
+/// Runs a dimension-generic command for the `--dim` in force (2, 3 or 4).
+fn dispatch_dim<C: cmd::DimCommand>(opts: &Opts, cmd: C) -> Result<(), String> {
+    match opts.dim {
+        2 => cmd.run::<2>(opts),
+        3 => cmd.run::<3>(opts),
+        4 => cmd.run::<4>(opts),
+        d => Err(format!("unsupported --dim {d} (2, 3 or 4)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Opts::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.dim, 2);
+        assert_eq!(o.method, "disc");
+        assert_eq!(o.rho, 0.001);
+        assert!(!o.quiet);
+        assert!(o.input.is_none());
+    }
+
+    #[test]
+    fn full_cluster_flag_set_parses() {
+        let o = parse(&[
+            "--input", "in.csv", "--dim", "3", "--eps", "0.5", "--tau", "7",
+            "--window", "1000", "--stride", "50", "--method", "rho2",
+            "--rho", "0.1", "--out", "out.csv", "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(o.input.as_ref().unwrap().to_str(), Some("in.csv"));
+        assert_eq!(o.dim, 3);
+        assert_eq!(o.eps, Some(0.5));
+        assert_eq!(o.tau, Some(7));
+        assert_eq!(o.window, Some(1000));
+        assert_eq!(o.stride, Some(50));
+        assert_eq!(o.method, "rho2");
+        assert_eq!(o.rho, 0.1);
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--eps"]).is_err());
+        assert!(parse(&["--eps", "not_a_number"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let args: Vec<String> = vec!["frobnicate".into()];
+        assert!(run(&args).is_err());
+        let none: Vec<String> = vec![];
+        assert!(run(&none).is_err());
+    }
+
+    #[test]
+    fn cluster_requires_all_core_flags() {
+        // --input exists but eps/tau/window/stride missing → error.
+        let dir = std::env::temp_dir().join("disc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("pts.csv");
+        std::fs::write(&input, "0.0,0.0,\n1.0,0.0,\n").unwrap();
+        let args: Vec<String> = vec![
+            "cluster".into(),
+            "--input".into(),
+            input.to_str().unwrap().into(),
+        ];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--eps"), "got: {err}");
+    }
+
+    #[test]
+    fn generate_and_recluster_roundtrip() {
+        let dir = std::env::temp_dir().join("disc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("gen.csv");
+        let snap = dir.join("snap.csv");
+        let args: Vec<String> = [
+            "generate", "--dataset", "blobs", "--n", "600", "--out",
+            data.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let args: Vec<String> = [
+            "cluster", "--input", data.to_str().unwrap(), "--dim", "2",
+            "--eps", "1.0", "--tau", "4", "--window", "300", "--stride",
+            "100", "--quiet", "--out", snap.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&snap).unwrap();
+        assert!(text.starts_with("x0,x1,cluster"));
+        assert_eq!(text.lines().count(), 301, "header + window points");
+    }
+
+    #[test]
+    fn estimate_runs_on_generated_data() {
+        let dir = std::env::temp_dir().join("disc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("est.csv");
+        let args: Vec<String> = [
+            "generate", "--dataset", "maze", "--n", "800", "--out",
+            data.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let args: Vec<String> =
+            ["estimate", "--input", data.to_str().unwrap(), "--dim", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        run(&args).unwrap();
+    }
+}

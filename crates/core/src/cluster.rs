@@ -1,0 +1,314 @@
+//! The CLUSTER step (paper Alg. 2): cluster evolution from ex-cores and
+//! neo-cores, plus label maintenance (§V).
+
+use crate::collect::CollectOutcome;
+use crate::engine::Disc;
+use crate::label::ClusterId;
+use crate::stats::SlideStats;
+use disc_geom::{FxHashSet, PointId};
+
+impl<const D: usize> Disc<D> {
+    /// Runs CLUSTER for one slide.
+    pub(crate) fn cluster(&mut self, outcome: &CollectOutcome, stats: &mut SlideStats) {
+        self.ex_core_phase(&outcome.ex_cores, stats);
+
+        // Alg. 2 line 8: the departed ex-cores are no longer needed once
+        // every retro-reachable class has been examined.
+        for id in &outcome.ghosts {
+            let rec = self.points.remove(*id).expect("ghost record vanished");
+            let removed = self.tree.remove(*id, rec.point);
+            debug_assert!(removed, "ghost {id} missing from the index");
+        }
+
+        self.neo_core_phase(&outcome.neo_cores, stats);
+        self.adoption_pass(stats);
+    }
+
+    // ------------------------------------------------------------------
+    // Ex-cores: splits, shrinks, dissipations (Alg. 2 lines 1-8)
+    // ------------------------------------------------------------------
+
+    fn ex_core_phase(&mut self, ex_cores: &[PointId], stats: &mut SlideStats) {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+
+        let mut remaining: FxHashSet<PointId> = ex_cores.iter().copied().collect();
+        // Buffers reused across classes.
+        let mut r_minus: Vec<PointId> = Vec::new();
+        let mut m_minus: Vec<PointId> = Vec::new();
+        let mut m_seen: FxHashSet<PointId> = FxHashSet::default();
+        // Classes gathered in pass 1: `(previous cluster root, M⁻)`. The
+        // roots must be read *before* any relabelling, so the connectivity
+        // checks are deferred to pass 2.
+        let mut classes: Vec<(u32, Vec<PointId>)> = Vec::new();
+
+        while let Some(&seed) = remaining.iter().next() {
+            stats.ex_classes += 1;
+            r_minus.clear();
+            m_minus.clear();
+            m_seen.clear();
+
+            // Gather R⁻(seed) by BFS over directly retro-reachable ex-cores
+            // (one range search per member — Theorem 1 guarantees no other
+            // ex-core of the class will ever be searched again), collecting
+            // the minimal bonding cores M⁻ on the way.
+            r_minus.push(seed);
+            remaining.remove(&seed);
+            let mut i = 0;
+            while i < r_minus.len() {
+                let r = r_minus[i];
+                i += 1;
+                let center = self.points.at(r).point;
+
+                // The scan doubles as label maintenance for the ex-core
+                // itself: any current core in range can adopt it.
+                let mut my_adopter: Option<PointId> = None;
+
+                let points = &mut self.points;
+                let needs_adoption = &mut self.needs_adoption;
+                let mut discovered_ex: Vec<PointId> = Vec::new();
+                self.tree.for_each_in_ball(&center, eps, |qid, _| {
+                    if qid == r {
+                        return;
+                    }
+                    let Some(q) = points.get_mut(qid) else {
+                        return;
+                    };
+                    if q.is_ex_core(tau) {
+                        discovered_ex.push(qid);
+                    } else if q.core_in_both(tau) {
+                        if m_seen.insert(qid) {
+                            m_minus.push(qid);
+                        }
+                        my_adopter = my_adopter.or(Some(qid));
+                    } else if q.is_core(tau) {
+                        // A neo-core: not part of M⁻ (Def. 4 requires core
+                        // in both windows) but a legal adopter.
+                        my_adopter = my_adopter.or(Some(qid));
+                    } else if q.in_window && q.adopter == Some(r) {
+                        // A border that leaned on this ex-core.
+                        q.adopter = None;
+                        needs_adoption.insert(qid);
+                    }
+                });
+                for qid in discovered_ex {
+                    if remaining.remove(&qid) {
+                        r_minus.push(qid);
+                    }
+                }
+                if let Some(rec) = self.points.get_mut(r) {
+                    if rec.in_window {
+                        rec.adopter = my_adopter;
+                        if my_adopter.is_none() {
+                            // No core in range right now; a neo-core scan may
+                            // still adopt it, otherwise it is noise.
+                            self.needs_adoption.insert(r);
+                        }
+                    }
+                }
+            }
+
+            // M⁻ empty means the region dissipated — nothing to relabel.
+            // Otherwise record the class under its previous cluster's root
+            // (still untouched by any relabelling at this point).
+            if let Some(&first) = m_minus.first() {
+                let root = self.clusters.find(self.points.at(first).cid.0);
+                classes.push((root, m_minus.clone()));
+            }
+        }
+
+        // Pass 2: decide the evolution type per class (Alg. 2 lines 4-6).
+        // A single bonding core cannot witness a split on its own (every
+        // previous path through the class can be respliced through that one
+        // core); two or more get a density-connectedness check.
+        // Only splitting checks contribute survivor reps: a fragment that
+        // disconnected from its cluster necessarily flanks some break whose
+        // class's check saw ≥2 components, so every candidate holder of the
+        // old id is the survivor of a *splitting* check (or was enumerated
+        // and relabelled). Shrink-only classes never produce extra holders.
+        let mut outcomes: Vec<(u32, PointId)> = Vec::new();
+        for (root, m_minus) in &classes {
+            if m_minus.len() < 2 {
+                continue; // a single bonding core is respliceable: shrink
+            }
+            let conn = self.check_connectivity(m_minus);
+            if conn.ncc > 1 {
+                stats.splits += 1;
+                self.relabel_detached(&conn.detached, tau);
+                outcomes.push((*root, conn.survivor_rep));
+            }
+        }
+
+        // Cross-class split fixup. Per-class checks detect every split (if
+        // all classes of a cluster report their M⁻ connected, any broken
+        // previous path can be respliced segment-by-segment through the
+        // connected M⁻ of the segment's class — so the cluster cannot have
+        // split). But when a cluster IS cut by several classes at once, each
+        // check independently lets its own survivor keep the old id, which
+        // can leave two now-disconnected fragments carrying it. For every
+        // previous cluster touched by ≥2 classes of which ≥1 split, one
+        // more connectivity check over the survivors' representatives
+        // detaches all but one of them. Split slides are rare, so the
+        // common shrink-only path never pays for this.
+        outcomes.sort_unstable_by_key(|(root, _)| *root);
+        let mut i = 0;
+        while i < outcomes.len() {
+            let root = outcomes[i].0;
+            let mut j = i;
+            while j < outcomes.len() && outcomes[j].0 == root {
+                j += 1;
+            }
+            if j - i >= 2 {
+                let mut reps: Vec<PointId> =
+                    outcomes[i..j].iter().map(|(_, rep)| *rep).collect();
+                reps.sort_unstable();
+                reps.dedup();
+                // A rep whose component was since relabelled by another
+                // class's check no longer holds the old id — only actual
+                // holders need disambiguation.
+                reps.retain(|rep| {
+                    let cid = self.points.at(*rep).cid.0;
+                    self.clusters.find(cid) == root
+                });
+                if reps.len() >= 2 {
+                    let conn = self.check_connectivity(&reps);
+                    if conn.ncc > 1 {
+                        self.relabel_detached(&conn.detached, tau);
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Assigns one fresh cluster id per detached component.
+    fn relabel_detached(&mut self, detached: &[Vec<PointId>], tau: usize) {
+        for comp in detached {
+            let fresh = ClusterId(self.clusters.alloc());
+            for id in comp {
+                if let Some(rec) = self.points.get_mut(*id) {
+                    debug_assert!(rec.is_core(tau));
+                    rec.cid = fresh;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Neo-cores: merges, expansions, emergences (Alg. 2 lines 9-13)
+    // ------------------------------------------------------------------
+
+    fn neo_core_phase(&mut self, neo_cores: &[PointId], stats: &mut SlideStats) {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+
+        let mut remaining: FxHashSet<PointId> = neo_cores.iter().copied().collect();
+        let mut r_plus: Vec<PointId> = Vec::new();
+        let mut m_cids: Vec<u32> = Vec::new();
+
+        while let Some(&seed) = remaining.iter().next() {
+            stats.neo_classes += 1;
+            r_plus.clear();
+            m_cids.clear();
+
+            // Gather R⁺(seed) over directly nascent-reachable neo-cores;
+            // M⁺ members only contribute their cluster ids — unlike M⁻,
+            // no connectivity check is ever needed (§III-C).
+            r_plus.push(seed);
+            remaining.remove(&seed);
+            let mut i = 0;
+            while i < r_plus.len() {
+                let r = r_plus[i];
+                i += 1;
+                let center = self.points.at(r).point;
+
+                let points = &mut self.points;
+                let mut discovered_neo: Vec<PointId> = Vec::new();
+                let m_cids_ref = &mut m_cids;
+                self.tree.for_each_in_ball(&center, eps, |qid, _| {
+                    if qid == r {
+                        return;
+                    }
+                    let Some(q) = points.get_mut(qid) else {
+                        return;
+                    };
+                    if q.is_neo_core(tau) {
+                        discovered_neo.push(qid);
+                    } else if q.core_in_both(tau) {
+                        m_cids_ref.push(q.cid.0);
+                    } else if q.in_window && !q.is_core(tau) && q.adopter.is_none() {
+                        // Label maintenance: the neo-core adopts nearby
+                        // orphaned non-cores on the spot (§V).
+                        q.adopter = Some(r);
+                    }
+                });
+                for qid in discovered_neo {
+                    if remaining.remove(&qid) {
+                        r_plus.push(qid);
+                    }
+                }
+            }
+
+            // Resolve the class's cluster id.
+            let assigned = if m_cids.is_empty() {
+                // Emergence: a brand-new cluster of neo-cores only.
+                stats.emerged += 1;
+                ClusterId(self.clusters.alloc())
+            } else {
+                let mut root = self.clusters.find(m_cids[0]);
+                let mut distinct = 1;
+                for &c in &m_cids[1..] {
+                    let rc = self.clusters.find(c);
+                    if rc != root {
+                        distinct += 1;
+                        root = self.clusters.union(root, rc);
+                    }
+                }
+                if distinct > 1 {
+                    stats.merges += 1;
+                }
+                ClusterId(root)
+            };
+            for id in &r_plus {
+                let rec = self.points.get_mut(*id).expect("neo-core vanished");
+                debug_assert!(rec.is_core(tau));
+                rec.cid = assigned;
+                // A neo-core sheds any border bookkeeping it carried.
+                rec.adopter = None;
+                self.needs_adoption.remove(id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Final adoption pass (§V, "updated later by examining neighbours")
+    // ------------------------------------------------------------------
+
+    fn adoption_pass(&mut self, stats: &mut SlideStats) {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+        let pending: Vec<PointId> = self.needs_adoption.drain().collect();
+        for id in pending {
+            let Some(rec) = self.points.get(id) else {
+                continue; // departed this slide
+            };
+            if rec.is_core(tau) || rec.adopter.is_some() || !rec.in_window {
+                continue; // resolved some other way meanwhile
+            }
+            let center = rec.point;
+            stats.adoption_searches += 1;
+            let points = &self.points;
+            let mut adopter = None;
+            self.tree.for_each_in_ball(&center, eps, |qid, _| {
+                if adopter.is_none() && qid != id {
+                    if let Some(q) = points.get(qid) {
+                        if q.is_core(tau) {
+                            adopter = Some(qid);
+                        }
+                    }
+                }
+            });
+            self.points.get_mut(id).expect("record vanished").adopter = adopter;
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The COLLECT step (paper Alg. 1).
+//!
+//! Maintains `n_ε` for every affected point, keeps the R-tree in sync with
+//! the window, and identifies the ex-cores and neo-cores that drive the
+//! CLUSTER step. Ex-cores that *left* the window (`C_out`) keep their R-tree
+//! entry and record until the ex-core phase of CLUSTER is done, because
+//! retro-reachability is defined over the previous window.
+
+use crate::engine::Disc;
+use crate::record::PointRecord;
+use disc_geom::PointId;
+use disc_window::SlideBatch;
+
+/// What COLLECT hands to CLUSTER.
+#[derive(Debug, Default)]
+pub struct CollectOutcome {
+    /// All ex-cores (Def. 1), both departed (`C_out`) and in-window.
+    pub ex_cores: Vec<PointId>,
+    /// All neo-cores (Def. 2).
+    pub neo_cores: Vec<PointId>,
+    /// The departed ex-cores — still in the R-tree, to be removed after the
+    /// ex-core phase (Alg. 2 line 8).
+    pub ghosts: Vec<PointId>,
+}
+
+impl<const D: usize> Disc<D> {
+    /// Runs COLLECT for one slide batch.
+    pub(crate) fn collect(&mut self, batch: &SlideBatch<D>) -> CollectOutcome {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+        let mut out = CollectOutcome::default();
+
+        // --- Deletions (Alg. 1 lines 2-7) --------------------------------
+        for (id, _) in &batch.outgoing {
+            let rec = *self
+                .points
+                .get(*id)
+                .unwrap_or_else(|| panic!("outgoing point {id} is not in the window"));
+            debug_assert!(rec.in_window, "outgoing point {id} already retired");
+
+            // Decrement the neighbourhood and invalidate adopters that
+            // pointed at the departing point.
+            let points = &mut self.points;
+            let touched = &mut self.touched;
+            let needs_adoption = &mut self.needs_adoption;
+            let me = *id;
+            self.tree.for_each_in_ball(&rec.point, eps, |qid, _| {
+                if qid == me {
+                    return;
+                }
+                if let Some(q) = points.get_mut(qid) {
+                    if q.in_window {
+                        q.n_eps -= 1;
+                        touched.insert(qid);
+                        if q.adopter == Some(me) {
+                            q.adopter = None;
+                            needs_adoption.insert(qid);
+                        }
+                    }
+                }
+            });
+
+            if rec.prev_core {
+                // Departed ex-core: keep the ghost (C_out).
+                let ghost = self.points.get_mut(*id).expect("record vanished");
+                ghost.in_window = false;
+                ghost.n_eps = 0;
+                out.ghosts.push(*id);
+            } else {
+                // Border/noise departures leave immediately.
+                self.tree.remove(*id, rec.point);
+                self.points.remove(*id);
+            }
+            self.touched.remove(id);
+        }
+
+        // --- Insertions (Alg. 1 lines 8-12) ------------------------------
+        for (id, point) in &batch.incoming {
+            debug_assert!(
+                !self.points.contains(*id),
+                "incoming point {id} already in the window"
+            );
+            assert!(
+                point.is_finite(),
+                "incoming point {id} has non-finite coordinates"
+            );
+            self.tree.insert(*id, *point);
+            let mut fresh = PointRecord::new(*point);
+
+            // Scan the neighbourhood: earlier insertions of this batch are
+            // already indexed, so every Δin-internal pair is counted exactly
+            // once (by the later of the two).
+            let points = &mut self.points;
+            let touched = &mut self.touched;
+            let me = *id;
+            let mut gained = 0u32;
+            let mut adopter = None;
+            self.tree.for_each_in_ball(point, eps, |qid, _| {
+                if qid == me {
+                    return;
+                }
+                if let Some(q) = points.get_mut(qid) {
+                    if q.in_window {
+                        q.n_eps += 1;
+                        gained += 1;
+                        touched.insert(qid);
+                        // Opportunistic adoption: a neighbour that already
+                        // meets τ now can only stay a core for the rest of
+                        // the insertion phase (counts only grow), so it is a
+                        // valid adopter for the final window.
+                        if adopter.is_none() && q.n_eps as usize >= tau {
+                            adopter = Some(qid);
+                        }
+                    }
+                }
+            });
+            fresh.n_eps += gained;
+            fresh.adopter = adopter;
+            self.points.insert(*id, fresh);
+            self.touched.insert(*id);
+        }
+
+        // --- Classification (Alg. 1 line 13) -----------------------------
+        // Departed ex-cores first (they are no longer in `touched`).
+        out.ex_cores.extend(out.ghosts.iter().copied());
+        for id in &self.touched {
+            let rec = self.points.at(*id);
+            if rec.is_ex_core(tau) {
+                out.ex_cores.push(*id);
+            } else if rec.is_neo_core(tau) {
+                out.neo_cores.push(*id);
+            } else if !rec.is_core(tau) && rec.adopter.is_none() {
+                // Fresh non-core without an opportunistic adopter, or a
+                // point that dropped out of core range: let the adoption
+                // pass decide between border and noise.
+                self.needs_adoption.insert(*id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::DiscConfig;
+    use crate::engine::Disc;
+    use disc_geom::{Point, PointId};
+    use disc_window::SlideBatch;
+
+    fn batch(incoming: &[(u64, f64)], outgoing: &[(u64, f64)]) -> SlideBatch<2> {
+        SlideBatch {
+            incoming: incoming
+                .iter()
+                .map(|&(i, x)| (PointId(i), Point::new([x, 0.0])))
+                .collect(),
+            outgoing: outgoing
+                .iter()
+                .map(|&(i, x)| (PointId(i), Point::new([x, 0.0])))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn collect_counts_are_self_inclusive() {
+        // Three mutually-in-range points: every n_ε is 3 (self + 2).
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        let b = batch(&[(0, 0.0), (1, 0.5), (2, 1.0)], &[]);
+        let outcome = disc.collect(&b);
+        // ε is inclusive: |0.0 − 1.0| = ε, so all three are mutual
+        // neighbours and every count is 3.
+        for i in 0..3u64 {
+            assert_eq!(disc.points.at(PointId(i)).n_eps, 3, "point {i}");
+        }
+        // All reach τ=2 and none were cores before: all neo-cores.
+        assert_eq!(outcome.neo_cores.len(), 3);
+        assert!(outcome.ex_cores.is_empty());
+        assert!(outcome.ghosts.is_empty());
+    }
+
+    #[test]
+    fn departing_core_becomes_a_ghost_until_cluster_runs() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, 0.0), (1, 0.5), (2, 1.0)], &[]));
+        // Run COLLECT alone for the departure of core 1.
+        let b = batch(&[], &[(1, 0.5)]);
+        let outcome = disc.collect(&b);
+        assert_eq!(outcome.ghosts, vec![PointId(1)]);
+        assert!(outcome.ex_cores.contains(&PointId(1)));
+        // The ghost is still present with in_window = false; neighbours
+        // were decremented.
+        let ghost = disc.points.at(PointId(1));
+        assert!(!ghost.in_window);
+        // 0 and 2 are still neighbours of each other (dist = ε, inclusive).
+        assert_eq!(disc.points.at(PointId(0)).n_eps, 2);
+        assert_eq!(disc.points.at(PointId(2)).n_eps, 2);
+    }
+
+    #[test]
+    fn departing_border_leaves_immediately() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        // 0,1,2 tight; 9 hangs off as a border of core 2.
+        disc.apply(&batch(&[(0, 0.0), (1, 0.5), (2, 1.0), (9, 1.9)], &[]));
+        let b = batch(&[], &[(9, 1.9)]);
+        let outcome = disc.collect(&b);
+        assert!(outcome.ghosts.is_empty(), "borders never become ghosts");
+        assert!(disc.points.get(PointId(9)).is_none());
+    }
+
+    #[test]
+    fn demoted_point_is_an_ex_core_without_leaving() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        disc.apply(&batch(&[(0, 0.0), (1, 0.5), (2, 1.0)], &[]));
+        assert!(disc.is_core(PointId(1)));
+        // Remove 0: point 1 drops to n=2 < 3 → in-window ex-core.
+        let outcome = disc.collect(&batch(&[], &[(0, 0.0)]));
+        assert!(outcome.ex_cores.contains(&PointId(1)));
+        assert!(disc.points.at(PointId(1)).in_window);
+    }
+
+    #[test]
+    fn opportunistic_adopters_are_set_at_insert_time() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        disc.apply(&batch(&[(0, 0.0), (1, 0.5), (2, 1.0)], &[]));
+        // Newcomer lands within ε of established core 2 but stays non-core.
+        let outcome = disc.collect(&batch(&[(9, 1.9)], &[]));
+        let rec = disc.points.at(PointId(9));
+        assert!(rec.adopter.is_some(), "must adopt an existing core");
+        assert!(!outcome.neo_cores.contains(&PointId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_coordinates_are_rejected() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&SlideBatch {
+            incoming: vec![(PointId(0), Point::new([f64::NAN, 0.0]))],
+            outgoing: vec![],
+        });
+    }
+
+    #[test]
+    fn intra_batch_pairs_are_counted_once() {
+        // Two Δin points within ε of each other: each ends with n_ε = 2.
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.collect(&batch(&[(0, 0.0), (1, 0.5)], &[]));
+        assert_eq!(disc.points.at(PointId(0)).n_eps, 2);
+        assert_eq!(disc.points.at(PointId(1)).n_eps, 2);
+    }
+}

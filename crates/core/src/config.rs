@@ -1,0 +1,77 @@
+//! DISC configuration.
+
+/// Parameters of a [`Disc`] instance.
+///
+/// `eps` and `tau` are DBSCAN's ε (distance threshold) and *MinPts* (called
+/// τ in the paper; **self-inclusive**, following Alg. 1 which initialises a
+/// fresh point's count to 1). The two boolean toggles disable the paper's
+/// §IV optimisations individually, which is how the Fig. 8 ablation is run;
+/// both default to enabled.
+///
+/// [`Disc`]: crate::Disc
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiscConfig {
+    /// Distance threshold ε (inclusive).
+    pub eps: f64,
+    /// Density threshold τ / MinPts, counting the point itself.
+    pub tau: usize,
+    /// Use Multi-Starter BFS for connectivity checks (§IV-A). When false,
+    /// falls back to sequential single-source BFS per component.
+    pub enable_msbfs: bool,
+    /// Use epoch-based R-tree probing (§IV-B). When false, visited marks
+    /// live in a side hash map and range searches cannot prune subtrees.
+    pub enable_epoch_probe: bool,
+}
+
+impl DiscConfig {
+    /// A configuration with both optimisations enabled.
+    pub fn new(eps: f64, tau: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+        assert!(tau >= 1, "tau must be at least 1");
+        DiscConfig {
+            eps,
+            tau,
+            enable_msbfs: true,
+            enable_epoch_probe: true,
+        }
+    }
+
+    /// Disables MS-BFS (ablation).
+    pub fn without_msbfs(mut self) -> Self {
+        self.enable_msbfs = false;
+        self
+    }
+
+    /// Disables epoch-based probing (ablation).
+    pub fn without_epoch_probe(mut self) -> Self {
+        self.enable_epoch_probe = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_toggles() {
+        let c = DiscConfig::new(0.5, 4);
+        assert!(c.enable_msbfs && c.enable_epoch_probe);
+        let c = c.without_msbfs();
+        assert!(!c.enable_msbfs && c.enable_epoch_probe);
+        let c = c.without_epoch_probe();
+        assert!(!c.enable_msbfs && !c.enable_epoch_probe);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_rejected() {
+        let _ = DiscConfig::new(0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be at least 1")]
+    fn zero_tau_rejected() {
+        let _ = DiscConfig::new(1.0, 0);
+    }
+}

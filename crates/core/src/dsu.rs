@@ -1,0 +1,143 @@
+//! A growable union-find (disjoint-set union).
+//!
+//! Used twice in DISC:
+//!
+//! * over **cluster ids** — a merger of clusters is recorded as a single
+//!   `union`, so no points need relabelling; a point's public cluster id is
+//!   `find(cid)` at read time;
+//! * over **MS-BFS thread slots** — when two concurrent searches meet they
+//!   merge, and the epoch probe resolves stored owners through this
+//!   structure.
+
+/// Union-find with path halving and union by size.
+#[derive(Clone, Debug, Default)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Dsu::default()
+    }
+
+    /// Number of allocated slots.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no slots were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Allocates a fresh singleton set and returns its id.
+    pub fn alloc(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    /// Representative of `x`'s set. Applies path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        debug_assert!((x as usize) < self.parent.len(), "unknown dsu slot {x}");
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Read-only find (no path compression) for use behind `&self`.
+    pub fn find_immutable(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns the surviving root.
+    /// Unions by size so chains stay flat.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut d = Dsu::new();
+        let a = d.alloc();
+        let b = d.alloc();
+        assert_ne!(a, b);
+        assert_eq!(d.find(a), a);
+        assert_eq!(d.find(b), b);
+        assert!(!d.same(a, b));
+    }
+
+    #[test]
+    fn union_is_transitive() {
+        let mut d = Dsu::new();
+        let ids: Vec<u32> = (0..6).map(|_| d.alloc()).collect();
+        d.union(ids[0], ids[1]);
+        d.union(ids[2], ids[3]);
+        assert!(!d.same(ids[0], ids[2]));
+        d.union(ids[1], ids[3]);
+        assert!(d.same(ids[0], ids[2]));
+        assert!(d.same(ids[0], ids[3]));
+        assert!(!d.same(ids[0], ids[4]));
+        // Survivor is a valid root for all four.
+        let r = d.find(ids[0]);
+        for &i in &ids[..4] {
+            assert_eq!(d.find(i), r);
+        }
+    }
+
+    #[test]
+    fn immutable_find_matches_mutable() {
+        let mut d = Dsu::new();
+        let ids: Vec<u32> = (0..10).map(|_| d.alloc()).collect();
+        for w in ids.windows(2) {
+            d.union(w[0], w[1]);
+        }
+        let root = d.find(ids[0]);
+        for &i in &ids {
+            assert_eq!(d.find_immutable(i), root);
+        }
+    }
+
+    #[test]
+    fn union_returns_surviving_root() {
+        let mut d = Dsu::new();
+        let a = d.alloc();
+        let b = d.alloc();
+        let c = d.alloc();
+        let r1 = d.union(a, b);
+        let r2 = d.union(r1, c);
+        assert_eq!(d.find(a), r2);
+        assert_eq!(d.find(c), r2);
+    }
+}

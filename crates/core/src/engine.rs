@@ -1,0 +1,323 @@
+//! The public `Disc` engine.
+
+use crate::config::DiscConfig;
+use crate::dsu::Dsu;
+use crate::label::{ClusterId, PointLabel};
+use crate::record::PointRecord;
+use crate::store::PointStore;
+use crate::stats::SlideStats;
+use disc_geom::{FxHashSet, Point, PointId};
+use disc_index::RTree;
+use disc_window::SlideBatch;
+
+/// An incremental DBSCAN-equivalent clusterer for sliding windows.
+///
+/// Feed it the [`SlideBatch`]es produced by
+/// [`disc_window::SlidingWindow`]; after every [`apply`] the engine holds
+/// the exact density-based clustering of the current window.
+///
+/// See the crate docs for an end-to-end example.
+///
+/// [`apply`]: Disc::apply
+pub struct Disc<const D: usize> {
+    pub(crate) cfg: DiscConfig,
+    /// Per-point state, keyed by arrival id. After each `apply` this holds
+    /// exactly the points of the current window.
+    pub(crate) points: PointStore<D>,
+    /// Spatial index over the window (plus `C_out` ghosts mid-slide).
+    pub(crate) tree: RTree<D>,
+    /// Union-find over cluster ids; the canonical id is the root.
+    pub(crate) clusters: Dsu,
+    /// Non-core points whose adopter was invalidated this slide; resolved
+    /// by the final adoption pass.
+    pub(crate) needs_adoption: FxHashSet<PointId>,
+    /// Points whose `n_ε` changed this slide (candidate ex-/neo-cores).
+    pub(crate) touched: FxHashSet<PointId>,
+    last_stats: SlideStats,
+}
+
+impl<const D: usize> Disc<D> {
+    /// Creates an engine with an empty window.
+    pub fn new(cfg: DiscConfig) -> Self {
+        Disc {
+            cfg,
+            points: PointStore::new(),
+            tree: RTree::new(),
+            clusters: Dsu::new(),
+            needs_adoption: FxHashSet::default(),
+            touched: FxHashSet::default(),
+            last_stats: SlideStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DiscConfig {
+        &self.cfg
+    }
+
+    /// Number of points in the current window.
+    pub fn window_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Statistics of the most recent [`apply`](Disc::apply).
+    pub fn last_stats(&self) -> &SlideStats {
+        &self.last_stats
+    }
+
+    /// Cumulative index statistics (range searches etc.).
+    pub fn index_stats(&self) -> &disc_index::Stats {
+        self.tree.stats()
+    }
+
+    /// Advances the window by one slide: retires `batch.outgoing`, admits
+    /// `batch.incoming`, and updates the clustering so it matches a
+    /// from-scratch DBSCAN of the new window.
+    ///
+    /// Panics if an outgoing id is not in the window or an incoming id is
+    /// already present — both indicate a driver bug.
+    pub fn apply(&mut self, batch: &SlideBatch<D>) -> SlideStats {
+        let start = std::time::Instant::now();
+        let index_before = *self.tree.stats();
+        let mut stats = SlideStats {
+            inserted: batch.incoming.len(),
+            removed: batch.outgoing.len(),
+            ..SlideStats::default()
+        };
+
+        self.touched.clear();
+        self.needs_adoption.clear();
+
+        let outcome = self.collect(batch);
+        stats.ex_cores = outcome.ex_cores.len();
+        stats.neo_cores = outcome.neo_cores.len();
+
+        self.cluster(&outcome, &mut stats);
+
+        // Freeze core status for the next slide and drop any remaining
+        // bookkeeping. Ghost records were dropped by the cluster step.
+        let tau = self.cfg.tau;
+        for id in self.touched.drain() {
+            if let Some(rec) = self.points.get_mut(id) {
+                rec.prev_core = rec.in_window && rec.n_eps as usize >= tau;
+            }
+        }
+
+        stats.index = self.tree.stats().since(&index_before);
+        stats.elapsed = start.elapsed();
+        self.last_stats = stats;
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// Whether `id` is currently a core point.
+    pub fn is_core(&self, id: PointId) -> bool {
+        self.points
+            .get(id)
+            .map(|r| r.is_core(self.cfg.tau))
+            .unwrap_or(false)
+    }
+
+    /// The label of one window point (`None` if not in the window).
+    pub fn label_of(&self, id: PointId) -> Option<PointLabel> {
+        let rec = self.points.get(id)?;
+        Some(self.resolve_label(rec))
+    }
+
+    fn resolve_label(&self, rec: &PointRecord<D>) -> PointLabel {
+        if rec.is_core(self.cfg.tau) {
+            return PointLabel::Core(ClusterId(self.clusters.find_immutable(rec.cid.0)));
+        }
+        match rec.adopter {
+            Some(a) => match self.points.get(a) {
+                Some(core) => {
+                    debug_assert!(core.is_core(self.cfg.tau), "stale adopter {a}");
+                    PointLabel::Border(ClusterId(self.clusters.find_immutable(core.cid.0)))
+                }
+                None => PointLabel::Noise,
+            },
+            None => PointLabel::Noise,
+        }
+    }
+
+    /// Labels of every window point, in unspecified order.
+    pub fn labels(&self) -> Vec<(PointId, PointLabel)> {
+        self.points
+            .iter()
+            .map(|(id, rec)| (id, self.resolve_label(rec)))
+            .collect()
+    }
+
+    /// `(id, cluster)` assignments sorted by arrival id, with `-1` for
+    /// noise — the exchange format of the metrics crate and CSV dumps.
+    pub fn assignments(&self) -> Vec<(PointId, i64)> {
+        let mut out: Vec<(PointId, i64)> = self
+            .points
+            .iter()
+            .map(|(id, rec)| (id, self.resolve_label(rec).as_i64()))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// `(point, cluster)` rows for snapshot dumps (Fig. 12).
+    pub fn snapshot(&self) -> Vec<(Point<D>, i64)> {
+        let mut rows: Vec<(PointId, Point<D>, i64)> = self
+            .points
+            .iter()
+            .map(|(id, rec)| (id, rec.point, self.resolve_label(rec).as_i64()))
+            .collect();
+        rows.sort_unstable_by_key(|(id, _, _)| *id);
+        rows.into_iter().map(|(_, p, l)| (p, l)).collect()
+    }
+
+    /// Number of distinct clusters in the current window.
+    pub fn num_clusters(&self) -> usize {
+        let mut roots: FxHashSet<u32> = FxHashSet::default();
+        for (_, rec) in self.points.iter() {
+            if rec.is_core(self.cfg.tau) {
+                roots.insert(self.clusters.find_immutable(rec.cid.0));
+            }
+        }
+        roots.len()
+    }
+
+    /// Number of core / border / noise points (diagnostics).
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut core = 0;
+        let mut border = 0;
+        let mut noise = 0;
+        for (_, rec) in self.points.iter() {
+            match self.resolve_label(rec) {
+                PointLabel::Core(_) => core += 1,
+                PointLabel::Border(_) => border += 1,
+                PointLabel::Noise => noise += 1,
+            }
+        }
+        (core, border, noise)
+    }
+
+    /// Validates internal invariants exhaustively — O(n · range search).
+    /// Test-only helper.
+    pub fn check_invariants(&mut self) {
+        self.tree.check_invariants();
+        assert_eq!(self.tree.len(), self.points.len(), "tree/map desync");
+        let tau = self.cfg.tau;
+        let eps = self.cfg.eps;
+        let ids: Vec<(PointId, Point<D>)> = self
+            .points
+            .iter()
+            .map(|(id, r)| (id, r.point))
+            .collect();
+        for (id, pos) in ids {
+            let n = self.tree.ball_count(&pos, eps);
+            let rec = self.points.at(id);
+            assert!(rec.in_window, "ghost survived the slide: {id}");
+            assert_eq!(
+                rec.n_eps as usize, n,
+                "n_eps out of date for {id} at {pos:?}"
+            );
+            assert_eq!(rec.prev_core, rec.is_core(tau), "prev_core not frozen");
+            if !rec.is_core(tau) {
+                if let Some(a) = rec.adopter {
+                    let arec = self.points.get(a).expect("adopter left the window");
+                    assert!(arec.is_core(tau), "adopter of {id} is not a core");
+                    assert!(
+                        rec.point.within(&arec.point, eps),
+                        "adopter of {id} is out of range"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_geom::Point;
+
+    fn batch(incoming: &[(u64, [f64; 2])], outgoing: &[(u64, [f64; 2])]) -> SlideBatch<2> {
+        SlideBatch {
+            incoming: incoming
+                .iter()
+                .map(|&(i, c)| (PointId(i), Point::new(c)))
+                .collect(),
+            outgoing: outgoing
+                .iter()
+                .map(|&(i, c)| (PointId(i), Point::new(c)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_engine_reports_empty_everything() {
+        let disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        assert_eq!(disc.window_len(), 0);
+        assert_eq!(disc.num_clusters(), 0);
+        assert!(disc.labels().is_empty());
+        assert!(disc.assignments().is_empty());
+        assert!(disc.snapshot().is_empty());
+        assert_eq!(disc.label_of(PointId(0)), None);
+        assert!(!disc.is_core(PointId(0)));
+        assert_eq!(disc.census(), (0, 0, 0));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0]), (2, [1.0, 0.0])], &[]));
+        let before = disc.assignments();
+        let stats = disc.apply(&SlideBatch::default());
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(stats.removed, 0);
+        assert_eq!(disc.assignments(), before);
+        disc.check_invariants();
+    }
+
+    #[test]
+    fn assignments_sorted_and_snapshot_parallel() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(
+            &[(5, [0.0, 0.0]), (1, [0.5, 0.0]), (9, [100.0, 0.0])],
+            &[],
+        ));
+        let a = disc.assignments();
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+        let snap = disc.snapshot();
+        assert_eq!(snap.len(), 3);
+        // Snapshot rows follow the same id order: row 0 = id 1 at (0.5, 0).
+        assert_eq!(snap[0].0, Point::new([0.5, 0.0]));
+        assert_eq!(snap[0].1, a[0].1);
+    }
+
+    #[test]
+    fn last_stats_reflects_latest_apply() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        let s = disc.apply(&batch(&[(2, [1.0, 0.0])], &[(0, [0.0, 0.0])]));
+        assert_eq!(disc.last_stats(), &s);
+        assert_eq!(s.inserted, 1);
+        assert_eq!(s.removed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the window")]
+    fn removing_unknown_point_panics() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[], &[(7, [0.0, 0.0])]));
+    }
+
+    #[test]
+    fn cumulative_index_stats_grow() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0])], &[]));
+        let first = disc.index_stats().range_searches;
+        disc.apply(&batch(&[(1, [0.5, 0.0])], &[]));
+        assert!(disc.index_stats().range_searches > first);
+    }
+}

@@ -1,0 +1,75 @@
+//! Public label types.
+
+use std::fmt;
+
+/// A raw cluster identifier.
+///
+/// Raw ids are allocated when clusters emerge or split off and are unioned
+/// when clusters merge; the *canonical* id of a cluster is the union-find
+/// root, which is what every public API reports. Ids are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub u32);
+
+impl fmt::Debug for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The DBSCAN category and cluster membership of one window point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PointLabel {
+    /// A core point (`n_ε ≥ τ`) of the given cluster.
+    Core(ClusterId),
+    /// A non-core point within ε of at least one core of the cluster.
+    Border(ClusterId),
+    /// Neither core nor within ε of any core.
+    Noise,
+}
+
+impl PointLabel {
+    /// The cluster this point belongs to, if any.
+    pub fn cluster(&self) -> Option<ClusterId> {
+        match self {
+            PointLabel::Core(c) | PointLabel::Border(c) => Some(*c),
+            PointLabel::Noise => None,
+        }
+    }
+
+    /// Whether this is a core label.
+    pub fn is_core(&self) -> bool {
+        matches!(self, PointLabel::Core(_))
+    }
+
+    /// Cluster id as `i64`, with `-1` for noise — the snapshot/CSV format.
+    pub fn as_i64(&self) -> i64 {
+        match self.cluster() {
+            Some(c) => c.0 as i64,
+            None => -1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = ClusterId(3);
+        assert_eq!(PointLabel::Core(c).cluster(), Some(c));
+        assert_eq!(PointLabel::Border(c).cluster(), Some(c));
+        assert_eq!(PointLabel::Noise.cluster(), None);
+        assert!(PointLabel::Core(c).is_core());
+        assert!(!PointLabel::Border(c).is_core());
+        assert_eq!(PointLabel::Noise.as_i64(), -1);
+        assert_eq!(PointLabel::Border(c).as_i64(), 3);
+        assert_eq!(format!("{c}"), "c3");
+    }
+}

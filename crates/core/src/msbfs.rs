@@ -1,0 +1,429 @@
+//! Connectivity checking over the (non-materialised) core graph.
+//!
+//! Whether an ex-core splits its cluster reduces to: are the minimal
+//! bonding cores `M⁻` still density-connected in the current window? The
+//! vertices of the graph are the current core points, edges are ε-proximity,
+//! and edges are discovered by range searches — the paper deliberately does
+//! *not* materialise the graph (Ω(n²) maintenance).
+//!
+//! Four strategies are provided, selected by [`DiscConfig`]'s two toggles
+//! (the Fig. 8 ablation grid):
+//!
+//! * **MS-BFS** (§IV-A, Alg. 3): one BFS per starter, advanced round-robin;
+//!   searches that meet merge their queues (tracked in a thread union-find).
+//!   Terminates as soon as one search remains — a *shrink* is confirmed
+//!   after exploring only the region between the starters, not the whole
+//!   cluster.
+//! * **sequential BFS** (ablation): full single-source BFS per component.
+//! * each of the above with or without **epoch-based probing** of the
+//!   R-tree (visited marks in the index vs. a side hash set).
+//!
+//! [`DiscConfig`]: crate::DiscConfig
+
+use crate::dsu::Dsu;
+use crate::engine::Disc;
+use disc_geom::{FxHashMap, PointId};
+use disc_index::ProbeOutcome;
+use std::collections::VecDeque;
+
+/// Result of a connectivity check over a starter set.
+#[derive(Debug)]
+pub struct Connectivity {
+    /// Number of connected components among the starters.
+    pub ncc: usize,
+    /// Fully-enumerated components that must be relabelled with fresh
+    /// cluster ids. The surviving component (which keeps the old id) is
+    /// *not* listed — MS-BFS never fully explores it. Lists may contain a
+    /// few duplicate ids; relabelling is idempotent.
+    pub detached: Vec<Vec<PointId>>,
+    /// A representative core of the surviving component (used by the
+    /// cross-class split fixup, see `cluster.rs`).
+    pub survivor_rep: PointId,
+}
+
+impl<const D: usize> Disc<D> {
+    /// Checks how many connected components of the current core graph the
+    /// `starters` fall into, dispatching on the configured strategy.
+    ///
+    /// `starters` must be current core points, pairwise distinct.
+    pub(crate) fn check_connectivity(&mut self, starters: &[PointId]) -> Connectivity {
+        debug_assert!(!starters.is_empty());
+        if starters.len() == 1 {
+            return Connectivity {
+                ncc: 1,
+                detached: Vec::new(),
+                survivor_rep: starters[0],
+            };
+        }
+        match (self.cfg.enable_msbfs, self.cfg.enable_epoch_probe) {
+            (true, true) => self.msbfs(starters, true),
+            (true, false) => self.msbfs(starters, false),
+            (false, true) => self.sequential_bfs(starters, true),
+            (false, false) => self.sequential_bfs(starters, false),
+        }
+    }
+
+    /// Multi-starter BFS (Alg. 3). `use_epoch` selects the probing flavour.
+    fn msbfs(&mut self, starters: &[PointId], use_epoch: bool) -> Connectivity {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+        let k = starters.len();
+
+        let mut threads = Dsu::new();
+        let mut queues: Vec<VecDeque<PointId>> = Vec::with_capacity(k);
+        let mut visited: Vec<Vec<PointId>> = Vec::with_capacity(k);
+        // Side ownership map for the non-epoch flavour.
+        let mut owner_of: FxHashMap<PointId, u32> = FxHashMap::default();
+
+        let probe = if use_epoch {
+            Some(self.tree.begin_epoch())
+        } else {
+            None
+        };
+        for (slot, &s) in starters.iter().enumerate() {
+            let t = threads.alloc();
+            debug_assert_eq!(t as usize, slot);
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            queues.push(q);
+            visited.push(vec![s]);
+            // Starters count as visited from the outset (Alg. 3 line 4):
+            // the first probe that reaches a foreign starter merges the two
+            // searches without that starter ever probing on its own.
+            match probe {
+                Some(probe) => {
+                    let marked =
+                        self.tree
+                            .mark_visited(probe, &self.points.at(s).point, s, t);
+                    debug_assert!(marked, "starter {s} missing from the index");
+                }
+                None => {
+                    owner_of.insert(s, t);
+                }
+            }
+        }
+        let mut out = ProbeOutcome::default();
+        let mut plain_hits: Vec<PointId> = Vec::new();
+
+        let mut active: Vec<u32> = (0..k as u32).collect();
+        let mut detached: Vec<Vec<PointId>> = Vec::new();
+
+        while active.len() > 1 {
+            let mut made_progress = false;
+            let mut slot_idx = 0;
+            while slot_idx < active.len() {
+                if active.len() <= 1 {
+                    break;
+                }
+                let t = active[slot_idx];
+                // The slot may have been merged into another active root
+                // during this round.
+                if threads.find(t) != t {
+                    active.swap_remove(slot_idx);
+                    continue;
+                }
+                let Some(r) = queues[t as usize].pop_front() else {
+                    // Exhausted: this thread fully enumerated a component
+                    // that detaches from the cluster (Alg. 3 line 6).
+                    detached.push(std::mem::take(&mut visited[t as usize]));
+                    active.swap_remove(slot_idx);
+                    continue;
+                };
+                made_progress = true;
+
+                let center = self.points.at(r).point;
+                let mut merge_with: Vec<u32> = Vec::new();
+
+                if let Some(probe) = probe {
+                    out.clear();
+                    let points = &self.points;
+                    let threads_ref = &mut threads;
+                    let mut is_vertex = |id: PointId| {
+                        points.get(id).map(|p| p.is_core(tau)).unwrap_or(false)
+                    };
+                    let mut resolve = |o: u32| threads_ref.find(o);
+                    self.tree.epoch_probe(
+                        probe,
+                        &center,
+                        eps,
+                        t,
+                        &mut resolve,
+                        &mut is_vertex,
+                        &mut out,
+                    );
+                    for &(id, _) in &out.fresh {
+                        visited[t as usize].push(id);
+                        queues[t as usize].push_back(id);
+                    }
+                    for &(_, other) in &out.foreign {
+                        merge_with.push(other);
+                    }
+                } else {
+                    plain_hits.clear();
+                    let points = &self.points;
+                    self.tree.for_each_in_ball(&center, eps, |id, _| {
+                        if points.get(id).map(|p| p.is_core(tau)).unwrap_or(false) {
+                            plain_hits.push(id);
+                        }
+                    });
+                    for &id in &plain_hits {
+                        match owner_of.get(&id) {
+                            None => {
+                                owner_of.insert(id, t);
+                                visited[t as usize].push(id);
+                                queues[t as usize].push_back(id);
+                            }
+                            Some(&o) => {
+                                if threads.find(o) != threads.find(t) {
+                                    merge_with.push(o);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Merge the threads that met (Alg. 3 lines 10-11).
+                for other in merge_with {
+                    let ra = threads.find(t);
+                    let rb = threads.find(other);
+                    if ra == rb {
+                        continue;
+                    }
+                    let winner = threads.union(ra, rb);
+                    let loser = if winner == ra { rb } else { ra };
+                    let q = std::mem::take(&mut queues[loser as usize]);
+                    queues[winner as usize].extend(q);
+                    let v = std::mem::take(&mut visited[loser as usize]);
+                    visited[winner as usize].extend(v);
+                }
+                // `t` may have lost its root status in the merge.
+                if threads.find(t) != t {
+                    active.swap_remove(slot_idx);
+                } else {
+                    slot_idx += 1;
+                }
+            }
+            debug_assert!(
+                made_progress || active.len() <= 1,
+                "MS-BFS made no progress with multiple active threads"
+            );
+        }
+
+        // Exactly one thread survives the loop; any of its starters
+        // represents the surviving component.
+        let root = threads.find(active[0]);
+        let survivor_rep = visited[root as usize][0];
+        Connectivity {
+            ncc: detached.len() + 1,
+            detached,
+            survivor_rep,
+        }
+    }
+
+    /// Ablation baseline: full single-source BFS per component, no early
+    /// termination. The first component found keeps the old cluster id.
+    fn sequential_bfs(&mut self, starters: &[PointId], use_epoch: bool) -> Connectivity {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+
+        let probe = if use_epoch {
+            Some(self.tree.begin_epoch())
+        } else {
+            None
+        };
+        let mut seen: FxHashMap<PointId, ()> = FxHashMap::default();
+        let mut components: Vec<Vec<PointId>> = Vec::new();
+        let mut out = ProbeOutcome::default();
+        let mut plain_hits: Vec<PointId> = Vec::new();
+        let mut threads = Dsu::new(); // one slot per component for the probe
+
+        for &s in starters {
+            if seen.contains_key(&s) {
+                continue;
+            }
+            let slot = threads.alloc();
+            let mut comp = vec![s];
+            seen.insert(s, ());
+            let mut queue: VecDeque<PointId> = VecDeque::new();
+            queue.push_back(s);
+            while let Some(r) = queue.pop_front() {
+                let center = self.points.at(r).point;
+                if let Some(probe) = probe {
+                    out.clear();
+                    let points = &self.points;
+                    let mut is_vertex = |id: PointId| {
+                        points.get(id).map(|p| p.is_core(tau)).unwrap_or(false)
+                    };
+                    let mut resolve = |o: u32| o;
+                    self.tree.epoch_probe(
+                        probe,
+                        &center,
+                        eps,
+                        slot,
+                        &mut resolve,
+                        &mut is_vertex,
+                        &mut out,
+                    );
+                    debug_assert!(
+                        out.foreign.is_empty(),
+                        "maximal components cannot touch each other"
+                    );
+                    for &(id, _) in &out.fresh {
+                        seen.insert(id, ());
+                        comp.push(id);
+                        queue.push_back(id);
+                    }
+                } else {
+                    plain_hits.clear();
+                    let points = &self.points;
+                    self.tree.for_each_in_ball(&center, eps, |id, _| {
+                        if points.get(id).map(|p| p.is_core(tau)).unwrap_or(false) {
+                            plain_hits.push(id);
+                        }
+                    });
+                    for &id in &plain_hits {
+                        if seen.insert(id, ()).is_none() {
+                            comp.push(id);
+                            queue.push_back(id);
+                        }
+                    }
+                }
+            }
+            components.push(comp);
+        }
+
+        let ncc = components.len();
+        let survivor_rep = components[0][0];
+        // Keep the old id for the first component; relabel the rest.
+        let detached = components.split_off(1);
+        Connectivity {
+            ncc,
+            detached,
+            survivor_rep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::DiscConfig;
+    use crate::engine::Disc;
+    use disc_geom::{Point, PointId};
+    use disc_window::SlideBatch;
+
+    /// Builds an engine over a fixed point set (eps 1.2, tau 3: interior
+    /// line points are cores).
+    fn engine(cfg: DiscConfig, pts: &[(u64, f64, f64)]) -> Disc<2> {
+        let mut disc = Disc::new(cfg);
+        disc.apply(&SlideBatch {
+            incoming: pts
+                .iter()
+                .map(|&(i, x, y)| (PointId(i), Point::new([x, y])))
+                .collect(),
+            outgoing: vec![],
+        });
+        disc
+    }
+
+    fn configs() -> [DiscConfig; 4] {
+        let c = DiscConfig::new(1.2, 3);
+        [
+            c,
+            c.without_msbfs(),
+            c.without_epoch_probe(),
+            c.without_msbfs().without_epoch_probe(),
+        ]
+    }
+
+    /// Two line clusters; starters drawn from both must yield ncc = 2 under
+    /// every strategy, with consistent detached/survivor bookkeeping.
+    #[test]
+    fn all_variants_count_two_components() {
+        for cfg in configs() {
+            let pts: Vec<(u64, f64, f64)> = (0..5)
+                .map(|i| (i, i as f64, 0.0))
+                .chain((0..5).map(|i| (10 + i, 20.0 + i as f64, 0.0)))
+                .collect();
+            let mut disc = engine(cfg, &pts);
+            // Cores: interior points of each line (ids 1..4 and 11..14).
+            let starters = vec![PointId(2), PointId(12)];
+            let conn = disc.check_connectivity(&starters);
+            assert_eq!(conn.ncc, 2, "config {cfg:?}");
+            assert_eq!(conn.detached.len(), 1);
+            // The detached side plus the survivor cover both starters.
+            let detached_has_2 = conn.detached[0].contains(&PointId(2));
+            let detached_has_12 = conn.detached[0].contains(&PointId(12));
+            assert!(detached_has_2 ^ detached_has_12);
+            assert!(
+                !conn.detached[0].contains(&conn.survivor_rep),
+                "survivor must not be in the detached component"
+            );
+        }
+    }
+
+    /// Starters of one component must always merge to ncc = 1 without
+    /// enumerating anything.
+    #[test]
+    fn all_variants_agree_on_connected_starters() {
+        for cfg in configs() {
+            let pts: Vec<(u64, f64, f64)> = (0..9).map(|i| (i, i as f64, 0.0)).collect();
+            let mut disc = engine(cfg, &pts);
+            let starters = vec![PointId(1), PointId(4), PointId(7)];
+            let conn = disc.check_connectivity(&starters);
+            assert_eq!(conn.ncc, 1, "config {cfg:?}");
+            assert!(conn.detached.is_empty());
+            assert!(starters.contains(&conn.survivor_rep));
+        }
+    }
+
+    /// Three separate components: ncc = 3 and exactly two enumerated.
+    #[test]
+    fn all_variants_count_three_components() {
+        for cfg in configs() {
+            let pts: Vec<(u64, f64, f64)> = (0..4)
+                .map(|i| (i, i as f64, 0.0))
+                .chain((0..4).map(|i| (10 + i, 50.0 + i as f64, 0.0)))
+                .chain((0..4).map(|i| (20 + i, 100.0 + i as f64, 0.0)))
+                .collect();
+            let mut disc = engine(cfg, &pts);
+            let starters = vec![PointId(1), PointId(11), PointId(21)];
+            let conn = disc.check_connectivity(&starters);
+            assert_eq!(conn.ncc, 3, "config {cfg:?}");
+            assert_eq!(conn.detached.len(), 2);
+        }
+    }
+
+    /// A single starter short-circuits with no searches at all.
+    #[test]
+    fn single_starter_short_circuits() {
+        let pts: Vec<(u64, f64, f64)> = (0..4).map(|i| (i, i as f64, 0.0)).collect();
+        let mut disc = engine(DiscConfig::new(1.2, 3), &pts);
+        let before = disc.index_stats().range_searches;
+        let conn = disc.check_connectivity(&[PointId(1)]);
+        assert_eq!(conn.ncc, 1);
+        assert_eq!(conn.survivor_rep, PointId(1));
+        assert_eq!(disc.index_stats().range_searches, before);
+    }
+
+    /// MS-BFS with epoch probing must issue far fewer searches than the
+    /// exhaustive sequential variant when starters share a component
+    /// through a large cluster.
+    #[test]
+    fn msbfs_terminates_early_on_shrink() {
+        let line: Vec<(u64, f64, f64)> = (0..120).map(|i| (i, i as f64 * 0.5, 0.0)).collect();
+        let mut fast = engine(DiscConfig::new(1.2, 3), &line);
+        let mut slow = engine(DiscConfig::new(1.2, 3).without_msbfs(), &line);
+        // Adjacent starters near one end of a long line.
+        let starters = vec![PointId(10), PointId(12)];
+        let f0 = fast.index_stats().range_searches;
+        fast.check_connectivity(&starters);
+        let fast_probes = fast.index_stats().range_searches - f0;
+        let s0 = slow.index_stats().range_searches;
+        slow.check_connectivity(&starters);
+        let slow_probes = slow.index_stats().range_searches - s0;
+        assert!(
+            fast_probes * 5 < slow_probes,
+            "early exit: {fast_probes} vs full traversal {slow_probes}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Per-slide statistics.
+
+use disc_index::Stats as IndexStats;
+
+/// What happened during one [`Disc::apply`] call.
+///
+/// The cluster-evolution counters follow the taxonomy of §III-C: splits and
+/// shrinks/dissipations are driven by ex-cores; merges, expansions and
+/// emergences by neo-cores.
+///
+/// [`Disc::apply`]: crate::Disc::apply
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SlideStats {
+    /// Points that entered the window this slide.
+    pub inserted: usize,
+    /// Points that left the window this slide.
+    pub removed: usize,
+    /// Ex-cores identified (Def. 1).
+    pub ex_cores: usize,
+    /// Neo-cores identified (Def. 2).
+    pub neo_cores: usize,
+    /// Retro-reachable ex-core classes actually examined (≤ `ex_cores`;
+    /// the gap is the redundant work Theorem 1 eliminates).
+    pub ex_classes: usize,
+    /// Nascent-reachable neo-core classes examined.
+    pub neo_classes: usize,
+    /// Cluster splits observed.
+    pub splits: usize,
+    /// Cluster mergers observed.
+    pub merges: usize,
+    /// New clusters that emerged.
+    pub emerged: usize,
+    /// Border points that needed a fallback adoption search.
+    pub adoption_searches: usize,
+    /// Index counters accumulated during this slide.
+    pub index: IndexStats,
+    /// Wall-clock duration of the whole `apply` call.
+    pub elapsed: std::time::Duration,
+}
+
+impl SlideStats {
+    /// Range searches executed during the slide (the paper's Fig. 7 metric).
+    pub fn range_searches(&self) -> u64 {
+        self.index.range_searches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_searches_delegates_to_index_stats() {
+        let mut s = SlideStats::default();
+        s.index.range_searches = 42;
+        assert_eq!(s.range_searches(), 42);
+    }
+}

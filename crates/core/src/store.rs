@@ -1,0 +1,231 @@
+//! A ring-buffer point store.
+//!
+//! Under the count-based sliding window, live point ids always fall in a
+//! span of at most `window + stride` consecutive arrival indices (window
+//! contents plus the in-flight slide's ghosts). That makes a hash map
+//! needlessly slow for the per-neighbour lookups on DISC's hot paths: this
+//! store maps `id → slot = id mod capacity`, giving O(1) array access with
+//! no hashing. Capacity doubles transparently if a slide ever widens the
+//! live span (e.g. a first window smaller than later strides).
+
+use crate::record::PointRecord;
+use disc_geom::PointId;
+
+/// Dense id-indexed storage for the window's [`PointRecord`]s.
+#[derive(Clone, Debug)]
+pub struct PointStore<const D: usize> {
+    slots: Vec<Option<(PointId, PointRecord<D>)>>,
+    len: usize,
+}
+
+impl<const D: usize> Default for PointStore<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> PointStore<D> {
+    /// An empty store.
+    pub fn new() -> Self {
+        PointStore {
+            slots: vec![None; 1024],
+            len: 0,
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot(&self, id: PointId) -> usize {
+        (id.raw() as usize) & (self.slots.len() - 1)
+    }
+
+    /// Read access; `None` if `id` is not stored.
+    #[inline]
+    pub fn get(&self, id: PointId) -> Option<&PointRecord<D>> {
+        match &self.slots[self.slot(id)] {
+            Some((sid, rec)) if *sid == id => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// Mutable access; `None` if `id` is not stored.
+    #[inline]
+    pub fn get_mut(&mut self, id: PointId) -> Option<&mut PointRecord<D>> {
+        let slot = self.slot(id);
+        match &mut self.slots[slot] {
+            Some((sid, rec)) if *sid == id => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// Read access that panics on a missing id (hot-path `[]` analogue).
+    #[inline]
+    pub fn at(&self, id: PointId) -> &PointRecord<D> {
+        self.get(id)
+            .unwrap_or_else(|| panic!("point {id} not in the store"))
+    }
+
+    /// Whether `id` is stored.
+    #[inline]
+    pub fn contains(&self, id: PointId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Inserts a record. Panics if `id` is already present (the window
+    /// driver guarantees unique arrivals). Grows if the slot is taken by a
+    /// different live id — the live span exceeded the capacity.
+    pub fn insert(&mut self, id: PointId, rec: PointRecord<D>) {
+        loop {
+            let slot = self.slot(id);
+            match &self.slots[slot] {
+                None => {
+                    self.slots[slot] = Some((id, rec));
+                    self.len += 1;
+                    return;
+                }
+                Some((sid, _)) if *sid == id => {
+                    panic!("point {id} inserted twice");
+                }
+                Some(_) => self.grow(),
+            }
+        }
+    }
+
+    /// Removes and returns the record for `id`.
+    pub fn remove(&mut self, id: PointId) -> Option<PointRecord<D>> {
+        let slot = self.slot(id);
+        match &self.slots[slot] {
+            Some((sid, _)) if *sid == id => {
+                self.len -= 1;
+                self.slots[slot].take().map(|(_, rec)| rec)
+            }
+            _ => None,
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let mut bigger: Vec<Option<(PointId, PointRecord<D>)>> = vec![None; new_cap];
+        for entry in self.slots.drain(..).flatten() {
+            let slot = (entry.0.raw() as usize) & (new_cap - 1);
+            debug_assert!(bigger[slot].is_none(), "live span exceeds doubled capacity");
+            bigger[slot] = Some(entry);
+        }
+        self.slots = bigger;
+    }
+
+    /// Iterates over `(id, record)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &PointRecord<D>)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(id, rec)| (*id, rec)))
+    }
+
+    /// Pre-sizes the store for an expected live span.
+    pub fn reserve_span(&mut self, span: usize) {
+        while self.slots.len() < span.next_power_of_two() {
+            self.grow();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_geom::Point;
+
+    fn rec(x: f64) -> PointRecord<2> {
+        PointRecord::new(Point::new([x, 0.0]))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s: PointStore<2> = PointStore::new();
+        for i in 0..500u64 {
+            s.insert(PointId(i), rec(i as f64));
+        }
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.at(PointId(42)).point[0], 42.0);
+        assert!(s.get(PointId(9999)).is_none());
+        assert_eq!(s.remove(PointId(42)).unwrap().point[0], 42.0);
+        assert!(s.get(PointId(42)).is_none());
+        assert_eq!(s.len(), 499);
+        assert!(s.remove(PointId(42)).is_none());
+    }
+
+    #[test]
+    fn sliding_id_ranges_reuse_slots() {
+        // Simulate a long stream with a small live span: ids wrap around
+        // the ring without collisions.
+        let mut s: PointStore<2> = PointStore::new();
+        let window = 600u64;
+        for i in 0..20_000u64 {
+            s.insert(PointId(i), rec(i as f64));
+            if i >= window {
+                assert!(s.remove(PointId(i - window)).is_some());
+            }
+        }
+        assert_eq!(s.len() as u64, window);
+        assert_eq!(s.at(PointId(19_999)).point[0], 19_999.0);
+    }
+
+    #[test]
+    fn grows_when_span_exceeds_capacity() {
+        let mut s: PointStore<2> = PointStore::new();
+        // 3000 concurrent live ids exceed the initial 1024 slots.
+        for i in 0..3000u64 {
+            s.insert(PointId(i), rec(i as f64));
+        }
+        assert_eq!(s.len(), 3000);
+        for i in 0..3000u64 {
+            assert_eq!(s.at(PointId(i)).point[0], i as f64);
+        }
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s: PointStore<2> = PointStore::new();
+        s.insert(PointId(7), rec(1.0));
+        s.get_mut(PointId(7)).unwrap().n_eps = 99;
+        assert_eq!(s.at(PointId(7)).n_eps, 99);
+        assert!(s.get_mut(PointId(8)).is_none());
+    }
+
+    #[test]
+    fn iter_visits_every_live_record_once() {
+        let mut s: PointStore<2> = PointStore::new();
+        for i in 100..200u64 {
+            s.insert(PointId(i), rec(i as f64));
+        }
+        let mut ids: Vec<u64> = s.iter().map(|(id, _)| id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (100..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut s: PointStore<2> = PointStore::new();
+        s.insert(PointId(1), rec(0.0));
+        s.insert(PointId(1), rec(0.0));
+    }
+
+    #[test]
+    fn reserve_span_presizes() {
+        let mut s: PointStore<2> = PointStore::new();
+        s.reserve_span(50_000);
+        for i in 0..50_000u64 {
+            s.insert(PointId(i), rec(0.0));
+        }
+        assert_eq!(s.len(), 50_000);
+    }
+}

@@ -1,0 +1,330 @@
+//! Cluster lineage tracking across slides.
+//!
+//! The paper motivates DISC with monitoring applications (traffic
+//! congestion, community tracking) that care not just about the current
+//! clustering but about *how clusters evolve*: the §III-C taxonomy of
+//! emergence, expansion, shrink, split, merger and dissipation. The engine
+//! reports per-slide counts in [`SlideStats`]; this tracker turns
+//! consecutive snapshots into an explicit event log with cluster lineage,
+//! entirely on top of the public API (so it works with any
+//! assignment source shaped like `Vec<(PointId, i64)>`, not just DISC).
+//!
+//! Matching rule: clusters of consecutive snapshots are linked when they
+//! share points; a current cluster descends from the previous cluster that
+//! contributes the most points to it.
+//!
+//! [`SlideStats`]: crate::SlideStats
+
+use disc_geom::{FxHashMap, PointId};
+
+/// A lineage event between two consecutive snapshots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Evolution {
+    /// A cluster with no ancestor appeared.
+    Emerged {
+        /// The new cluster.
+        cluster: i64,
+        /// Its population.
+        size: usize,
+    },
+    /// A previous cluster has no descendant.
+    Dissipated {
+        /// The vanished cluster.
+        cluster: i64,
+        /// Its population before vanishing.
+        size: usize,
+    },
+    /// One previous cluster feeds several current clusters.
+    Split {
+        /// The ancestor.
+        from: i64,
+        /// The descendants (≥ 2).
+        into: Vec<i64>,
+    },
+    /// Several previous clusters feed one current cluster.
+    Merged {
+        /// The ancestors (≥ 2).
+        from: Vec<i64>,
+        /// The descendant.
+        into: i64,
+    },
+    /// Single ancestor, single descendant, population grew.
+    Expanded {
+        /// The ancestor.
+        from: i64,
+        /// The descendant.
+        into: i64,
+        /// Population change (> 0).
+        delta: isize,
+    },
+    /// Single ancestor, single descendant, population shrank or held.
+    Shrunk {
+        /// The ancestor.
+        from: i64,
+        /// The descendant.
+        into: i64,
+        /// Population change (≤ 0).
+        delta: isize,
+    },
+}
+
+/// Tracks cluster lineage from a stream of assignment snapshots.
+///
+/// ```
+/// use disc_core::{ClusterTracker, Evolution};
+/// use disc_geom::PointId;
+///
+/// let mut t = ClusterTracker::new();
+/// t.observe(&[(PointId(0), 1), (PointId(1), 1)]);
+/// // The cluster keeps its two members and gains one: expansion.
+/// let events = t.observe(&[(PointId(0), 1), (PointId(1), 1), (PointId(2), 1)]);
+/// assert_eq!(events, vec![Evolution::Expanded { from: 1, into: 1, delta: 1 }]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ClusterTracker {
+    prev: FxHashMap<PointId, i64>,
+    prev_sizes: FxHashMap<i64, usize>,
+    slide: u64,
+}
+
+impl ClusterTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        ClusterTracker::default()
+    }
+
+    /// Number of snapshots observed.
+    pub fn slides_seen(&self) -> u64 {
+        self.slide
+    }
+
+    /// Feeds the next snapshot (`(id, cluster)`, `-1` = noise) and returns
+    /// the evolution events since the previous snapshot. The first call
+    /// reports every cluster as `Emerged`.
+    pub fn observe(&mut self, assignment: &[(PointId, i64)]) -> Vec<Evolution> {
+        self.slide += 1;
+        let mut sizes: FxHashMap<i64, usize> = FxHashMap::default();
+        // flow[(prev, cur)] = number of shared points.
+        let mut flow: FxHashMap<(i64, i64), usize> = FxHashMap::default();
+        for (id, cluster) in assignment {
+            if *cluster < 0 {
+                continue;
+            }
+            *sizes.entry(*cluster).or_insert(0) += 1;
+            if let Some(&p) = self.prev.get(id) {
+                if p >= 0 {
+                    *flow.entry((p, *cluster)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Dominant ancestor per current cluster, dominant descendant per
+        // previous cluster.
+        let mut ancestor: FxHashMap<i64, i64> = FxHashMap::default();
+        let mut best_in: FxHashMap<i64, usize> = FxHashMap::default();
+        for (&(p, c), &n) in &flow {
+            if n > best_in.get(&c).copied().unwrap_or(0) {
+                best_in.insert(c, n);
+                ancestor.insert(c, p);
+            }
+        }
+
+        let mut events = Vec::new();
+        // Group current clusters by ancestor.
+        let mut children: FxHashMap<i64, Vec<i64>> = FxHashMap::default();
+        for &c in sizes.keys() {
+            match ancestor.get(&c) {
+                Some(&p) => children.entry(p).or_default().push(c),
+                None => events.push(Evolution::Emerged {
+                    cluster: c,
+                    size: sizes[&c],
+                }),
+            }
+        }
+        // Previous clusters without any descendant dissipated.
+        for (&p, &size) in &self.prev_sizes {
+            if !children.contains_key(&p) {
+                events.push(Evolution::Dissipated { cluster: p, size });
+            }
+        }
+        // Splits / merges / expansion / shrink.
+        // A "merge" is a current cluster that is the dominant descendant of
+        // several previous clusters.
+        let mut merged_into: FxHashMap<i64, Vec<i64>> = FxHashMap::default();
+        let mut descendant: FxHashMap<i64, i64> = FxHashMap::default();
+        let mut best_out: FxHashMap<i64, usize> = FxHashMap::default();
+        for (&(p, c), &n) in &flow {
+            if n > best_out.get(&p).copied().unwrap_or(0) {
+                best_out.insert(p, n);
+                descendant.insert(p, c);
+            }
+        }
+        for (&p, &c) in &descendant {
+            merged_into.entry(c).or_default().push(p);
+        }
+        for (p, mut kids) in children {
+            kids.sort_unstable();
+            if kids.len() >= 2 {
+                events.push(Evolution::Split { from: p, into: kids });
+                continue;
+            }
+            let c = kids[0];
+            let mut sources = merged_into.get(&c).cloned().unwrap_or_default();
+            sources.sort_unstable();
+            if sources.len() >= 2 {
+                // Report each merge once, keyed by its destination: only
+                // when p is the smallest source.
+                if sources.first() == Some(&p) {
+                    events.push(Evolution::Merged {
+                        from: sources,
+                        into: c,
+                    });
+                }
+                continue;
+            }
+            let before = self.prev_sizes.get(&p).copied().unwrap_or(0) as isize;
+            let delta = sizes[&c] as isize - before;
+            if delta > 0 {
+                events.push(Evolution::Expanded {
+                    from: p,
+                    into: c,
+                    delta,
+                });
+            } else {
+                events.push(Evolution::Shrunk {
+                    from: p,
+                    into: c,
+                    delta,
+                });
+            }
+        }
+
+        self.prev = assignment.iter().copied().collect();
+        self.prev_sizes = sizes;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(u64, i64)]) -> Vec<(PointId, i64)> {
+        entries.iter().map(|&(i, c)| (PointId(i), c)).collect()
+    }
+
+    #[test]
+    fn first_snapshot_emerges_everything() {
+        let mut t = ClusterTracker::new();
+        let events = t.observe(&snap(&[(0, 1), (1, 1), (2, 2), (3, -1)]));
+        let mut emerged: Vec<i64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Evolution::Emerged { cluster, .. } => Some(*cluster),
+                _ => None,
+            })
+            .collect();
+        emerged.sort_unstable();
+        assert_eq!(emerged, vec![1, 2]);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn stable_cluster_shrinks_or_expands() {
+        let mut t = ClusterTracker::new();
+        t.observe(&snap(&[(0, 5), (1, 5), (2, 5)]));
+        let events = t.observe(&snap(&[(1, 5), (2, 5), (3, 5), (4, 5)]));
+        assert_eq!(
+            events,
+            vec![Evolution::Expanded {
+                from: 5,
+                into: 5,
+                delta: 1
+            }]
+        );
+        let events = t.observe(&snap(&[(3, 5), (4, 5)]));
+        assert_eq!(
+            events,
+            vec![Evolution::Shrunk {
+                from: 5,
+                into: 5,
+                delta: -2
+            }]
+        );
+    }
+
+    #[test]
+    fn split_is_detected() {
+        let mut t = ClusterTracker::new();
+        t.observe(&snap(&[(0, 1), (1, 1), (2, 1), (3, 1)]));
+        let events = t.observe(&snap(&[(0, 1), (1, 1), (2, 9), (3, 9)]));
+        assert!(events.contains(&Evolution::Split {
+            from: 1,
+            into: vec![1, 9]
+        }));
+    }
+
+    #[test]
+    fn merge_is_detected_once() {
+        let mut t = ClusterTracker::new();
+        t.observe(&snap(&[(0, 1), (1, 1), (2, 2), (3, 2)]));
+        let events = t.observe(&snap(&[(0, 7), (1, 7), (2, 7), (3, 7)]));
+        let merges: Vec<&Evolution> = events
+            .iter()
+            .filter(|e| matches!(e, Evolution::Merged { .. }))
+            .collect();
+        assert_eq!(merges.len(), 1);
+        assert_eq!(
+            merges[0],
+            &Evolution::Merged {
+                from: vec![1, 2],
+                into: 7
+            }
+        );
+    }
+
+    #[test]
+    fn dissipation_and_emergence_coexist() {
+        let mut t = ClusterTracker::new();
+        t.observe(&snap(&[(0, 1), (1, 1)]));
+        let events = t.observe(&snap(&[(5, 3), (6, 3)]));
+        assert!(events.contains(&Evolution::Dissipated { cluster: 1, size: 2 }));
+        assert!(events.contains(&Evolution::Emerged { cluster: 3, size: 2 }));
+    }
+
+    #[test]
+    fn noise_points_are_ignored_for_lineage() {
+        let mut t = ClusterTracker::new();
+        t.observe(&snap(&[(0, 1), (1, -1)]));
+        let events = t.observe(&snap(&[(0, 1), (1, 1)]));
+        assert_eq!(
+            events,
+            vec![Evolution::Expanded {
+                from: 1,
+                into: 1,
+                delta: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn end_to_end_with_disc_on_maze() {
+        use crate::{Disc, DiscConfig};
+        use disc_window::{datasets, SlidingWindow};
+        let recs = datasets::maze(2500, 10, 77);
+        let mut w = SlidingWindow::new(recs, 600, 120);
+        let mut disc = Disc::new(DiscConfig::new(0.6, 5));
+        let mut tracker = ClusterTracker::new();
+        disc.apply(&w.fill());
+        let first = tracker.observe(&disc.assignments());
+        assert!(first
+            .iter()
+            .all(|e| matches!(e, Evolution::Emerged { .. })));
+        let mut total = 0usize;
+        while let Some(b) = w.advance() {
+            disc.apply(&b);
+            total += tracker.observe(&disc.assignments()).len();
+        }
+        assert!(total > 0, "a maze stream must produce evolution events");
+    }
+}

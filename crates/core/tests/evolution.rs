@@ -1,0 +1,294 @@
+//! Hand-crafted cluster-evolution scenarios (the §III-C taxonomy).
+//!
+//! Each test drives one specific evolution type — emergence, expansion,
+//! shrink, dissipation, split, merger — with explicit geometry, and asserts
+//! both the resulting labels and the per-slide [`SlideStats`] counters.
+//!
+//! Points are laid out on a line with spacing 1; ε = 1.2 connects
+//! neighbours, τ = 3 (self-inclusive) makes interior line points cores.
+//!
+//! [`SlideStats`]: disc_core::SlideStats
+
+use disc_core::{Disc, DiscConfig, PointLabel};
+use disc_geom::{Point, PointId};
+use disc_window::SlideBatch;
+
+const EPS: f64 = 1.2;
+const TAU: usize = 3;
+
+fn p(x: f64) -> Point<2> {
+    Point::new([x, 0.0])
+}
+
+fn batch(incoming: &[(u64, f64)], outgoing: &[(u64, f64)]) -> SlideBatch<2> {
+    SlideBatch {
+        incoming: incoming.iter().map(|&(i, x)| (PointId(i), p(x))).collect(),
+        outgoing: outgoing.iter().map(|&(i, x)| (PointId(i), p(x))).collect(),
+    }
+}
+
+fn cluster_of(disc: &Disc<2>, id: u64) -> i64 {
+    disc.label_of(PointId(id)).expect("point in window").as_i64()
+}
+
+#[test]
+fn emergence_of_a_new_cluster() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    // Two isolated points: both noise.
+    let stats = disc.apply(&batch(&[(0, 0.0), (1, 50.0)], &[]));
+    assert_eq!(stats.emerged, 0);
+    assert_eq!(disc.num_clusters(), 0);
+    assert_eq!(disc.label_of(PointId(0)), Some(PointLabel::Noise));
+
+    // A third point near the first turns the trio... still only 2 within
+    // eps of each other: 0 at 0.0, 2 at 1.0 → each has n=2 < 3. Add both.
+    let stats = disc.apply(&batch(&[(2, 1.0), (3, 0.5)], &[]));
+    assert_eq!(stats.emerged, 1, "one cluster must emerge");
+    assert_eq!(disc.num_clusters(), 1);
+    // 0, 2, 3 all within eps of each other → all cores.
+    let c = cluster_of(&disc, 0);
+    assert!(c >= 0);
+    assert_eq!(cluster_of(&disc, 2), c);
+    assert_eq!(cluster_of(&disc, 3), c);
+    assert_eq!(disc.label_of(PointId(1)), Some(PointLabel::Noise));
+}
+
+#[test]
+fn expansion_keeps_the_cluster_id() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    disc.apply(&batch(&[(0, 0.0), (1, 1.0), (2, 2.0)], &[]));
+    let before = cluster_of(&disc, 1);
+    assert!(before >= 0);
+
+    // Extend the line: the cluster grows, no split/merge/emergence.
+    let stats = disc.apply(&batch(&[(3, 3.0), (4, 4.0)], &[]));
+    assert_eq!(stats.emerged, 0);
+    assert_eq!(stats.merges, 0);
+    assert_eq!(stats.splits, 0);
+    assert_eq!(disc.num_clusters(), 1);
+    assert_eq!(cluster_of(&disc, 4), before, "expansion keeps the id");
+}
+
+#[test]
+fn shrink_keeps_the_cluster_id() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    disc.apply(&batch(&[(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)], &[]));
+    let before = cluster_of(&disc, 2);
+
+    let stats = disc.apply(&batch(&[], &[(4, 4.0)]));
+    assert_eq!(stats.splits, 0, "losing an endpoint only shrinks");
+    assert_eq!(disc.num_clusters(), 1);
+    assert_eq!(cluster_of(&disc, 1), before, "shrink keeps the id");
+    // Point 3 lost core status (neighbours: 2,3 → n=2) but stays a border
+    // of the surviving cluster.
+    assert!(matches!(
+        disc.label_of(PointId(3)),
+        Some(PointLabel::Border(_))
+    ));
+}
+
+#[test]
+fn dissipation_clears_everything() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    disc.apply(&batch(&[(0, 0.0), (1, 1.0), (2, 2.0)], &[]));
+    assert_eq!(disc.num_clusters(), 1);
+    let stats = disc.apply(&batch(&[], &[(1, 1.0)]));
+    // Remaining points 0 and 2 are 2.0 apart: no cores left.
+    assert_eq!(disc.num_clusters(), 0, "{stats:?}");
+    assert_eq!(disc.label_of(PointId(0)), Some(PointLabel::Noise));
+    assert_eq!(disc.label_of(PointId(2)), Some(PointLabel::Noise));
+}
+
+#[test]
+fn split_assigns_a_fresh_id_to_one_side() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    // A 7-point line; removing the middle point splits it.
+    let line: Vec<(u64, f64)> = (0..7).map(|i| (i, i as f64)).collect();
+    disc.apply(&batch(&line, &[]));
+    assert_eq!(disc.num_clusters(), 1);
+    let before = cluster_of(&disc, 0);
+
+    let stats = disc.apply(&batch(&[], &[(3, 3.0)]));
+    assert_eq!(stats.splits, 1, "removing the bridge splits the cluster");
+    assert_eq!(disc.num_clusters(), 2);
+    let left = cluster_of(&disc, 0);
+    let right = cluster_of(&disc, 6);
+    assert_ne!(left, right);
+    assert!(
+        left == before || right == before,
+        "exactly one side keeps the old id"
+    );
+    // Sides are internally consistent.
+    assert_eq!(cluster_of(&disc, 1), left);
+    assert_eq!(cluster_of(&disc, 5), right);
+}
+
+#[test]
+fn merger_unifies_ids_without_relabelling() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    // Two separate lines with a gap at x=3.
+    let pts: Vec<(u64, f64)> = vec![
+        (0, 0.0),
+        (1, 1.0),
+        (2, 2.0),
+        (4, 4.0),
+        (5, 5.0),
+        (6, 6.0),
+    ];
+    disc.apply(&batch(&pts, &[]));
+    assert_eq!(disc.num_clusters(), 2);
+    let left = cluster_of(&disc, 0);
+    let right = cluster_of(&disc, 6);
+    assert_ne!(left, right);
+
+    // Insert the bridge: one merger event, one cluster, and the unified id
+    // is one of the previous two (the union-find root).
+    let stats = disc.apply(&batch(&[(3, 3.0)], &[]));
+    assert_eq!(stats.merges, 1);
+    assert_eq!(disc.num_clusters(), 1);
+    let unified = cluster_of(&disc, 3);
+    assert!(unified == left || unified == right);
+    assert_eq!(cluster_of(&disc, 0), unified);
+    assert_eq!(cluster_of(&disc, 6), unified);
+}
+
+#[test]
+fn simultaneous_split_and_merge_in_one_slide() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    // Cluster A: line at x 0..=6; cluster B: line at x 10..=13.
+    let mut pts: Vec<(u64, f64)> = (0..7).map(|i| (i, i as f64)).collect();
+    pts.extend((0..4).map(|i| (10 + i, 10.0 + i as f64)));
+    disc.apply(&batch(&pts, &[]));
+    assert_eq!(disc.num_clusters(), 2);
+
+    // One slide removes A's middle (split) and bridges A's right half to B
+    // (merge): expect 2 clusters at the end (A-left | A-right + B).
+    let stats = disc.apply(&batch(
+        &[(20, 7.0), (21, 8.0), (22, 9.0)],
+        &[(3, 3.0)],
+    ));
+    assert!(stats.splits >= 1, "{stats:?}");
+    assert!(stats.merges >= 1, "{stats:?}");
+    assert_eq!(disc.num_clusters(), 2);
+    assert_ne!(cluster_of(&disc, 0), cluster_of(&disc, 13));
+    assert_eq!(cluster_of(&disc, 4), cluster_of(&disc, 13));
+}
+
+#[test]
+fn border_attachment_follows_surviving_core() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    // A line plus a border hanging off one end (dist 1.1 from the endpoint
+    // core, but with only 2 neighbours itself).
+    disc.apply(&batch(
+        &[(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0), (9, 4.1)],
+        &[],
+    ));
+    // 3 has neighbours {2,3,9} → core; 9 has {3,9} → border.
+    assert!(disc.is_core(PointId(3)));
+    assert!(matches!(
+        disc.label_of(PointId(9)),
+        Some(PointLabel::Border(_))
+    ));
+    // Remove 3: 9 loses its adopter and becomes noise; 2 becomes a border.
+    disc.apply(&batch(&[], &[(3, 3.0)]));
+    assert_eq!(disc.label_of(PointId(9)), Some(PointLabel::Noise));
+    assert!(matches!(
+        disc.label_of(PointId(2)),
+        Some(PointLabel::Border(_))
+    ));
+}
+
+#[test]
+fn ex_core_consolidation_reduces_classes() {
+    // Removing two adjacent points of one dense clump must be handled as
+    // one retro-reachable class (Theorem 1), not two.
+    let mut disc = Disc::new(DiscConfig::new(EPS, 4));
+    let clump: Vec<(u64, f64)> = (0..8).map(|i| (i, i as f64 * 0.5)).collect();
+    disc.apply(&batch(&clump, &[]));
+    let stats = disc.apply(&batch(&[], &[(3, 1.5), (4, 2.0)]));
+    assert!(
+        stats.ex_classes <= stats.ex_cores.max(1),
+        "classes {} must consolidate ex-cores {}",
+        stats.ex_classes,
+        stats.ex_cores
+    );
+}
+
+#[test]
+fn stats_count_collect_population() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    let stats = disc.apply(&batch(&[(0, 0.0), (1, 1.0)], &[]));
+    assert_eq!(stats.inserted, 2);
+    assert_eq!(stats.removed, 0);
+    let stats = disc.apply(&batch(&[(2, 2.0)], &[(0, 0.0)]));
+    assert_eq!(stats.inserted, 1);
+    assert_eq!(stats.removed, 1);
+    assert_eq!(disc.window_len(), 2);
+}
+
+#[test]
+fn window_len_and_census_track_population() {
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    disc.apply(&batch(&[(0, 0.0), (1, 1.0), (2, 2.0), (3, 50.0)], &[]));
+    assert_eq!(disc.window_len(), 4);
+    // Only the middle of the 3-point line reaches τ = 3; its two ends are
+    // borders; the far point is noise.
+    let (cores, borders, noise) = disc.census();
+    assert_eq!(cores, 1);
+    assert_eq!(borders, 2);
+    assert_eq!(noise, 1);
+}
+
+#[test]
+fn triple_split_in_one_slide_yields_three_ids() {
+    // The multi-class scenario behind the cross-class fixup: one line cut
+    // at TWO separate places in a single slide.
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    let line: Vec<(u64, f64)> = (0..13).map(|i| (i, i as f64)).collect();
+    disc.apply(&batch(&line, &[]));
+    assert_eq!(disc.num_clusters(), 1);
+    let before = cluster_of(&disc, 6);
+
+    let stats = disc.apply(&batch(&[], &[(3, 3.0), (9, 9.0)]));
+    assert!(stats.splits >= 1, "{stats:?}");
+    assert_eq!(disc.num_clusters(), 3);
+    let a = cluster_of(&disc, 0);
+    let b = cluster_of(&disc, 6);
+    let c = cluster_of(&disc, 12);
+    assert_ne!(a, b);
+    assert_ne!(b, c);
+    assert_ne!(a, c);
+    // Exactly one of the three fragments keeps the old id.
+    let keepers = [a, b, c].iter().filter(|&&x| x == before).count();
+    assert_eq!(keepers, 1, "exactly one survivor may keep the old id");
+}
+
+#[test]
+fn reinsertion_of_same_coordinates_with_new_ids() {
+    // GPS streams repeat coordinates: make sure id-based identity works.
+    let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
+    disc.apply(&batch(&[(0, 0.0), (1, 0.0), (2, 0.0)], &[]));
+    assert_eq!(disc.num_clusters(), 1);
+    disc.apply(&batch(&[(3, 0.0)], &[(0, 0.0)]));
+    assert_eq!(disc.num_clusters(), 1);
+    assert_eq!(disc.window_len(), 3);
+    assert!(disc.is_core(PointId(3)));
+}
+
+#[test]
+fn ablation_variants_agree_on_every_scenario() {
+    // Re-run the split scenario under all four optimisation configs.
+    for cfg in [
+        DiscConfig::new(EPS, TAU),
+        DiscConfig::new(EPS, TAU).without_msbfs(),
+        DiscConfig::new(EPS, TAU).without_epoch_probe(),
+        DiscConfig::new(EPS, TAU).without_msbfs().without_epoch_probe(),
+    ] {
+        let mut disc = Disc::new(cfg);
+        let line: Vec<(u64, f64)> = (0..7).map(|i| (i, i as f64)).collect();
+        disc.apply(&batch(&line, &[]));
+        disc.apply(&batch(&[], &[(3, 3.0)]));
+        assert_eq!(disc.num_clusters(), 2, "config {cfg:?}");
+        assert_ne!(cluster_of(&disc, 0), cluster_of(&disc, 6));
+    }
+}

@@ -1,0 +1,263 @@
+//! Axis-aligned bounding boxes, the building block of the R-tree.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box in `D` dimensions.
+///
+/// Boxes are closed on both ends; a degenerate box (`lo == hi`) represents a
+/// single point, which is how leaf entries of the R-tree are stored.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb<const D: usize> {
+    lo: Point<D>,
+    hi: Point<D>,
+}
+
+impl<const D: usize> Aabb<D> {
+    /// A box covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point<D>) -> Self {
+        Aabb { lo: p, hi: p }
+    }
+
+    /// Builds a box from explicit corners. Panics in debug builds if any
+    /// `lo` coordinate exceeds the matching `hi` coordinate.
+    #[inline]
+    pub fn new(lo: Point<D>, hi: Point<D>) -> Self {
+        debug_assert!((0..D).all(|i| lo[i] <= hi[i]), "inverted AABB");
+        Aabb { lo, hi }
+    }
+
+    /// The "empty" box: inverted infinities, identity for [`Aabb::merge`].
+    #[inline]
+    pub fn empty() -> Self {
+        Aabb {
+            lo: Point::new([f64::INFINITY; D]),
+            hi: Point::new([f64::NEG_INFINITY; D]),
+        }
+    }
+
+    /// Whether this is the identity/empty box.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|i| self.lo[i] > self.hi[i])
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> Point<D> {
+        self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> Point<D> {
+        self.hi
+    }
+
+    /// Smallest box covering both operands.
+    #[inline]
+    pub fn merge(&self, other: &Aabb<D>) -> Aabb<D> {
+        Aabb {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// Grows the box in place to cover `p`.
+    #[inline]
+    pub fn extend_point(&mut self, p: &Point<D>) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Grows the box in place to cover `other`.
+    #[inline]
+    pub fn extend(&mut self, other: &Aabb<D>) {
+        self.lo = self.lo.min(&other.lo);
+        self.hi = self.hi.max(&other.hi);
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p[i] && p[i] <= self.hi[i])
+    }
+
+    /// Whether `other` is fully inside this box (inclusive).
+    #[inline]
+    pub fn contains(&self, other: &Aabb<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+
+    /// Whether the boxes overlap (inclusive).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.hi[i] && other.lo[i] <= self.hi[i])
+    }
+
+    /// Hyper-volume. Empty boxes report zero.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut v = 1.0;
+        for i in 0..D {
+            v *= self.hi[i] - self.lo[i];
+        }
+        v
+    }
+
+    /// Half-perimeter (sum of extents), a cheaper split heuristic than
+    /// volume when extents collapse to zero in some dimension.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|i| self.hi[i] - self.lo[i]).sum()
+    }
+
+    /// How much the volume would grow if `other` were merged in.
+    #[inline]
+    pub fn enlargement(&self, other: &Aabb<D>) -> f64 {
+        self.merge(other).volume() - self.volume()
+    }
+
+    /// Squared distance from `p` to the nearest point of the box
+    /// (zero if `p` is inside).
+    #[inline]
+    pub fn dist2_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let c = p[i];
+            let d = if c < self.lo[i] {
+                self.lo[i] - c
+            } else if c > self.hi[i] {
+                c - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest point of the box.
+    ///
+    /// If this is within the query radius, every point stored under the box
+    /// is a match and the subtree can be handled wholesale.
+    #[inline]
+    pub fn max_dist2_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = (p[i] - self.lo[i]).abs().max((p[i] - self.hi[i]).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Whether a ball of radius `eps` around `center` intersects the box.
+    #[inline]
+    pub fn intersects_ball(&self, center: &Point<D>, eps: f64) -> bool {
+        self.dist2_to_point(center) <= eps * eps
+    }
+
+    /// The box of side `2*eps` centred on `center`: the search rectangle of
+    /// an ε-range query.
+    #[inline]
+    pub fn ball_bounds(center: &Point<D>, eps: f64) -> Aabb<D> {
+        let mut lo = *center;
+        let mut hi = *center;
+        for i in 0..D {
+            lo[i] -= eps;
+            hi[i] += eps;
+        }
+        Aabb { lo, hi }
+    }
+
+    /// Centre of the box along dimension `dim`.
+    #[inline]
+    pub fn center_along(&self, dim: usize) -> f64 {
+        0.5 * (self.lo[dim] + self.hi[dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx(lo: [f64; 2], hi: [f64; 2]) -> Aabb<2> {
+        Aabb::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn empty_box_is_merge_identity() {
+        let e = Aabb::<2>::empty();
+        let b = bx([1.0, 2.0], [3.0, 4.0]);
+        assert!(e.is_empty());
+        assert_eq!(e.merge(&b), b);
+        assert_eq!(b.merge(&e), b);
+        assert_eq!(e.volume(), 0.0);
+    }
+
+    #[test]
+    fn merge_covers_both_operands() {
+        let a = bx([0.0, 0.0], [1.0, 1.0]);
+        let b = bx([2.0, -1.0], [3.0, 0.5]);
+        let m = a.merge(&b);
+        assert!(m.contains(&a));
+        assert!(m.contains(&b));
+        assert_eq!(m.lo().coords(), [0.0, -1.0]);
+        assert_eq!(m.hi().coords(), [3.0, 1.0]);
+    }
+
+    #[test]
+    fn intersection_is_inclusive_on_shared_edges() {
+        let a = bx([0.0, 0.0], [1.0, 1.0]);
+        let b = bx([1.0, 1.0], [2.0, 2.0]);
+        let c = bx([1.01, 1.01], [2.0, 2.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn volume_and_margin() {
+        let a = bx([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(a.volume(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.enlargement(&bx([0.0, 0.0], [4.0, 3.0])), 6.0);
+    }
+
+    #[test]
+    fn dist2_to_point_inside_edge_and_corner() {
+        let a = bx([0.0, 0.0], [2.0, 2.0]);
+        assert_eq!(a.dist2_to_point(&Point::new([1.0, 1.0])), 0.0);
+        assert_eq!(a.dist2_to_point(&Point::new([3.0, 1.0])), 1.0);
+        assert_eq!(a.dist2_to_point(&Point::new([3.0, 3.0])), 2.0);
+    }
+
+    #[test]
+    fn max_dist2_reaches_opposite_corner() {
+        let a = bx([0.0, 0.0], [2.0, 2.0]);
+        assert_eq!(a.max_dist2_to_point(&Point::new([0.0, 0.0])), 8.0);
+        assert_eq!(a.max_dist2_to_point(&Point::new([1.0, 1.0])), 2.0);
+    }
+
+    #[test]
+    fn ball_bounds_covers_the_ball() {
+        let b = Aabb::ball_bounds(&Point::new([1.0, 1.0]), 0.5);
+        assert_eq!(b.lo().coords(), [0.5, 0.5]);
+        assert_eq!(b.hi().coords(), [1.5, 1.5]);
+        assert!(b.intersects_ball(&Point::new([1.9, 1.0]), 0.5));
+    }
+
+    #[test]
+    fn extend_point_grows_box() {
+        let mut b = Aabb::from_point(Point::new([1.0, 1.0]));
+        b.extend_point(&Point::new([-1.0, 4.0]));
+        assert_eq!(b.lo().coords(), [-1.0, 1.0]);
+        assert_eq!(b.hi().coords(), [1.0, 4.0]);
+        assert!(b.contains_point(&Point::new([0.0, 2.0])));
+    }
+}

@@ -1,0 +1,138 @@
+//! A small FxHash-style hasher.
+//!
+//! The hot paths of DISC key hash maps by dense integer [`PointId`]s, for
+//! which SipHash (the std default) is needlessly slow. This is the classic
+//! multiply-rotate mix used by rustc's `FxHasher`, reimplemented here so the
+//! workspace stays within its approved dependency set. HashDoS resistance is
+//! irrelevant: keys are generated internally, never attacker-controlled.
+//!
+//! [`PointId`]: crate::point::PointId
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit golden-ratio constant used by the Fx mix.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hashing state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::PointId;
+
+    #[test]
+    fn maps_roundtrip_values() {
+        let mut m: FxHashMap<PointId, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(PointId(i), (i * 3) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&PointId(i)), Some(&((i * 3) as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hash_differs_across_nearby_keys() {
+        // Not a statistical test, just a smoke check that the mix is not
+        // the identity on small integers (which would degrade the map).
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_ne!(h(1), h(2));
+        assert_ne!(h(1) & 0xffff_0000_0000_0000, 0);
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefg"));
+        assert_ne!(h(b"abcdefghi"), h(b"abcdefgh"));
+        assert_eq!(h(b"abc"), h(b"abc"));
+    }
+
+    #[test]
+    fn sets_deduplicate() {
+        let mut s: FxHashSet<PointId> = FxHashSet::default();
+        s.insert(PointId(1));
+        s.insert(PointId(1));
+        s.insert(PointId(2));
+        assert_eq!(s.len(), 2);
+    }
+}

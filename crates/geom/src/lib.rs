@@ -1,0 +1,15 @@
+//! Geometric primitives shared by the DISC clustering workspace.
+//!
+//! The paper evaluates DISC on 2-, 3-, and 4-dimensional point streams, so
+//! everything here is generic over a compile-time dimension `D`. The crate
+//! also provides the small utility types every other crate needs: stable
+//! point identifiers, an axis-aligned bounding box, and a fast (FxHash-style)
+//! hasher for the id-keyed maps on the hot paths.
+
+pub mod aabb;
+pub mod fxhash;
+pub mod point;
+
+pub use aabb::Aabb;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use point::{Point, PointId};

@@ -1,0 +1,232 @@
+//! Points and point identifiers.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A stable identifier for a point in a stream.
+///
+/// Ids are assigned in arrival order by the stream machinery and are never
+/// reused within one run, so they double as arrival timestamps under the
+/// count-based sliding-window model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointId(pub u64);
+
+impl PointId {
+    /// Returns the raw arrival index.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u64> for PointId {
+    #[inline]
+    fn from(v: u64) -> Self {
+        PointId(v)
+    }
+}
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// Coordinates are `f64` throughout; the datasets in the paper are
+/// geographic or normalised physical coordinates for which `f64` is the
+/// natural representation.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub const fn origin() -> Self {
+        Point { coords: [0.0; D] }
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub fn coords(&self) -> [f64; D] {
+        self.coords
+    }
+
+    /// Returns the coordinates as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// All range predicates in the workspace compare squared distances
+    /// against a squared radius, avoiding `sqrt` on the hot path.
+    #[inline]
+    pub fn dist2(&self, other: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.coords[i] - other.coords[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point<D>) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Whether `other` lies within Euclidean distance `eps` (inclusive),
+    /// matching the `N_ε(p)` neighbourhood definition of the paper.
+    #[inline]
+    pub fn within(&self, other: &Point<D>, eps: f64) -> bool {
+        self.dist2(other) <= eps * eps
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point<D>) -> Point<D> {
+        let mut out = self.coords;
+        for (o, &theirs) in out.iter_mut().zip(other.coords.iter()) {
+            if theirs < *o {
+                *o = theirs;
+            }
+        }
+        Point { coords: out }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point<D>) -> Point<D> {
+        let mut out = self.coords;
+        for (o, &theirs) in out.iter_mut().zip(other.coords.iter()) {
+            if theirs > *o {
+                *o = theirs;
+            }
+        }
+        Point { coords: out }
+    }
+
+    /// Returns true if every coordinate is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point::origin()
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.coords[i]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_matches_manual_computation() {
+        let a = Point::new([0.0, 3.0]);
+        let b = Point::new([4.0, 0.0]);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_the_boundary() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert!(a.within(&b, 5.0));
+        assert!(!a.within(&b, 4.999));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new([1.0, 5.0, -2.0]);
+        let b = Point::new([0.0, 7.0, -1.0]);
+        assert_eq!(a.min(&b).coords(), [0.0, 5.0, -2.0]);
+        assert_eq!(a.max(&b).coords(), [1.0, 7.0, -1.0]);
+    }
+
+    #[test]
+    fn point_id_orders_by_arrival() {
+        assert!(PointId(3) < PointId(10));
+        assert_eq!(PointId::from(7).raw(), 7);
+        assert_eq!(format!("{}", PointId(4)), "p4");
+    }
+
+    #[test]
+    fn indexing_reads_and_writes_coordinates() {
+        let mut p = Point::new([1.0, 2.0]);
+        p[1] = 9.0;
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[1], 9.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Point::new([1.0, 2.0]).is_finite());
+        assert!(!Point::new([f64::NAN, 0.0]).is_finite());
+        assert!(!Point::new([0.0, f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn distance_is_symmetric_in_four_dimensions() {
+        let a = Point::new([1.0, -2.0, 3.5, 0.0]);
+        let b = Point::new([0.5, 4.0, -1.0, 2.0]);
+        assert_eq!(a.dist2(&b), b.dist2(&a));
+        assert!(a.dist2(&a) == 0.0);
+    }
+}

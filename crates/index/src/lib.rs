@@ -1,0 +1,32 @@
+//! An in-memory R-tree purpose-built for DISC (ICDE 2021).
+//!
+//! The paper implements its own in-memory R-tree because two of its key
+//! techniques need index internals:
+//!
+//! * **range-search accounting** — the evaluation (Fig. 7) counts the number
+//!   of ε-range searches each clustering method executes, so every query
+//!   entry point updates [`Stats`];
+//! * **epoch-based probing** (Alg. 4) — "visited" marks for the MS-BFS
+//!   connectivity check are stored *inside* index entries as monotonically
+//!   increasing epochs, letting a probe skip whole subtrees that the current
+//!   MS-BFS instance has already explored, with no per-instance reset cost.
+//!
+//! This crate reproduces that design: a classic quadratic-split R-tree over
+//! `D`-dimensional points with insert, delete (condense + reinsert), STR bulk
+//! load, plain ε-range queries, and the epoch probe. One deliberate deviation
+//! from the paper's Alg. 4 is documented in [`epoch`]: entries store an
+//! *(epoch, owner)* pair instead of a bare epoch so that two MS-BFS threads
+//! can still detect that they met inside an already-visited subtree.
+
+pub mod epoch;
+pub mod knn;
+pub mod node;
+pub mod stats;
+pub mod tree;
+
+pub use epoch::{EpochProbe, ProbeOutcome};
+pub use stats::Stats;
+pub use tree::RTree;
+
+pub(crate) const MAX_ENTRIES: usize = 16;
+pub(crate) const MIN_ENTRIES: usize = 6;

@@ -1,0 +1,91 @@
+//! Operation counters used by the paper's Fig. 7 evaluation.
+
+/// Counters accumulated by every query against an [`RTree`].
+///
+/// `range_searches` is the headline number the paper reports; the other
+/// counters give visibility into *why* the epoch-based probe is cheaper
+/// (fewer nodes descended, fewer distance computations).
+///
+/// [`RTree`]: crate::RTree
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// ε-range searches executed (plain queries + epoch probes).
+    pub range_searches: u64,
+    /// Of which epoch-based probes.
+    pub epoch_probes: u64,
+    /// Tree nodes descended into across all searches.
+    pub nodes_visited: u64,
+    /// Point-to-point distance evaluations at leaf level.
+    pub distance_checks: u64,
+    /// Subtrees skipped by epoch pruning.
+    pub subtrees_pruned: u64,
+    /// Points inserted over the tree's lifetime.
+    pub inserts: u64,
+    /// Points removed over the tree's lifetime.
+    pub removes: u64,
+}
+
+impl Stats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Stats::default();
+    }
+
+    /// Difference `self - earlier`, for windowed measurements.
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            range_searches: self.range_searches - earlier.range_searches,
+            epoch_probes: self.epoch_probes - earlier.epoch_probes,
+            nodes_visited: self.nodes_visited - earlier.nodes_visited,
+            distance_checks: self.distance_checks - earlier.distance_checks,
+            subtrees_pruned: self.subtrees_pruned - earlier.subtrees_pruned,
+            inserts: self.inserts - earlier.inserts,
+            removes: self.removes - earlier.removes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = Stats {
+            range_searches: 10,
+            epoch_probes: 4,
+            nodes_visited: 100,
+            distance_checks: 50,
+            subtrees_pruned: 3,
+            inserts: 7,
+            removes: 2,
+        };
+        let b = Stats {
+            range_searches: 4,
+            epoch_probes: 1,
+            nodes_visited: 40,
+            distance_checks: 20,
+            subtrees_pruned: 1,
+            inserts: 5,
+            removes: 1,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.range_searches, 6);
+        assert_eq!(d.epoch_probes, 3);
+        assert_eq!(d.nodes_visited, 60);
+        assert_eq!(d.distance_checks, 30);
+        assert_eq!(d.subtrees_pruned, 2);
+        assert_eq!(d.inserts, 2);
+        assert_eq!(d.removes, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Stats {
+            range_searches: 1,
+            ..Stats::default()
+        };
+        s.reset();
+        assert_eq!(s, Stats::default());
+    }
+}

@@ -1,0 +1,319 @@
+//! The DBSCAN-equivalence oracle.
+//!
+//! DISC claims to produce "exactly the same clustering results" as DBSCAN.
+//! Formally that means, for a fixed window and (ε, τ):
+//!
+//! 1. the same points are **cores**, and the core partition is identical up
+//!    to cluster renaming;
+//! 2. the same points are **noise** (no core within ε);
+//! 3. every remaining point is a **border** attached to *some* cluster with
+//!    a core in its ε-neighbourhood — DBSCAN itself leaves the choice among
+//!    several qualifying clusters unspecified (it depends on scan order),
+//!    so any qualifying attachment counts as equal.
+//!
+//! This module checks those three conditions from raw geometry, without
+//! trusting either side's internal state.
+
+use disc_geom::{FxHashMap, Point, PointId};
+
+/// A labelled window: positions plus cluster assignments (`-1` = noise).
+pub struct Labeling<'a, const D: usize> {
+    /// `(id, position)` of every window point.
+    pub points: &'a [(PointId, Point<D>)],
+    /// `(id, cluster)` sorted or unsorted; must cover exactly `points`.
+    pub assignment: &'a [(PointId, i64)],
+}
+
+/// Why two labelings are not equivalent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivalenceError {
+    /// The two labelings cover different point sets.
+    PointSetMismatch,
+    /// A point is a core but noise/differently-partitioned, or vice versa.
+    CoreMismatch {
+        /// Offending point.
+        id: PointId,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A border/noise point is attached incorrectly.
+    BorderMismatch {
+        /// Offending point.
+        id: PointId,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+/// Checks DBSCAN-equivalence of two labelings of the same window.
+///
+/// `eps`/`tau` define the ground truth core predicate (τ self-inclusive).
+/// O(n²) — an oracle for tests and experiment validation, not a hot path.
+pub fn dbscan_equivalent<const D: usize>(
+    a: &Labeling<'_, D>,
+    b: &Labeling<'_, D>,
+    eps: f64,
+    tau: usize,
+) -> Result<(), EquivalenceError> {
+    let la: FxHashMap<PointId, i64> = a.assignment.iter().copied().collect();
+    let lb: FxHashMap<PointId, i64> = b.assignment.iter().copied().collect();
+    if la.len() != lb.len() || la.keys().any(|k| !lb.contains_key(k)) {
+        return Err(EquivalenceError::PointSetMismatch);
+    }
+
+    // Ground truth from geometry.
+    let pts = a.points;
+    let n = pts.len();
+    if n != la.len() {
+        return Err(EquivalenceError::PointSetMismatch);
+    }
+    let mut neigh: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if pts[i].1.within(&pts[j].1, eps) {
+                neigh[i].push(j);
+            }
+        }
+    }
+    let is_core: Vec<bool> = (0..n).map(|i| neigh[i].len() >= tau).collect();
+
+    // 1. Core partitions must be bijective between the two labelings.
+    let mut map_ab: FxHashMap<i64, i64> = FxHashMap::default();
+    let mut map_ba: FxHashMap<i64, i64> = FxHashMap::default();
+    for i in 0..n {
+        let id = pts[i].0;
+        let (ca, cb) = (la[&id], lb[&id]);
+        if is_core[i] {
+            if ca < 0 || cb < 0 {
+                return Err(EquivalenceError::CoreMismatch {
+                    id,
+                    detail: format!("core labelled a={ca} b={cb}"),
+                });
+            }
+            if let Some(&prev) = map_ab.get(&ca) {
+                if prev != cb {
+                    return Err(EquivalenceError::CoreMismatch {
+                        id,
+                        detail: format!("cluster a={ca} maps to both {prev} and {cb}"),
+                    });
+                }
+            } else {
+                map_ab.insert(ca, cb);
+            }
+            if let Some(&prev) = map_ba.get(&cb) {
+                if prev != ca {
+                    return Err(EquivalenceError::CoreMismatch {
+                        id,
+                        detail: format!("cluster b={cb} maps to both {prev} and {ca}"),
+                    });
+                }
+            } else {
+                map_ba.insert(cb, ca);
+            }
+        }
+    }
+
+    // 2 & 3. Noise and border legality, per side.
+    for (side, labels) in [("a", &la), ("b", &lb)] {
+        for i in 0..n {
+            let id = pts[i].0;
+            if is_core[i] {
+                continue;
+            }
+            let l = labels[&id];
+            let legal: Vec<i64> = neigh[i]
+                .iter()
+                .filter(|&&j| is_core[j])
+                .map(|&j| labels[&pts[j].0])
+                .collect();
+            if legal.is_empty() {
+                if l >= 0 {
+                    return Err(EquivalenceError::BorderMismatch {
+                        id,
+                        detail: format!("{side}: noise point labelled {l}"),
+                    });
+                }
+            } else if l < 0 {
+                return Err(EquivalenceError::BorderMismatch {
+                    id,
+                    detail: format!("{side}: border point labelled noise"),
+                });
+            } else if !legal.contains(&l) {
+                return Err(EquivalenceError::BorderMismatch {
+                    id,
+                    detail: format!("{side}: border labelled {l}, legal {legal:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper around [`dbscan_equivalent`] for tests.
+pub fn assert_dbscan_equivalent<const D: usize>(
+    a: &Labeling<'_, D>,
+    b: &Labeling<'_, D>,
+    eps: f64,
+    tau: usize,
+) {
+    if let Err(e) = dbscan_equivalent(a, b, eps, tau) {
+        panic!("labelings are not DBSCAN-equivalent: {e:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts2(coords: &[[f64; 2]]) -> Vec<(PointId, Point<2>)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (PointId(i as u64), Point::new(*c)))
+            .collect()
+    }
+
+    fn assignment(labels: &[i64]) -> Vec<(PointId, i64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (PointId(i as u64), l))
+            .collect()
+    }
+
+    /// A 5-point line with spacing 1 and one far point; eps=1, tau=3 makes
+    /// the middle points cores.
+    fn line() -> Vec<(PointId, Point<2>)> {
+        pts2(&[
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [2.0, 0.0],
+            [3.0, 0.0],
+            [4.0, 0.0],
+            [100.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn identical_labelings_pass() {
+        let p = line();
+        let l = assignment(&[0, 0, 0, 0, 0, -1]);
+        let a = Labeling {
+            points: &p,
+            assignment: &l,
+        };
+        let b = Labeling {
+            points: &p,
+            assignment: &l,
+        };
+        assert!(dbscan_equivalent(&a, &b, 1.0, 3).is_ok());
+    }
+
+    #[test]
+    fn renaming_passes() {
+        let p = line();
+        let l1 = assignment(&[5, 5, 5, 5, 5, -1]);
+        let l2 = assignment(&[9, 9, 9, 9, 9, -1]);
+        let a = Labeling {
+            points: &p,
+            assignment: &l1,
+        };
+        let b = Labeling {
+            points: &p,
+            assignment: &l2,
+        };
+        assert!(dbscan_equivalent(&a, &b, 1.0, 3).is_ok());
+    }
+
+    #[test]
+    fn noise_mislabelled_as_cluster_fails() {
+        let p = line();
+        let l1 = assignment(&[0, 0, 0, 0, 0, -1]);
+        let l2 = assignment(&[0, 0, 0, 0, 0, 0]);
+        let a = Labeling {
+            points: &p,
+            assignment: &l1,
+        };
+        let b = Labeling {
+            points: &p,
+            assignment: &l2,
+        };
+        let err = dbscan_equivalent(&a, &b, 1.0, 3).unwrap_err();
+        assert!(matches!(err, EquivalenceError::BorderMismatch { .. }));
+    }
+
+    #[test]
+    fn split_core_partition_fails() {
+        let p = line();
+        let l1 = assignment(&[0, 0, 0, 0, 0, -1]);
+        // Second labeling splits the line's cores into two clusters.
+        let l2 = assignment(&[0, 0, 0, 1, 1, -1]);
+        let a = Labeling {
+            points: &p,
+            assignment: &l1,
+        };
+        let b = Labeling {
+            points: &p,
+            assignment: &l2,
+        };
+        assert!(dbscan_equivalent(&a, &b, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn ambiguous_border_may_differ() {
+        // Two line clusters with a non-core point exactly between their
+        // endpoints: with eps=1.6, tau=4 the middle point has only three
+        // self-inclusive neighbours (itself + both endpoints), so it is a
+        // border of BOTH clusters and either attachment is legal.
+        let mut coords: Vec<[f64; 2]> = Vec::new();
+        for i in 0..7 {
+            coords.push([-3.0 + 0.5 * i as f64, 0.0]); // cluster A: -3.0..=0.0
+        }
+        for i in 0..7 {
+            coords.push([3.0 + 0.5 * i as f64, 0.0]); // cluster B: 3.0..=6.0
+        }
+        coords.push([1.5, 0.0]); // the shared border
+        let p = pts2(&coords);
+        let eps = 1.6;
+        let mut l1: Vec<i64> = vec![0; 7];
+        l1.extend(vec![1; 7]);
+        l1.push(0); // border attached to A
+        let mut l2: Vec<i64> = vec![0; 7];
+        l2.extend(vec![1; 7]);
+        l2.push(1); // border attached to B
+        let l1 = assignment(&l1);
+        let l2 = assignment(&l2);
+        let a = Labeling {
+            points: &p,
+            assignment: &l1,
+        };
+        let b = Labeling {
+            points: &p,
+            assignment: &l2,
+        };
+        assert!(
+            dbscan_equivalent(&a, &b, eps, 4).is_ok(),
+            "both attachments are legal for a two-sided border"
+        );
+    }
+
+    #[test]
+    fn different_point_sets_fail_fast() {
+        let p1 = line();
+        let p2 = pts2(&[[0.0, 0.0]]);
+        let l1 = assignment(&[0, 0, 0, 0, 0, -1]);
+        let l2 = assignment(&[-1]);
+        let a = Labeling {
+            points: &p1,
+            assignment: &l1,
+        };
+        let b = Labeling {
+            points: &p2,
+            assignment: &l2,
+        };
+        assert_eq!(
+            dbscan_equivalent(&a, &b, 1.0, 3).unwrap_err(),
+            EquivalenceError::PointSetMismatch
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Clustering quality metrics and exactness oracles.
+//!
+//! * [`ari`] — Adjusted Rand Index (Hubert & Arabie 1985), the quality
+//!   measure of the paper's Figs. 9–10;
+//! * [`nmi`] — normalised mutual information, a secondary quality check;
+//! * [`purity`] — majority-class purity;
+//! * [`equivalence`] — the DBSCAN-equivalence oracle used by tests: exact
+//!   core partitions, legal border attachment, identical noise.
+
+pub mod equivalence;
+pub mod pairs;
+
+pub use equivalence::{assert_dbscan_equivalent, dbscan_equivalent, EquivalenceError, Labeling};
+pub use pairs::{ari, nmi, purity};

@@ -1,0 +1,201 @@
+//! Pair-counting and information-theoretic quality measures.
+//!
+//! Inputs are parallel label slices; labels `< 0` denote noise. Following
+//! the common convention for evaluating density-based clusterings (and the
+//! paper's usage), noise is treated as a class of its own — a method that
+//! dumps everything into noise scores near zero, not undefined.
+
+use disc_geom::FxHashMap;
+
+/// Joint and marginal label counts.
+type Contingency = (
+    FxHashMap<(i64, i64), u64>,
+    FxHashMap<i64, u64>,
+    FxHashMap<i64, u64>,
+);
+
+/// Builds the contingency table between two labelings.
+fn contingency(a: &[i64], b: &[i64]) -> Contingency {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let mut joint: FxHashMap<(i64, i64), u64> = FxHashMap::default();
+    let mut ca: FxHashMap<i64, u64> = FxHashMap::default();
+    let mut cb: FxHashMap<i64, u64> = FxHashMap::default();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        *joint.entry((x, y)).or_insert(0) += 1;
+        *ca.entry(x).or_insert(0) += 1;
+        *cb.entry(y).or_insert(0) += 1;
+    }
+    (joint, ca, cb)
+}
+
+fn choose2(n: u64) -> f64 {
+    (n as f64) * (n.saturating_sub(1) as f64) / 2.0
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; `1` iff the partitions are identical,
+/// `≈ 0` for independent partitions.
+///
+/// ```
+/// use disc_metrics::ari;
+/// // Same partition under different names scores 1.0 …
+/// assert_eq!(ari(&[0, 0, 1, 1], &[7, 7, 3, 3]), 1.0);
+/// // … splitting a cluster does not.
+/// assert!(ari(&[0, 0, 0, 0], &[0, 0, 1, 1]) < 1.0);
+/// ```
+pub fn ari(a: &[i64], b: &[i64]) -> f64 {
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let (joint, ca, cb) = contingency(a, b);
+    let sum_ij: f64 = joint.values().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = ca.values().map(|&v| choose2(v)).sum();
+    let sum_b: f64 = cb.values().map(|&v| choose2(v)).sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are trivial (all-in-one or all-singletons): they
+        // are identical iff the observed index hits the maximum.
+        return if (sum_ij - max_index).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Normalised mutual information in `[0, 1]` (arithmetic normalisation).
+pub fn nmi(a: &[i64], b: &[i64]) -> f64 {
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (joint, ca, cb) = contingency(a, b);
+    let mut mi = 0.0;
+    for (&(x, y), &nxy) in &joint {
+        let pxy = nxy as f64 / n;
+        let px = ca[&x] as f64 / n;
+        let py = cb[&y] as f64 / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    let h = |c: &FxHashMap<i64, u64>| -> f64 {
+        c.values()
+            .map(|&v| {
+                let p = v as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (h(&ca), h(&cb));
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    let denom = 0.5 * (ha + hb);
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Purity of `pred` against `truth`: the fraction of points whose predicted
+/// cluster's majority truth class matches their own.
+pub fn purity(truth: &[i64], pred: &[i64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: FxHashMap<i64, FxHashMap<i64, u64>> = FxHashMap::default();
+    for (&t, &p) in truth.iter().zip(pred.iter()) {
+        *per_cluster.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    let correct: u64 = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, -1];
+        assert_eq!(ari(&a, &a), 1.0);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn renamed_clusters_still_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![7, 7, 3, 3, 9, 9];
+        assert!((ari(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ari_matches_hand_computed_example() {
+        // Classic example: n=6, X = {a,a,a,b,b,b}, Y = {a,a,b,b,c,c}.
+        let x = vec![0, 0, 0, 1, 1, 1];
+        let y = vec![0, 0, 1, 1, 2, 2];
+        // Contingency: [[2,1,0],[0,1,2]]
+        // sum_ij C2 = 1 + 0 + 0 + 0 + 0 + 1 = 2
+        // sum_a = 2*C(3,2) = 6; sum_b = 3*C(2,2)=3; total = C(6,2)=15
+        // expected = 6*3/15 = 1.2; max = 4.5; ARI = (2-1.2)/(4.5-1.2)
+        let want = (2.0 - 1.2) / (4.5 - 1.2);
+        assert!((ari(&x, &y) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Perfectly crossed partitions: ARI must be ~0 (slightly negative
+        // values are legal).
+        let x = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(ari(&x, &y).abs() < 0.2);
+    }
+
+    #[test]
+    fn opposite_partitions_can_go_negative() {
+        let x = vec![0, 1, 0, 1];
+        let y = vec![0, 0, 1, 1];
+        assert!(ari(&x, &y) <= 0.0);
+    }
+
+    #[test]
+    fn noise_is_a_class() {
+        // Dumping a cluster into noise must hurt the score.
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 0, -1, -1, -1];
+        assert!((ari(&truth, &pred) - 1.0).abs() < 1e-12, "consistent relabel");
+        let pred_bad = vec![-1, -1, -1, -1, -1, -1];
+        assert!(ari(&truth, &pred_bad) < 0.5);
+    }
+
+    #[test]
+    fn purity_rewards_fragmentation_but_nmi_does_not() {
+        // Each point its own cluster: purity 1, NMI < 1 — a known contrast.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 2, 3];
+        assert_eq!(purity(&truth, &pred), 1.0);
+        assert!(nmi(&truth, &pred) < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(ari(&[], &[]), 1.0);
+        assert_eq!(ari(&[3], &[5]), 1.0);
+        let all_one_a = vec![0; 10];
+        let all_one_b = vec![4; 10];
+        assert_eq!(ari(&all_one_a, &all_one_b), 1.0);
+        assert_eq!(nmi(&all_one_a, &all_one_b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn length_mismatch_is_rejected() {
+        let _ = ari(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the quality metrics.
+
+use disc_metrics::{ari, nmi, purity};
+use proptest::prelude::*;
+
+fn labeling(n: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1i64..6, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ari_is_symmetric(a in labeling(40), b in labeling(40)) {
+        prop_assert!((ari(&a, &b) - ari(&b, &a)).abs() < 1e-12);
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_is_one_on_self(a in labeling(40)) {
+        prop_assert!((ari(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(purity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ari_is_invariant_under_renaming(a in labeling(60), b in labeling(60)) {
+        // Apply an arbitrary injective relabelling to b.
+        let renamed: Vec<i64> = b.iter().map(|&l| if l < 0 { -1 } else { l * 17 + 3 }).collect();
+        prop_assert!((ari(&a, &b) - ari(&a, &renamed)).abs() < 1e-12);
+        prop_assert!((nmi(&a, &b) - nmi(&a, &renamed)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_bounded(a in labeling(50), b in labeling(50)) {
+        let v = ari(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "ari = {v}");
+        let m = nmi(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&m), "nmi = {m}");
+        let p = purity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&p), "purity = {p}");
+    }
+
+    #[test]
+    fn permuting_points_together_changes_nothing(
+        pairs in prop::collection::vec((-1i64..5, -1i64..5), 10..60),
+        seed in 0u64..1000,
+    ) {
+        let (a, b): (Vec<i64>, Vec<i64>) = pairs.iter().copied().unzip();
+        // Deterministic shuffle of the paired labelings.
+        let mut idx: Vec<usize> = (0..a.len()).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..idx.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let pa: Vec<i64> = idx.iter().map(|&i| a[i]).collect();
+        let pb: Vec<i64> = idx.iter().map(|&i| b[i]).collect();
+        prop_assert!((ari(&a, &b) - ari(&pa, &pb)).abs() < 1e-12);
+        prop_assert!((nmi(&a, &b) - nmi(&pa, &pb)).abs() < 1e-12);
+        prop_assert!((purity(&a, &b) - purity(&pa, &pb)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimal CSV import/export for point streams and cluster snapshots.
+//!
+//! Used by the Fig. 12 reproduction (cluster illustrations) to dump
+//! `(coords..., cluster)` rows that any plotting tool can render, and to let
+//! users feed their own point streams into the examples.
+
+use crate::stream::Record;
+use disc_geom::Point;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes records as CSV: one row per point, `D` coordinate columns followed
+/// by an optional integer label column (empty when unlabelled).
+pub fn write_records<const D: usize>(
+    path: &Path,
+    records: &[Record<D>],
+) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    for r in records {
+        for i in 0..D {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "{}", r.point[i])?;
+        }
+        match r.truth {
+            Some(l) => writeln!(out, ",{l}")?,
+            None => writeln!(out, ",")?,
+        }
+    }
+    out.flush()
+}
+
+/// Writes a labelled snapshot: coordinates plus a cluster label, with `-1`
+/// standing for noise.
+pub fn write_snapshot<const D: usize>(
+    path: &Path,
+    rows: &[(Point<D>, i64)],
+) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(
+        out,
+        "{},cluster",
+        (0..D).map(|i| format!("x{i}")).collect::<Vec<_>>().join(",")
+    )?;
+    for (p, label) in rows {
+        for i in 0..D {
+            write!(out, "{},", p[i])?;
+        }
+        writeln!(out, "{label}")?;
+    }
+    out.flush()
+}
+
+/// Reads records written by [`write_records`]. Rows with a trailing label
+/// column become labelled records.
+pub fn read_records<const D: usize>(path: &Path) -> io::Result<Vec<Record<D>>> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < D {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {} coordinates", lineno + 1, D),
+            ));
+        }
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = fields[i].trim().parse::<f64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad coordinate {:?}: {e}", lineno + 1, fields[i]),
+                )
+            })?;
+        }
+        let truth = fields
+            .get(D)
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<u32>().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: bad label {s:?}: {e}", lineno + 1),
+                    )
+                })
+            })
+            .transpose()?;
+        out.push(Record {
+            point: Point::new(coords),
+            truth,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_csv() {
+        let dir = std::env::temp_dir().join("disc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let recs = vec![
+            Record::labelled(Point::new([1.5, -2.25]), 3),
+            Record::unlabelled(Point::new([0.0, 10.0])),
+        ];
+        write_records(&path, &recs).unwrap();
+        let back: Vec<Record<2>> = read_records(&path).unwrap();
+        assert_eq!(back, recs);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_has_header_and_noise_rows() {
+        let dir = std::env::temp_dir().join("disc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.csv");
+        write_snapshot(&path, &[(Point::new([1.0, 2.0]), 5), (Point::new([3.0, 4.0]), -1)])
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x0,x1,cluster");
+        assert_eq!(lines[1], "1,2,5");
+        assert_eq!(lines[2], "3,4,-1");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        let dir = std::env::temp_dir().join("disc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1.0,not_a_number\n").unwrap();
+        assert!(read_records::<2>(&path).is_err());
+        std::fs::write(&path, "1.0\n").unwrap();
+        assert!(read_records::<2>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Reads a snapshot written by [`write_snapshot`] back into
+/// `(point, cluster)` rows (skipping the header).
+pub fn read_snapshot<const D: usize>(path: &Path) -> io::Result<Vec<(Point<D>, i64)>> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != D + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {} columns", lineno + 1, D + 1),
+            ));
+        }
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = fields[i].trim().parse::<f64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad coordinate: {e}", lineno + 1),
+                )
+            })?;
+        }
+        let label = fields[D].trim().parse::<i64>().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad cluster label: {e}", lineno + 1),
+            )
+        })?;
+        out.push((Point::new(coords), label));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = std::env::temp_dir().join("disc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap_roundtrip.csv");
+        let rows = vec![
+            (Point::new([1.25, -3.5]), 4i64),
+            (Point::new([0.0, 0.0]), -1),
+        ];
+        write_snapshot(&path, &rows).unwrap();
+        let back: Vec<(Point<2>, i64)> = read_snapshot(&path).unwrap();
+        assert_eq!(back, rows);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_with_wrong_arity_is_rejected() {
+        let dir = std::env::temp_dir().join("disc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap_bad.csv");
+        std::fs::write(&path, "x0,x1,cluster\n1.0,2.0\n").unwrap();
+        assert!(read_snapshot::<2>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

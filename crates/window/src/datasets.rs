@@ -1,0 +1,770 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on four real datasets that are not redistributable
+//! (DTG is proprietary; GeoLife/COVID-19/IRIS require external downloads).
+//! Each is replaced by a generator that reproduces the *structural* property
+//! the evaluation exercises — see `DESIGN.md` §4 for the substitution
+//! rationale. The synthetic **Maze** workload of §VI-E is re-implemented
+//! faithfully (random seeds spreading into labelled trajectories).
+//!
+//! All generators are deterministic given their RNG seed, so experiments are
+//! reproducible run-to-run.
+
+use crate::stream::Record;
+use disc_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recommended parameters for a generator, mirroring the role of the
+/// paper's Table II (threshold values and window sizes), scaled to laptop
+/// size. Stride defaults to 5% of the window, the paper's drill-down
+/// setting.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Dataset name as used in figures.
+    pub name: &'static str,
+    /// Dimensionality of the generator's points.
+    pub dim: usize,
+    /// Density threshold τ (MinPts, self-inclusive).
+    pub tau: usize,
+    /// Distance threshold ε.
+    pub eps: f64,
+    /// Default window size (points).
+    pub window: usize,
+    /// Total stream length to generate for the default experiments.
+    pub stream_len: usize,
+}
+
+/// Table II analogue: the default profile of every dataset generator.
+pub fn profiles() -> [Profile; 5] {
+    [DTG_PROFILE, GEOLIFE_PROFILE, COVID_PROFILE, IRIS_PROFILE, MAZE_PROFILE]
+}
+
+/// DTG-like vehicle stream (2D), paper default: τ=372, ε=0.002, W=2M.
+/// Scaled: dense road traffic with congestion hot-spots.
+pub const DTG_PROFILE: Profile = Profile {
+    name: "DTG",
+    dim: 2,
+    tau: 12,
+    eps: 0.45,
+    window: 16_000,
+    stream_len: 120_000,
+};
+
+/// GeoLife-like trajectory stream (3D), paper: τ=7, ε=0.01, W=200K.
+pub const GEOLIFE_PROFILE: Profile = Profile {
+    name: "GeoLife",
+    dim: 3,
+    tau: 7,
+    eps: 0.9,
+    window: 12_000,
+    stream_len: 90_000,
+};
+
+/// COVID-like sparse geo-tagged stream (2D), paper: τ=5, ε=1.2, W=15K.
+pub const COVID_PROFILE: Profile = Profile {
+    name: "COVID-19",
+    dim: 2,
+    tau: 5,
+    eps: 1.2,
+    window: 4_000,
+    stream_len: 30_000,
+};
+
+/// IRIS-like earthquake stream (4D), paper: τ=9, ε=2, W=200K.
+pub const IRIS_PROFILE: Profile = Profile {
+    name: "IRIS",
+    dim: 4,
+    tau: 9,
+    eps: 2.0,
+    window: 12_000,
+    stream_len: 90_000,
+};
+
+/// Maze synthetic stream (2D) with ground-truth labels.
+pub const MAZE_PROFILE: Profile = Profile {
+    name: "Maze",
+    dim: 2,
+    tau: 6,
+    eps: 0.6,
+    window: 12_000,
+    stream_len: 90_000,
+};
+
+// ---------------------------------------------------------------------
+// Maze (§VI-E, faithful re-implementation)
+// ---------------------------------------------------------------------
+
+/// The paper's Maze workload: `seeds` random walkers placed on a jittered
+/// grid spread out over time; every emitted point is labelled with its
+/// walker id, and each walker's trajectory forms one ground-truth cluster.
+///
+/// Walkers are mean-reverting (they orbit their origin) so that distinct
+/// trajectories wind and lengthen as the window grows — the shapes get more
+/// complicated, exactly the property Fig. 9 exploits — without ever fusing
+/// into one blob. Emission is round-robin, so a window of size `w` holds
+/// the most recent `w / seeds` fixes of every trajectory.
+pub fn maze(n: usize, seeds: usize, rng_seed: u64) -> Vec<Record<2>> {
+    assert!(seeds > 0);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let side = (seeds as f64).sqrt().ceil() as usize;
+    let spacing = 10.0;
+    let orbit = 3.2; // max wander radius: trajectories stay separated
+    let step = 0.18; // < eps, keeps each trajectory ε-connected
+
+    struct Walker {
+        origin: Point<2>,
+        pos: Point<2>,
+        heading: f64,
+    }
+    let mut walkers: Vec<Walker> = (0..seeds)
+        .map(|s| {
+            let gx = (s % side) as f64 * spacing + rng.gen_range(-1.0..1.0);
+            let gy = (s / side) as f64 * spacing + rng.gen_range(-1.0..1.0);
+            let origin = Point::new([gx, gy]);
+            Walker {
+                origin,
+                pos: origin,
+                heading: rng.gen_range(0.0..std::f64::consts::TAU),
+            }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    let mut s = 0usize;
+    while out.len() < n {
+        let w = &mut walkers[s];
+        // Persistent heading with small turns; strong pull back when the
+        // walker strays past its orbit radius.
+        w.heading += rng.gen_range(-0.6..0.6);
+        let mut dx = step * w.heading.cos();
+        let mut dy = step * w.heading.sin();
+        let off = [w.pos[0] - w.origin[0], w.pos[1] - w.origin[1]];
+        let r = (off[0] * off[0] + off[1] * off[1]).sqrt();
+        if r > orbit {
+            // Turn towards home.
+            let home = (w.origin[1] - w.pos[1]).atan2(w.origin[0] - w.pos[0]);
+            w.heading = home + rng.gen_range(-0.4..0.4);
+            dx = step * w.heading.cos();
+            dy = step * w.heading.sin();
+        }
+        w.pos = Point::new([w.pos[0] + dx, w.pos[1] + dy]);
+        let jitter = 0.03;
+        let p = Point::new([
+            w.pos[0] + rng.gen_range(-jitter..jitter),
+            w.pos[1] + rng.gen_range(-jitter..jitter),
+        ]);
+        out.push(Record::labelled(p, s as u32));
+        s = (s + 1) % seeds;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// DTG-like (vehicles on a road grid with congestion)
+// ---------------------------------------------------------------------
+
+/// DTG substitute: commercial vehicles driving a Manhattan road grid.
+///
+/// Roads are axis-parallel lines spaced `5.0` apart in a `[0,100]²` city.
+/// Each vehicle follows its road with a small lateral GPS error and slows
+/// down by 12× inside randomly placed congestion zones, producing the
+/// dense, elongated, *fine-grained* clusters that force a small ε — the
+/// property the paper uses DTG for (distinguishing nearby roads).
+pub fn dtg_like(n: usize, rng_seed: u64) -> Vec<Record<2>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let gap = 5.0;
+    let extent = 100.0;
+    let lanes = (extent / gap) as usize + 1;
+    let vehicles = 220usize;
+    let base_speed = 0.9;
+    let congestion_factor = 12.0;
+
+    // Congestion zones: (road axis, lane index, centre, half-length).
+    struct Zone {
+        horizontal: bool,
+        lane: usize,
+        center: f64,
+        half: f64,
+    }
+    let zones: Vec<Zone> = (0..28)
+        .map(|_| Zone {
+            horizontal: rng.gen_bool(0.5),
+            lane: rng.gen_range(0..lanes),
+            center: rng.gen_range(10.0..90.0),
+            half: rng.gen_range(1.5..3.5),
+        })
+        .collect();
+
+    struct Vehicle {
+        horizontal: bool,
+        lane: usize,
+        pos: f64,
+        dir: f64,
+    }
+    let mut fleet: Vec<Vehicle> = (0..vehicles)
+        .map(|_| Vehicle {
+            horizontal: rng.gen_bool(0.5),
+            lane: rng.gen_range(0..lanes),
+            pos: rng.gen_range(0.0..extent),
+            dir: if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    let mut v = 0usize;
+    while out.len() < n {
+        let veh = &mut fleet[v];
+        let congested = zones.iter().any(|z| {
+            z.horizontal == veh.horizontal
+                && z.lane == veh.lane
+                && (veh.pos - z.center).abs() <= z.half
+        });
+        let speed = if congested {
+            base_speed / congestion_factor
+        } else {
+            base_speed
+        };
+        veh.pos += veh.dir * speed * rng.gen_range(0.6..1.4);
+        if veh.pos < 0.0 || veh.pos > extent {
+            // Turn onto a random crossing road at the boundary.
+            veh.pos = veh.pos.clamp(0.0, extent);
+            veh.dir = -veh.dir;
+            veh.lane = rng.gen_range(0..lanes);
+        } else if rng.gen_bool(0.02) {
+            // Occasional turn at an intersection.
+            veh.horizontal = !veh.horizontal;
+            let lane = (veh.pos / gap).round() as usize;
+            let new_pos = veh.lane as f64 * gap;
+            veh.lane = lane.min(lanes - 1);
+            veh.pos = new_pos;
+        }
+        let lateral = veh.lane as f64 * gap + rng.gen_range(-0.06..0.06);
+        let along = veh.pos;
+        let p = if veh.horizontal {
+            Point::new([along, lateral])
+        } else {
+            Point::new([lateral, along])
+        };
+        out.push(Record::unlabelled(p));
+        v = (v + 1) % vehicles;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// GeoLife-like (3D commuter trajectories between hubs)
+// ---------------------------------------------------------------------
+
+/// GeoLife substitute: users commuting between city hubs in 3D
+/// (`x`, `y`, scaled altitude), medium-density trajectory clusters.
+pub fn geolife_like(n: usize, rng_seed: u64) -> Vec<Record<3>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let hubs: Vec<[f64; 3]> = (0..18)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..4.0),
+            ]
+        })
+        .collect();
+
+    struct User {
+        from: usize,
+        to: usize,
+        t: f64,
+        speed: f64,
+    }
+    let users_n = 60usize;
+    let mut users: Vec<User> = (0..users_n)
+        .map(|_| User {
+            from: rng.gen_range(0..hubs.len()),
+            to: rng.gen_range(0..hubs.len()),
+            t: rng.gen_range(0.0..1.0),
+            speed: rng.gen_range(0.004..0.012),
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    let mut u = 0usize;
+    while out.len() < n {
+        let user = &mut users[u];
+        user.t += user.speed;
+        if user.t >= 1.0 {
+            user.from = user.to;
+            user.to = rng.gen_range(0..hubs.len());
+            user.t = 0.0;
+        }
+        let a = &hubs[user.from];
+        let b = &hubs[user.to];
+        let t = user.t;
+        let noise = 0.25;
+        let p = Point::new([
+            a[0] + (b[0] - a[0]) * t + rng.gen_range(-noise..noise),
+            a[1] + (b[1] - a[1]) * t + rng.gen_range(-noise..noise),
+            a[2] + (b[2] - a[2]) * t + rng.gen_range(-0.05..0.05),
+        ]);
+        out.push(Record::unlabelled(p));
+        u = (u + 1) % users_n;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// COVID-like (sparse 2D geo-tagged events with heavy noise)
+// ---------------------------------------------------------------------
+
+/// COVID-19 substitute: population-weighted city centres plus a large
+/// uniform-noise fraction; sparse, small-window workload.
+pub fn covid_like(n: usize, rng_seed: u64) -> Vec<Record<2>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    struct City {
+        center: [f64; 2],
+        sigma: f64,
+        weight: f64,
+    }
+    let cities: Vec<City> = (0..40)
+        .map(|i| City {
+            center: [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)],
+            sigma: rng.gen_range(0.4..1.2),
+            // Zipf-ish weights: a few megacities dominate.
+            weight: 1.0 / (i + 1) as f64,
+        })
+        .collect();
+    let total: f64 = cities.iter().map(|c| c.weight).sum();
+
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.gen_bool(0.30) {
+            out.push(Record::unlabelled(Point::new([
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+            ])));
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut idx = 0usize;
+        for (i, c) in cities.iter().enumerate() {
+            if pick < c.weight {
+                idx = i;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let c = &cities[idx];
+        // Box-Muller for a Gaussian scatter around the city centre.
+        let (u1, u2): (f64, f64) = (rng.gen_range(1e-9..1.0), rng.gen_range(0.0..1.0));
+        let r = (-2.0 * u1.ln()).sqrt() * c.sigma;
+        let th = std::f64::consts::TAU * u2;
+        out.push(Record::unlabelled(Point::new([
+            c.center[0] + r * th.cos(),
+            c.center[1] + r * th.sin(),
+        ])));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// IRIS-like (4D earthquake events along fault bands)
+// ---------------------------------------------------------------------
+
+/// IRIS substitute: seismic events along fault-line bands in the scaled 4D
+/// space `(lat, lon, depth/10, magnitude×10)` the paper uses.
+pub fn iris_like(n: usize, rng_seed: u64) -> Vec<Record<4>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    struct Fault {
+        a: [f64; 2],
+        b: [f64; 2],
+        depth: f64,
+        mag: f64,
+    }
+    let faults: Vec<Fault> = (0..14)
+        .map(|_| {
+            let a = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+            let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+            let len = rng.gen_range(15.0..45.0);
+            Fault {
+                a,
+                b: [a[0] + len * ang.cos(), a[1] + len * ang.sin()],
+                depth: rng.gen_range(0.5..6.0),
+                mag: rng.gen_range(2.5..6.5),
+            }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // 12% teleseismic noise scattered over the whole space.
+        if rng.gen_bool(0.12) {
+            out.push(Record::unlabelled(Point::new([
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(25.0..70.0),
+            ])));
+            continue;
+        }
+        let f = &faults[rng.gen_range(0..faults.len())];
+        let t: f64 = rng.gen_range(0.0..1.0);
+        let jitter = 0.5;
+        out.push(Record::unlabelled(Point::new([
+            f.a[0] + (f.b[0] - f.a[0]) * t + rng.gen_range(-jitter..jitter),
+            f.a[1] + (f.b[1] - f.a[1]) * t + rng.gen_range(-jitter..jitter),
+            f.depth + rng.gen_range(-0.4..0.4),
+            f.mag * 10.0 + rng.gen_range(-3.0..3.0),
+        ])));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Generic workloads for tests and examples
+// ---------------------------------------------------------------------
+
+/// Uniform noise in `[0, extent]^D`.
+pub fn uniform<const D: usize>(n: usize, extent: f64, rng_seed: u64) -> Vec<Record<D>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for x in &mut c {
+                *x = rng.gen_range(0.0..extent);
+            }
+            Record::unlabelled(Point::new(c))
+        })
+        .collect()
+}
+
+/// `k` Gaussian blobs with ground-truth labels, blob `i` centred on a
+/// jittered grid cell; emission is round-robin so every window holds every
+/// blob.
+pub fn gaussian_blobs<const D: usize>(
+    n: usize,
+    k: usize,
+    sigma: f64,
+    rng_seed: u64,
+) -> Vec<Record<D>> {
+    assert!(k > 0);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let side = (k as f64).powf(1.0 / D as f64).ceil() as usize;
+    let spacing = 12.0 * sigma.max(1.0);
+    let centers: Vec<[f64; D]> = (0..k)
+        .map(|i| {
+            let mut c = [0.0; D];
+            let mut rem = i;
+            for x in c.iter_mut() {
+                *x = (rem % side) as f64 * spacing + rng.gen_range(-1.0..1.0);
+                rem /= side;
+            }
+            c
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let b = i % k;
+            let mut c = centers[b];
+            for x in &mut c {
+                let (u1, u2): (f64, f64) = (rng.gen_range(1e-9..1.0), rng.gen_range(0.0..1.0));
+                *x += (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * sigma;
+            }
+            Record::labelled(Point::new(c), b as u32)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Netflow-like (network anomaly detection, the intro's third application)
+// ---------------------------------------------------------------------
+
+/// Network-flow features for online anomaly detection (the paper's §I cites
+/// unsupervised network anomaly detection as a target application; noise
+/// points under density clustering are the anomaly candidates).
+///
+/// 3D behavioural feature space `(log bytes, log duration, dst-port class)`:
+/// normal traffic concentrates in a handful of dense service profiles
+/// (web, streaming, DNS, mail, ssh); anomalies — port scans, exfiltration
+/// bursts — are scattered singletons (~1.5% of flows). Ground truth labels
+/// the service profile; anomalies carry `truth = None`, so precision/recall
+/// of "noise = anomaly" can be measured directly.
+pub fn netflow_like(n: usize, rng_seed: u64) -> Vec<Record<3>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    // (centre, spread, weight) per service profile.
+    let profiles: [([f64; 3], f64, f64); 5] = [
+        ([8.0, 1.0, 2.0], 0.5, 0.40),  // web browsing
+        ([14.0, 5.0, 2.5], 0.6, 0.20), // video streaming
+        ([4.0, -2.0, 1.0], 0.3, 0.20), // DNS
+        ([9.5, 2.5, 3.5], 0.5, 0.12),  // mail
+        ([7.0, 4.0, 5.0], 0.4, 0.08),  // ssh sessions
+    ];
+    let total: f64 = profiles.iter().map(|(_, _, w)| w).sum();
+
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.gen_bool(0.015) {
+            // Anomaly: uniformly scattered, far from every profile more
+            // often than not.
+            out.push(Record {
+                point: Point::new([
+                    rng.gen_range(0.0..20.0),
+                    rng.gen_range(-4.0..8.0),
+                    rng.gen_range(0.0..8.0),
+                ]),
+                truth: None,
+            });
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut idx = 0usize;
+        for (i, (_, _, w)) in profiles.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= *w;
+        }
+        let (c, sigma, _) = &profiles[idx];
+        let mut coords = [0.0; 3];
+        for (x, ctr) in coords.iter_mut().zip(c.iter()) {
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-9..1.0), rng.gen_range(0.0..1.0));
+            *x = ctr + (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * sigma;
+        }
+        out.push(Record::labelled(Point::new(coords), idx as u32));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Multi-density stress workload
+// ---------------------------------------------------------------------
+
+/// A density-contrast stress workload: `k` blobs whose densities differ by
+/// an order of magnitude each (σ doubling, population fixed), plus uniform
+/// background noise. Single-threshold density clustering is known to be
+/// awkward on such data — which makes it a good stress case for the
+/// *exactness* of incremental maintenance (splits and dissipations happen
+/// at very different rates per blob).
+pub fn multi_density<const D: usize>(n: usize, k: usize, rng_seed: u64) -> Vec<Record<D>> {
+    assert!(k > 0);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let spacing = 40.0;
+    let centers: Vec<[f64; D]> = (0..k)
+        .map(|i| {
+            let mut c = [0.0; D];
+            c[0] = i as f64 * spacing;
+            c
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            if i % 17 == 0 {
+                let mut c = [0.0; D];
+                for x in &mut c {
+                    *x = rng.gen_range(-10.0..(k as f64 * spacing));
+                }
+                return Record::unlabelled(Point::new(c));
+            }
+            let b = i % k;
+            let sigma = 0.3 * (1 << b) as f64; // 0.3, 0.6, 1.2, ...
+            let mut c = centers[b];
+            for x in &mut c {
+                let (u1, u2): (f64, f64) = (rng.gen_range(1e-9..1.0), rng.gen_range(0.0..1.0));
+                *x += (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * sigma;
+            }
+            Record::labelled(Point::new(c), b as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(maze(500, 10, 42), maze(500, 10, 42));
+        assert_eq!(dtg_like(500, 7), dtg_like(500, 7));
+        assert_eq!(geolife_like(500, 7), geolife_like(500, 7));
+        assert_eq!(covid_like(500, 7), covid_like(500, 7));
+        assert_eq!(iris_like(500, 7), iris_like(500, 7));
+        assert_ne!(maze(500, 10, 42), maze(500, 10, 43));
+    }
+
+    #[test]
+    fn maze_labels_every_point_and_interleaves_seeds() {
+        let recs = maze(1000, 25, 1);
+        assert_eq!(recs.len(), 1000);
+        assert!(recs.iter().all(|r| r.truth.is_some()));
+        // Round-robin: the first 25 records cover all 25 seeds.
+        let mut seen: Vec<u32> = recs[..25].iter().map(|r| r.truth.unwrap()).collect();
+        seen.sort();
+        assert_eq!(seen, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn maze_trajectories_stay_near_their_origin() {
+        let recs = maze(4000, 16, 3);
+        // Walkers orbit within ~orbit + step of their grid origin (spacing
+        // 10), so points labelled s stay inside a ball of radius 5 around
+        // a lattice point.
+        for r in &recs {
+            let s = r.truth.unwrap() as usize;
+            let side = 4;
+            let ox = (s % side) as f64 * 10.0;
+            let oy = (s / side) as f64 * 10.0;
+            let d = ((r.point[0] - ox).powi(2) + (r.point[1] - oy).powi(2)).sqrt();
+            assert!(d < 5.5, "walker {s} strayed {d}");
+        }
+    }
+
+    #[test]
+    fn maze_consecutive_fixes_are_eps_connected() {
+        let seeds = 10;
+        let recs = maze(2000, seeds, 9);
+        // Per-seed consecutive emissions are one step (+jitter) apart.
+        for s in 0..seeds {
+            let fixes: Vec<_> = recs
+                .iter()
+                .filter(|r| r.truth == Some(s as u32))
+                .map(|r| r.point)
+                .collect();
+            for w in fixes.windows(2) {
+                assert!(
+                    w[0].dist(&w[1]) < MAZE_PROFILE.eps,
+                    "trajectory gap exceeds eps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dtg_points_hug_the_road_grid() {
+        let recs = dtg_like(3000, 11);
+        let gap = 5.0;
+        let mut on_road = 0usize;
+        for r in &recs {
+            let near = |v: f64| (v / gap - (v / gap).round()).abs() * gap < 0.1;
+            if near(r.point[0]) || near(r.point[1]) {
+                on_road += 1;
+            }
+        }
+        assert!(
+            on_road as f64 > 0.95 * recs.len() as f64,
+            "{on_road}/{} fixes on roads",
+            recs.len()
+        );
+    }
+
+    #[test]
+    fn covid_contains_noise_and_hotspots() {
+        let recs = covid_like(5000, 5);
+        assert_eq!(recs.len(), 5000);
+        // Density check: some point should have many neighbours within 1.2
+        // (a city), while the global average is far lower.
+        let sample = &recs[..400];
+        let mut max_neigh = 0usize;
+        let mut total = 0usize;
+        for a in sample {
+            let n = recs
+                .iter()
+                .filter(|b| a.point.within(&b.point, 1.2))
+                .count();
+            max_neigh = max_neigh.max(n);
+            total += n;
+        }
+        let avg = total as f64 / sample.len() as f64;
+        assert!(max_neigh as f64 > 4.0 * avg, "max {max_neigh} vs avg {avg}");
+    }
+
+    #[test]
+    fn iris_is_four_dimensional_with_bands() {
+        let recs = iris_like(2000, 13);
+        assert!(recs.iter().all(|r| r.point.as_slice().len() == 4));
+        let depths: Vec<f64> = recs.iter().map(|r| r.point[2]).collect();
+        let min = depths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = depths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1.0, "depth channel must vary");
+    }
+
+    #[test]
+    fn blobs_are_separated_and_labelled() {
+        let recs = gaussian_blobs::<2>(900, 3, 0.5, 21);
+        assert_eq!(recs.len(), 900);
+        for r in &recs {
+            assert!(r.truth.unwrap() < 3);
+        }
+        // Points of the same blob are much closer on average than points of
+        // different blobs.
+        let same: Vec<f64> = recs
+            .windows(6)
+            .filter(|w| w[0].truth == w[3].truth)
+            .map(|w| w[0].point.dist(&w[3].point))
+            .collect();
+        let diff: Vec<f64> = recs
+            .windows(2)
+            .filter(|w| w[0].truth != w[1].truth)
+            .map(|w| w[0].point.dist(&w[1].point))
+            .collect();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&same) * 2.0 < avg(&diff));
+    }
+
+    #[test]
+    fn netflow_anomalies_are_rare_and_unlabelled() {
+        let recs = netflow_like(8000, 3);
+        let anomalies = recs.iter().filter(|r| r.truth.is_none()).count();
+        let frac = anomalies as f64 / recs.len() as f64;
+        assert!((0.005..0.04).contains(&frac), "anomaly rate {frac}");
+        // Normal flows concentrate: a sampled normal point has far more
+        // close neighbours than a sampled anomaly.
+        let near = |a: &Record<3>| {
+            recs.iter()
+                .filter(|b| a.point.within(&b.point, 0.8))
+                .count()
+        };
+        let normal_avg: f64 = recs
+            .iter()
+            .filter(|r| r.truth.is_some())
+            .take(50)
+            .map(|r| near(r) as f64)
+            .sum::<f64>()
+            / 50.0;
+        let anom_avg: f64 = {
+            let anoms: Vec<&Record<3>> =
+                recs.iter().filter(|r| r.truth.is_none()).take(30).collect();
+            anoms.iter().map(|r| near(r) as f64).sum::<f64>() / anoms.len() as f64
+        };
+        assert!(
+            normal_avg > 10.0 * anom_avg.max(1.0),
+            "normal {normal_avg} vs anomaly {anom_avg}"
+        );
+    }
+
+    #[test]
+    fn multi_density_blobs_have_contrasting_spread() {
+        let recs = multi_density::<2>(3000, 3, 5);
+        let spread = |b: u32| -> f64 {
+            let pts: Vec<_> = recs.iter().filter(|r| r.truth == Some(b)).collect();
+            let cx = pts.iter().map(|r| r.point[0]).sum::<f64>() / pts.len() as f64;
+            (pts.iter().map(|r| (r.point[0] - cx).powi(2)).sum::<f64>() / pts.len() as f64)
+                .sqrt()
+        };
+        assert!(spread(2) > 3.0 * spread(0), "{} vs {}", spread(2), spread(0));
+        assert!(recs.iter().any(|r| r.truth.is_none()), "noise present");
+    }
+
+    #[test]
+    fn profiles_match_generator_dimensions() {
+        for p in profiles() {
+            assert!(p.tau >= 2);
+            assert!(p.eps > 0.0);
+            assert!(p.window <= p.stream_len);
+            match p.name {
+                "DTG" | "COVID-19" | "Maze" => assert_eq!(p.dim, 2),
+                "GeoLife" => assert_eq!(p.dim, 3),
+                "IRIS" => assert_eq!(p.dim, 4),
+                other => panic!("unknown profile {other}"),
+            }
+        }
+    }
+}

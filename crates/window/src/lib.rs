@@ -1,0 +1,25 @@
+//! Sliding-window streaming machinery and workload generators.
+//!
+//! The paper evaluates DISC under the **count-based sliding window** model:
+//! the window holds the most recent `window` points and advances by
+//! `stride` points at a time; one advance retires the oldest stride
+//! (`Δout`) and admits the newest (`Δin`). This crate provides:
+//!
+//! * [`SlidingWindow`] — turns any finite record stream into a sequence of
+//!   [`SlideBatch`]es (the `Δin`/`Δout` pairs every clustering method in the
+//!   workspace consumes);
+//! * [`datasets`] — synthetic generators standing in for the paper's four
+//!   real datasets (DTG, GeoLife, COVID-19, IRIS) plus a faithful
+//!   re-implementation of the synthetic **Maze** workload, each documented
+//!   with the structural property it preserves;
+//! * [`csv`] — minimal CSV import/export for cluster snapshots (Fig. 12).
+
+pub mod csv;
+pub mod datasets;
+pub mod stream;
+pub mod timewindow;
+pub mod window;
+
+pub use stream::Record;
+pub use timewindow::{TimeWindow, TimedRecord};
+pub use window::{SlideBatch, SlidingWindow};

@@ -1,0 +1,46 @@
+//! Stream records.
+
+use disc_geom::Point;
+
+/// One record of a point stream.
+///
+/// `truth` carries an optional ground-truth cluster label used for ARI
+/// quality measurements (the Maze generator labels every point with its
+/// seed id; the DTG-style experiments use DBSCAN's own output as truth,
+/// exactly as the paper does).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Record<const D: usize> {
+    /// Spatial coordinates.
+    pub point: Point<D>,
+    /// Ground-truth cluster label, if the generator knows one.
+    /// `None` also encodes "ground-truth noise" for labelled generators
+    /// that emit genuine noise points.
+    pub truth: Option<u32>,
+}
+
+impl<const D: usize> Record<D> {
+    /// An unlabelled record.
+    pub fn unlabelled(point: Point<D>) -> Self {
+        Record { point, truth: None }
+    }
+
+    /// A record with a ground-truth label.
+    pub fn labelled(point: Point<D>, label: u32) -> Self {
+        Record {
+            point,
+            truth: Some(label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = Point::new([1.0, 2.0]);
+        assert_eq!(Record::unlabelled(p).truth, None);
+        assert_eq!(Record::labelled(p, 7).truth, Some(7));
+    }
+}

@@ -1,0 +1,240 @@
+//! The count-based sliding window driver.
+
+use crate::stream::Record;
+use disc_geom::{Point, PointId};
+
+/// One advance of the sliding window: the points entering (`Δin`) and
+/// leaving (`Δout`), each tagged with its stable arrival id.
+#[derive(Clone, Debug, Default)]
+pub struct SlideBatch<const D: usize> {
+    /// Points entering the window, in arrival order.
+    pub incoming: Vec<(PointId, Point<D>)>,
+    /// Points leaving the window, in arrival order.
+    pub outgoing: Vec<(PointId, Point<D>)>,
+}
+
+impl<const D: usize> SlideBatch<D> {
+    /// Net change in window population.
+    pub fn net(&self) -> isize {
+        self.incoming.len() as isize - self.outgoing.len() as isize
+    }
+}
+
+/// Drives a finite record stream through a count-based sliding window.
+///
+/// Ids are arrival indices (`PointId(i)` for the i-th record), so every
+/// consumer can recover a record's stride slot from its id.
+///
+/// ```
+/// use disc_window::{SlidingWindow, Record};
+/// use disc_geom::Point;
+///
+/// let recs: Vec<Record<2>> = (0..10)
+///     .map(|i| Record::unlabelled(Point::new([i as f64, 0.0])))
+///     .collect();
+/// let mut w = SlidingWindow::new(recs, 4, 2);
+/// let fill = w.fill();
+/// assert_eq!(fill.incoming.len(), 4);
+/// assert!(fill.outgoing.is_empty());
+/// let step = w.advance().unwrap();
+/// assert_eq!(step.incoming.len(), 2);
+/// assert_eq!(step.outgoing.len(), 2);
+/// assert_eq!(step.outgoing[0].0.raw(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlidingWindow<const D: usize> {
+    records: Vec<Record<D>>,
+    window: usize,
+    stride: usize,
+    /// Index of the first record of the *current* window; `None` before
+    /// `fill` was called.
+    start: Option<usize>,
+}
+
+impl<const D: usize> SlidingWindow<D> {
+    /// Creates a window driver. Panics if `window` or `stride` is zero or
+    /// `stride > window` (the model requires strides to tile the window).
+    pub fn new(records: Vec<Record<D>>, window: usize, stride: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(stride > 0, "stride must be positive");
+        assert!(stride <= window, "stride must not exceed the window");
+        SlidingWindow {
+            records,
+            window,
+            stride,
+            start: None,
+        }
+    }
+
+    /// Window size in points.
+    pub fn window_size(&self) -> usize {
+        self.window
+    }
+
+    /// Stride size in points.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total records in the backing stream.
+    pub fn stream_len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of `advance` calls available after `fill`.
+    pub fn remaining_slides(&self) -> usize {
+        let consumed = match self.start {
+            None => 0,
+            Some(s) => s + self.window,
+        };
+        if consumed == 0 {
+            if self.records.len() < self.window {
+                return 0;
+            }
+            return (self.records.len() - self.window) / self.stride;
+        }
+        (self.records.len() - consumed) / self.stride
+    }
+
+    /// Fills the initial window. Must be called once, first.
+    ///
+    /// Returns a batch whose `incoming` holds the first `window` records
+    /// (or every record, if the stream is shorter).
+    pub fn fill(&mut self) -> SlideBatch<D> {
+        assert!(self.start.is_none(), "fill must only be called once");
+        let n = self.window.min(self.records.len());
+        self.start = Some(0);
+        SlideBatch {
+            incoming: (0..n)
+                .map(|i| (PointId(i as u64), self.records[i].point))
+                .collect(),
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// Advances by one stride. Returns `None` when the stream cannot supply
+    /// a full stride anymore.
+    pub fn advance(&mut self) -> Option<SlideBatch<D>> {
+        let start = self.start.expect("advance before fill");
+        let end = start + self.window;
+        if end + self.stride > self.records.len() {
+            return None;
+        }
+        let batch = SlideBatch {
+            outgoing: (start..start + self.stride)
+                .map(|i| (PointId(i as u64), self.records[i].point))
+                .collect(),
+            incoming: (end..end + self.stride)
+                .map(|i| (PointId(i as u64), self.records[i].point))
+                .collect(),
+        };
+        self.start = Some(start + self.stride);
+        Some(batch)
+    }
+
+    /// Ids and points of the current window, in arrival order.
+    pub fn current(&self) -> impl Iterator<Item = (PointId, Point<D>)> + '_ {
+        let start = self.start.expect("current before fill");
+        let end = (start + self.window).min(self.records.len());
+        (start..end).map(|i| (PointId(i as u64), self.records[i].point))
+    }
+
+    /// Ground-truth labels of the current window (parallel to [`current`]):
+    /// `(id, Some(label))` for labelled records.
+    ///
+    /// [`current`]: SlidingWindow::current
+    pub fn current_truth(&self) -> impl Iterator<Item = (PointId, Option<u32>)> + '_ {
+        let start = self.start.expect("current_truth before fill");
+        let end = (start + self.window).min(self.records.len());
+        (start..end).map(|i| (PointId(i as u64), self.records[i].truth))
+    }
+
+    /// Number of points in the current window.
+    pub fn current_len(&self) -> usize {
+        let start = self.start.expect("current_len before fill");
+        (start + self.window).min(self.records.len()) - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: usize) -> Vec<Record<1>> {
+        (0..n)
+            .map(|i| Record::unlabelled(Point::new([i as f64])))
+            .collect()
+    }
+
+    #[test]
+    fn fill_then_slides_partition_the_stream() {
+        let mut w = SlidingWindow::new(recs(20), 8, 4);
+        assert_eq!(w.remaining_slides(), 3);
+        let fill = w.fill();
+        assert_eq!(fill.incoming.len(), 8);
+        assert_eq!(w.current_len(), 8);
+
+        let s1 = w.advance().unwrap();
+        assert_eq!(
+            s1.outgoing.iter().map(|(id, _)| id.raw()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            s1.incoming.iter().map(|(id, _)| id.raw()).collect::<Vec<_>>(),
+            vec![8, 9, 10, 11]
+        );
+        let s2 = w.advance().unwrap();
+        assert_eq!(s2.incoming[0].0.raw(), 12);
+        let s3 = w.advance().unwrap();
+        assert_eq!(s3.incoming[3].0.raw(), 19);
+        assert!(w.advance().is_none(), "stream exhausted");
+    }
+
+    #[test]
+    fn current_tracks_the_window_contents() {
+        let mut w = SlidingWindow::new(recs(12), 6, 3);
+        w.fill();
+        w.advance().unwrap();
+        let ids: Vec<u64> = w.current().map(|(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn short_stream_fills_partially_and_never_advances() {
+        let mut w = SlidingWindow::new(recs(5), 8, 2);
+        assert_eq!(w.remaining_slides(), 0);
+        let fill = w.fill();
+        assert_eq!(fill.incoming.len(), 5);
+        assert!(w.advance().is_none());
+    }
+
+    #[test]
+    fn stride_equal_to_window_replaces_everything() {
+        let mut w = SlidingWindow::new(recs(12), 4, 4);
+        w.fill();
+        let s = w.advance().unwrap();
+        assert_eq!(s.outgoing.len(), 4);
+        assert_eq!(s.incoming.len(), 4);
+        assert_eq!(s.net(), 0);
+        let ids: Vec<u64> = w.current().map(|(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must not exceed")]
+    fn oversized_stride_is_rejected() {
+        let _ = SlidingWindow::new(recs(10), 4, 5);
+    }
+
+    #[test]
+    fn truth_labels_follow_the_window() {
+        let records: Vec<Record<1>> = (0..10)
+            .map(|i| Record::labelled(Point::new([i as f64]), (i % 3) as u32))
+            .collect();
+        let mut w = SlidingWindow::new(records, 4, 2);
+        w.fill();
+        w.advance().unwrap();
+        let truths: Vec<Option<u32>> = w.current_truth().map(|(_, t)| t).collect();
+        assert_eq!(truths, vec![Some(2), Some(0), Some(1), Some(2)]);
+    }
+}

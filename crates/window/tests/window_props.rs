@@ -1,0 +1,84 @@
+//! Property tests for the sliding-window driver: the batches must
+//! partition the stream exactly, and the window contents must always match
+//! a direct slice of the stream.
+
+use disc_geom::Point;
+use disc_window::{Record, SlidingWindow};
+use proptest::prelude::*;
+
+fn records(n: usize) -> Vec<Record<1>> {
+    (0..n)
+        .map(|i| Record::unlabelled(Point::new([i as f64])))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn batches_partition_the_stream(
+        stream_len in 1usize..500,
+        window in 1usize..200,
+        stride_seed in 1usize..200,
+    ) {
+        let window = window.min(stream_len);
+        let stride = stride_seed.min(window);
+        let mut w = SlidingWindow::new(records(stream_len), window, stride);
+
+        let fill = w.fill();
+        prop_assert_eq!(fill.incoming.len(), window.min(stream_len));
+        prop_assert!(fill.outgoing.is_empty());
+
+        // Window = stream[start..start+window] after every advance.
+        let mut start = 0usize;
+        let mut total_in = fill.incoming.len();
+        let mut total_out = 0usize;
+        while let Some(batch) = w.advance() {
+            start += stride;
+            prop_assert_eq!(batch.incoming.len(), stride);
+            prop_assert_eq!(batch.outgoing.len(), stride);
+            total_in += batch.incoming.len();
+            total_out += batch.outgoing.len();
+
+            let ids: Vec<u64> = w.current().map(|(id, _)| id.raw()).collect();
+            let expect: Vec<u64> = (start as u64..(start + window) as u64).collect();
+            prop_assert_eq!(ids, expect);
+            prop_assert_eq!(w.current_len(), window);
+        }
+        // Everything that entered minus everything that left is the window.
+        prop_assert_eq!(total_in - total_out, w.current_len());
+        // No more than a stride's worth of records remains unconsumed.
+        prop_assert!(stream_len - (start + w.current_len()).min(stream_len) < stride);
+    }
+
+    #[test]
+    fn remaining_slides_predicts_advances(
+        stream_len in 1usize..400,
+        window in 1usize..150,
+        stride_seed in 1usize..150,
+    ) {
+        let window = window.min(stream_len);
+        let stride = stride_seed.min(window);
+        let mut w = SlidingWindow::new(records(stream_len), window, stride);
+        let predicted = w.remaining_slides();
+        w.fill();
+        let mut actual = 0usize;
+        while w.advance().is_some() {
+            actual += 1;
+        }
+        prop_assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn ids_are_arrival_indices(
+        stream_len in 10usize..300,
+        window in 5usize..100,
+    ) {
+        let window = window.min(stream_len);
+        let mut w = SlidingWindow::new(records(stream_len), window, window.max(1) / 2 + 1);
+        w.fill();
+        for (id, p) in w.current() {
+            prop_assert_eq!(id.raw() as f64, p[0]);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Online network anomaly detection — the paper's third motivating
+//! application (§I cites unsupervised anomaly detection in network
+//! communication).
+//!
+//! Flows arrive as 3D behavioural feature vectors; normal traffic forms
+//! dense service-profile clusters, attacks are scattered. Under
+//! density-based clustering, **noise points are the anomaly candidates** —
+//! and because DISC keeps the window's clustering exact at every slide, the
+//! anomaly flags are exactly what offline DBSCAN would produce, at a
+//! fraction of the cost. The example reports per-slide precision/recall of
+//! "noise = anomaly" against the generator's ground truth.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example network_anomaly
+//! ```
+
+use disc::prelude::*;
+
+fn main() {
+    let records = datasets::netflow_like(60_000, 443);
+    let window = 8_000usize;
+    let stride = 400usize;
+    let mut w = SlidingWindow::new(records, window, stride);
+
+    // ε tuned to the service-profile spread; τ so that profile members are
+    // cores and scattered attacks are not.
+    let mut disc = Disc::new(DiscConfig::new(0.8, 8));
+    disc.apply(&w.fill());
+
+    let mut agg = (0usize, 0usize, 0usize); // (true pos, flagged, actual)
+    let mut slide = 0usize;
+    loop {
+        // Evaluate the current window: flagged = noise-labelled points.
+        let truth: std::collections::HashMap<PointId, bool> = w
+            .current_truth()
+            .map(|(id, t)| (id, t.is_none()))
+            .collect();
+        let mut tp = 0usize;
+        let mut flagged = 0usize;
+        let actual = truth.values().filter(|&&a| a).count();
+        for (id, label) in disc.assignments() {
+            if label < 0 {
+                flagged += 1;
+                if truth[&id] {
+                    tp += 1;
+                }
+            }
+        }
+        agg.0 += tp;
+        agg.1 += flagged;
+        agg.2 += actual;
+        if slide.is_multiple_of(20) {
+            let precision = tp as f64 / flagged.max(1) as f64;
+            let recall = tp as f64 / actual.max(1) as f64;
+            println!(
+                "slide {slide:>3}: {} service profiles | {flagged:>3} flagged, {actual:>3} true anomalies | precision {precision:.2} recall {recall:.2}",
+                disc.num_clusters()
+            );
+        }
+        slide += 1;
+        match w.advance() {
+            Some(batch) => {
+                disc.apply(&batch);
+            }
+            None => break,
+        }
+    }
+
+    let precision = agg.0 as f64 / agg.1.max(1) as f64;
+    let recall = agg.0 as f64 / agg.2.max(1) as f64;
+    println!("\n--- anomaly detection summary ({slide} slides) ---");
+    println!("aggregate precision   : {precision:.3}");
+    println!("aggregate recall      : {recall:.3}");
+    println!(
+        "avg update cost       : {} range searches/slide",
+        disc.index_stats().range_searches / slide.max(1) as u64
+    );
+    assert!(recall > 0.8, "exact clustering must catch most anomalies");
+}

@@ -1,0 +1,50 @@
+//! Parameter estimation — the Table II methodology, end to end.
+//!
+//! The paper picks each dataset's (ε, τ) "based on a K-distance graph"
+//! (and, for DTG, sets τ to the average number of in-range neighbours).
+//! This example runs that procedure on three workloads, prints the
+//! K-distance curve's head/knee/tail so the shape is visible in a
+//! terminal, and validates the estimate by clustering with it.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use disc::core::kdistance;
+use disc::prelude::*;
+
+fn tune<const D: usize>(name: &str, records: Vec<Record<D>>, window: usize, stride: usize) {
+    println!("=== {name} ({}D, {} records) ===", D, records.len());
+
+    let k = 2 * D;
+    let curve = kdistance::kdistance_curve(&records, k, 1_500);
+    let knee = kdistance::knee_index(&curve);
+    println!(
+        "k-distance curve (k = {k}): head {:.4}  knee[{knee}] {:.4}  tail {:.4}",
+        curve[0],
+        curve[knee],
+        curve[curve.len() - 1]
+    );
+
+    let est = kdistance::estimate(&records, 1_500);
+    println!("estimate: eps = {:.4}, tau = {}", est.eps, est.tau);
+
+    let mut w = SlidingWindow::new(records, window, stride);
+    let mut disc = Disc::new(DiscConfig::new(est.eps, est.tau));
+    disc.apply(&w.fill());
+    while let Some(b) = w.advance() {
+        disc.apply(&b);
+    }
+    let (cores, borders, noise) = disc.census();
+    println!(
+        "clustering at the estimate: {} clusters | {cores} cores / {borders} borders / {noise} noise\n",
+        disc.num_clusters()
+    );
+}
+
+fn main() {
+    tune("Maze", datasets::maze(20_000, 60, 7), 6_000, 300);
+    tune("COVID-like", datasets::covid_like(12_000, 7), 4_000, 200);
+    tune("IRIS-like", datasets::iris_like(20_000, 7), 6_000, 300);
+}

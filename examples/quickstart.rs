@@ -1,0 +1,51 @@
+//! Quickstart: cluster a labelled synthetic stream and watch the clusters
+//! evolve as the window slides.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use disc::prelude::*;
+
+fn main() {
+    // Three Gaussian blobs emitted round-robin: every window sees them all.
+    let records = datasets::gaussian_blobs::<2>(20_000, 3, 0.5, 42);
+    let mut window = SlidingWindow::new(records, 4_000, 400);
+
+    // ε = 1.0, τ = 5 (τ counts the point itself, as in the paper).
+    let mut disc = Disc::new(DiscConfig::new(1.0, 5));
+
+    // Fill the initial window, then stride through the stream.
+    let fill = window.fill();
+    let stats = disc.apply(&fill);
+    println!(
+        "initial window: {} points, {} clusters ({} range searches)",
+        disc.window_len(),
+        disc.num_clusters(),
+        stats.range_searches()
+    );
+
+    let mut slide = 0usize;
+    while let Some(batch) = window.advance() {
+        slide += 1;
+        let stats = disc.apply(&batch);
+        let (cores, borders, noise) = disc.census();
+        println!(
+            "slide {slide:>3}: {} clusters | {cores} cores {borders} borders {noise} noise | \
+             {} ex-cores {} neo-cores | {:?}",
+            disc.num_clusters(),
+            stats.ex_cores,
+            stats.neo_cores,
+            stats.elapsed
+        );
+    }
+
+    // Compare the final clustering with the generator's ground truth.
+    let truth: Vec<i64> = window
+        .current_truth()
+        .map(|(_, t)| t.map(|v| v as i64).unwrap_or(-1))
+        .collect();
+    let pred: Vec<i64> = disc.assignments().into_iter().map(|(_, l)| l).collect();
+    println!("final ARI vs ground truth: {:.4}", ari(&truth, &pred));
+}

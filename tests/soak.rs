@@ -1,0 +1,64 @@
+//! Soak test: a long stream with churn, verifying structural invariants
+//! and DBSCAN agreement at checkpoints rather than every slide (kept light
+//! enough for debug-profile CI).
+
+use disc::prelude::*;
+
+#[test]
+fn long_stream_soak_with_checkpoint_verification() {
+    // Interleave three workload characters into one stream: dense blobs,
+    // winding trajectories, uniform noise.
+    let mut recs = datasets::maze(6_000, 20, 31);
+    let blobs = datasets::gaussian_blobs::<2>(3_000, 4, 0.7, 32);
+    let noise = datasets::uniform::<2>(1_000, 80.0, 33);
+    for (i, r) in blobs.into_iter().enumerate() {
+        recs.insert((i * 3) % recs.len(), r);
+    }
+    for (i, r) in noise.into_iter().enumerate() {
+        recs.insert((i * 9) % recs.len(), r);
+    }
+
+    let window = 1_200;
+    let stride = 120;
+    let (eps, tau) = (0.8, 5);
+    let mut w = SlidingWindow::new(recs, window, stride);
+    let mut disc = Disc::new(DiscConfig::new(eps, tau));
+    disc.apply(&w.fill());
+
+    let mut slide = 0usize;
+    let mut checkpoints = 0usize;
+    while let Some(batch) = w.advance() {
+        disc.apply(&batch);
+        slide += 1;
+        if slide.is_multiple_of(13) {
+            // Checkpoint: full invariant sweep + DBSCAN agreement on core
+            // structure.
+            disc.check_invariants();
+            // A fresh DBSCAN instance clusters the current window from
+            // scratch, independent of any incremental state.
+            let current: Vec<(PointId, Point<2>)> = w.current().collect();
+            let mut dbscan = Dbscan::new(eps, tau);
+            let fill = SlideBatch {
+                incoming: current,
+                outgoing: Vec::new(),
+            };
+            WindowClusterer::apply(&mut dbscan, &fill);
+
+            let a = disc.assignments();
+            let b = WindowClusterer::assignments(&dbscan);
+            assert_eq!(a.len(), b.len());
+            for ((ida, la), (idb, lb)) in a.iter().zip(b.iter()) {
+                assert_eq!(ida, idb);
+                assert_eq!(*la < 0, *lb < 0, "slide {slide}: {ida} noise flag");
+            }
+            let ca: std::collections::HashSet<i64> =
+                a.iter().map(|(_, l)| *l).filter(|&l| l >= 0).collect();
+            let cb: std::collections::HashSet<i64> =
+                b.iter().map(|(_, l)| *l).filter(|&l| l >= 0).collect();
+            assert_eq!(ca.len(), cb.len(), "slide {slide}: cluster count");
+            checkpoints += 1;
+        }
+    }
+    assert!(slide > 50, "soak must cover many slides, got {slide}");
+    assert!(checkpoints >= 4);
+}
