@@ -57,8 +57,7 @@ impl<const D: usize> Dbscan<D> {
                 continue;
             }
             visited.insert(*id, true);
-            hits.clear();
-            tree.for_each_in_ball(pos, eps, |q, _| hits.push(q));
+            tree.ball_ids_into(pos, eps, &mut hits);
             if hits.len() < tau {
                 // Tentatively noise; may be claimed as border later.
                 labels.entry(*id).or_insert(-1);
@@ -82,8 +81,7 @@ impl<const D: usize> Dbscan<D> {
                     continue; // already expanded
                 }
                 let qpos = tree_point(&order, q);
-                hits.clear();
-                tree.for_each_in_ball(&qpos, eps, |x, _| hits.push(x));
+                tree.ball_ids_into(&qpos, eps, &mut hits);
                 if hits.len() >= tau {
                     for &x in &hits {
                         let unexpanded = !visited.contains_key(&x);
@@ -124,19 +122,14 @@ impl<const D: usize> WindowClusterer<D> for Dbscan<D> {
         for (id, p) in &batch.incoming {
             self.window.insert(*id, *p);
         }
-        let pts: Vec<(PointId, Point<D>)> =
-            self.window.iter().map(|(id, p)| (*id, *p)).collect();
+        let pts: Vec<(PointId, Point<D>)> = self.window.iter().map(|(id, p)| (*id, *p)).collect();
         let (labels, searches) = Self::run(&pts, self.eps, self.tau);
         self.labels = labels;
         self.range_searches += searches;
     }
 
     fn assignments(&self) -> Vec<(PointId, i64)> {
-        let mut out: Vec<(PointId, i64)> = self
-            .labels
-            .iter()
-            .map(|(id, l)| (*id, *l))
-            .collect();
+        let mut out: Vec<(PointId, i64)> = self.labels.iter().map(|(id, l)| (*id, *l)).collect();
         out.sort_unstable_by_key(|(id, _)| *id);
         out
     }

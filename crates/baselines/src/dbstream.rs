@@ -137,10 +137,7 @@ impl<const D: usize> DbStream<D> {
         // Shared density for every pair that absorbed this point.
         for a in 0..hits.len() {
             for b in (a + 1)..hits.len() {
-                let key = (
-                    hits[a].min(hits[b]) as u32,
-                    hits[a].max(hits[b]) as u32,
-                );
+                let key = (hits[a].min(hits[b]) as u32, hits[a].max(hits[b]) as u32);
                 let lambda = self.cfg.lambda;
                 let entry = self.shared.entry(key).or_insert((0.0, t));
                 let decay = (-lambda * (t - entry.1) as f64).exp2();
@@ -281,7 +278,10 @@ mod tests {
             "blobs must form a handful of macro-clusters, got {}",
             clusters.len()
         );
-        assert!(db.micro_count() < 600, "summary must be much smaller than data");
+        assert!(
+            db.micro_count() < 600,
+            "summary must be much smaller than data"
+        );
     }
 
     #[test]
@@ -321,7 +321,9 @@ mod tests {
             incoming: (5..400u64)
                 .map(|i| (PointId(i), Point::new([50.0 + (i % 7) as f64 * 0.1, 50.0])))
                 .collect(),
-            outgoing: (0..5u64).map(|i| (PointId(i), Point::new([0.0, 0.0]))).collect(),
+            outgoing: (0..5u64)
+                .map(|i| (PointId(i), Point::new([0.0, 0.0])))
+                .collect(),
         };
         db.apply(&far);
         let origin_alive = db

@@ -170,8 +170,7 @@ impl<const D: usize> DenStream<D> {
         }
         let reach = 2.0 * self.cfg.radius;
         let reach2 = reach * reach;
-        let is_core_mc =
-            |m: &Micro<D>| m.potential && m.weight >= self.cfg.mu;
+        let is_core_mc = |m: &Micro<D>| m.potential && m.weight >= self.cfg.mu;
         for i in 0..n {
             if !is_core_mc(&self.mcs[i]) {
                 continue;
@@ -342,7 +341,9 @@ mod tests {
             incoming: (10..600u64)
                 .map(|i| (PointId(i), Point::new([50.0, 50.0])))
                 .collect(),
-            outgoing: (0..10u64).map(|i| (PointId(i), Point::new([0.0, 0.0]))).collect(),
+            outgoing: (0..10u64)
+                .map(|i| (PointId(i), Point::new([0.0, 0.0])))
+                .collect(),
         };
         den.apply(&far);
         let origin_potential = self_origin_potential(&den);

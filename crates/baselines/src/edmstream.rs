@@ -127,8 +127,7 @@ impl<const D: usize> EdmStream<D> {
                 }
                 // Strictly-higher density (ties broken by index) keeps the
                 // dependency relation acyclic.
-                let higher = densities[j] > densities[i]
-                    || (densities[j] == densities[i] && j < i);
+                let higher = densities[j] > densities[i] || (densities[j] == densities[i] && j < i);
                 if !higher {
                     continue;
                 }

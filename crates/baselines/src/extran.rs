@@ -64,6 +64,8 @@ pub struct ExtraN<const D: usize> {
     /// Labels materialised at the end of every `apply` — producing the
     /// clustering is part of the per-slide work the paper measures.
     labels: Vec<(PointId, i64)>,
+    /// Reused buffer for the arrival range search.
+    hits_buf: Vec<PointId>,
 }
 
 impl<const D: usize> ExtraN<D> {
@@ -89,6 +91,7 @@ impl<const D: usize> ExtraN<D> {
             tree: RTree::new(),
             clusters: Dsu::new(),
             labels: Vec::new(),
+            hits_buf: Vec::new(),
         }
     }
 
@@ -111,7 +114,9 @@ impl<const D: usize> ExtraN<D> {
         let mut slot = self.clusters.alloc();
         let tau = self.tau as u32;
         for q in neighbours {
-            let Some(qe) = self.points.get(&q) else { continue };
+            let Some(qe) = self.points.get(&q) else {
+                continue;
+            };
             if qe.first > view || self.alive_until(q) < view {
                 continue; // not alive in this view
             }
@@ -138,12 +143,9 @@ impl<const D: usize> ExtraN<D> {
 
         self.tree.insert(id, point);
         // Arrival range search: the only search this method ever runs.
-        let mut hits: Vec<PointId> = Vec::new();
-        self.tree.for_each_in_ball(&point, self.eps, |q, _| {
-            if q != id {
-                hits.push(q);
-            }
-        });
+        let mut hits = std::mem::take(&mut self.hits_buf);
+        self.tree.ball_ids_into(&point, self.eps, &mut hits);
+        hits.retain(|&q| q != id);
 
         let tau = self.tau as u32;
         // (view, point) promotions triggered by this arrival's count bumps.
@@ -176,6 +178,7 @@ impl<const D: usize> ExtraN<D> {
             }
         }
         self.points.insert(id, entry);
+        self.hits_buf = hits;
         for (q, s) in promotions {
             self.promote(q, s);
         }

@@ -282,8 +282,7 @@ impl<const D: usize> WindowClusterer<D> for RhoDbscan<D> {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.points.len() * (std::mem::size_of::<Point<D>>() * 2 + 48)
-            + self.cells.len() * 64
+        self.points.len() * (std::mem::size_of::<Point<D>>() * 2 + 48) + self.cells.len() * 64
     }
 }
 

@@ -42,10 +42,7 @@ fn rho2_is_a_coarsening_of_exact_dbscan() {
                 }
                 let lb = b[id];
                 if let Some(&prev) = exact_to_rho.get(&la) {
-                    assert_eq!(
-                        prev, lb,
-                        "exact cluster {la} maps to rho2 {prev} and {lb}"
-                    );
+                    assert_eq!(prev, lb, "exact cluster {la} maps to rho2 {prev} and {lb}");
                 } else {
                     exact_to_rho.insert(la, lb);
                 }

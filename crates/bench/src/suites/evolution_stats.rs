@@ -47,10 +47,7 @@ fn per_dataset<const D: usize>(
         prof.name.to_string(),
         avg(sums.0),
         avg(sums.1),
-        format!(
-            "{:.1}x",
-            sums.0 as f64 / sums.1.max(1) as f64
-        ),
+        format!("{:.1}x", sums.0 as f64 / sums.1.max(1) as f64),
         avg(sums.2),
         avg(sums.3),
         avg(sums.4),

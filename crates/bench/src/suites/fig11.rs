@@ -35,7 +35,13 @@ fn sweep<const D: usize>(
             stride,
             SLIDES,
         );
-        let rho_hi = measure(RhoDbscan::new(eps, tau, 0.001), &recs, window, stride, SLIDES);
+        let rho_hi = measure(
+            RhoDbscan::new(eps, tau, 0.001),
+            &recs,
+            window,
+            stride,
+            SLIDES,
+        );
         let rho_lo = measure(RhoDbscan::new(eps, tau, 0.1), &recs, window, stride, SLIDES);
         table.row(vec![
             dataset.to_string(),

@@ -30,7 +30,13 @@ fn per_dataset<const D: usize>(
         let n = records_needed(window, stride, SLIDES);
         let recs = gen(n);
 
-        let db = measure(Dbscan::new(prof.eps, prof.tau), &recs, window, stride, 3.min(SLIDES));
+        let db = measure(
+            Dbscan::new(prof.eps, prof.tau),
+            &recs,
+            window,
+            stride,
+            3.min(SLIDES),
+        );
         let inc = measure(
             IncDbscan::new(prof.eps, prof.tau),
             &recs,

@@ -53,8 +53,7 @@ pub fn run(scale: Scale) -> Table {
             disc_time += t0.elapsed();
             slides += 1;
         }
-        let disc_searches =
-            (disc.index_stats().range_searches - s0) as f64 / slides.max(1) as f64;
+        let disc_searches = (disc.index_stats().range_searches - s0) as f64 / slides.max(1) as f64;
 
         let mut w = SlidingWindow::new(recs.clone(), window, stride);
         let mut graph = GraphDisc::new(DiscConfig::new(eps, prof.tau));

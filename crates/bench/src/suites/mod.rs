@@ -1,17 +1,17 @@
 //! One suite per paper artefact. Each `run(scale)` prints its tables and
 //! writes matching CSVs under `out/`.
 
+pub mod evolution_stats;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig4;
-pub mod evolution_stats;
-pub mod graph_ablation;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod graph_ablation;
 pub mod table2;
 
 /// RNG seed used by every suite, so results are reproducible run-to-run.

@@ -17,8 +17,7 @@ fn load<const D: usize>(opts: &Opts) -> Result<Vec<Record<D>>, String> {
         .input
         .as_ref()
         .ok_or("--input is required".to_string())?;
-    let records =
-        csv::read_records::<D>(input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let records = csv::read_records::<D>(input).map_err(|e| format!("{}: {e}", input.display()))?;
     if records.is_empty() {
         return Err("input stream is empty".to_string());
     }
@@ -91,10 +90,8 @@ impl DimCommand for ClusterCmd {
         if let Some(out) = &opts.out {
             let pos: disc_geom::FxHashMap<disc_geom::PointId, disc_geom::Point<D>> =
                 w.current().collect();
-            let rows: Vec<(disc_geom::Point<D>, i64)> = assignments
-                .iter()
-                .map(|(id, l)| (pos[id], *l))
-                .collect();
+            let rows: Vec<(disc_geom::Point<D>, i64)> =
+                assignments.iter().map(|(id, l)| (pos[id], *l)).collect();
             csv::write_snapshot(out, &rows).map_err(|e| format!("{}: {e}", out.display()))?;
             println!("wrote {}", out.display());
         }

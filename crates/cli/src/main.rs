@@ -156,9 +156,8 @@ mod tests {
     #[test]
     fn full_cluster_flag_set_parses() {
         let o = parse(&[
-            "--input", "in.csv", "--dim", "3", "--eps", "0.5", "--tau", "7",
-            "--window", "1000", "--stride", "50", "--method", "rho2",
-            "--rho", "0.1", "--out", "out.csv", "--quiet",
+            "--input", "in.csv", "--dim", "3", "--eps", "0.5", "--tau", "7", "--window", "1000",
+            "--stride", "50", "--method", "rho2", "--rho", "0.1", "--out", "out.csv", "--quiet",
         ])
         .unwrap();
         assert_eq!(o.input.as_ref().unwrap().to_str(), Some("in.csv"));
@@ -210,7 +209,12 @@ mod tests {
         let data = dir.join("gen.csv");
         let snap = dir.join("snap.csv");
         let args: Vec<String> = [
-            "generate", "--dataset", "blobs", "--n", "600", "--out",
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "600",
+            "--out",
             data.to_str().unwrap(),
         ]
         .iter()
@@ -218,9 +222,22 @@ mod tests {
         .collect();
         run(&args).unwrap();
         let args: Vec<String> = [
-            "cluster", "--input", data.to_str().unwrap(), "--dim", "2",
-            "--eps", "1.0", "--tau", "4", "--window", "300", "--stride",
-            "100", "--quiet", "--out", snap.to_str().unwrap(),
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--dim",
+            "2",
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--out",
+            snap.to_str().unwrap(),
         ]
         .iter()
         .map(|s| s.to_string())
@@ -237,18 +254,22 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let data = dir.join("est.csv");
         let args: Vec<String> = [
-            "generate", "--dataset", "maze", "--n", "800", "--out",
+            "generate",
+            "--dataset",
+            "maze",
+            "--n",
+            "800",
+            "--out",
             data.to_str().unwrap(),
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         run(&args).unwrap();
-        let args: Vec<String> =
-            ["estimate", "--input", data.to_str().unwrap(), "--dim", "2"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = ["estimate", "--input", data.to_str().unwrap(), "--dim", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         run(&args).unwrap();
     }
 }

@@ -159,8 +159,7 @@ impl<const D: usize> Disc<D> {
                 j += 1;
             }
             if j - i >= 2 {
-                let mut reps: Vec<PointId> =
-                    outcomes[i..j].iter().map(|(_, rep)| *rep).collect();
+                let mut reps: Vec<PointId> = outcomes[i..j].iter().map(|(_, rep)| *rep).collect();
                 reps.sort_unstable();
                 reps.dedup();
                 // A rep whose component was since relabelled by another

@@ -8,7 +8,7 @@
 
 use crate::engine::Disc;
 use crate::record::PointRecord;
-use disc_geom::PointId;
+use disc_geom::{FxHashMap, FxHashSet, Point, PointId};
 use disc_window::SlideBatch;
 
 /// What COLLECT hands to CLUSTER.
@@ -25,12 +25,52 @@ pub struct CollectOutcome {
 
 impl<const D: usize> Disc<D> {
     /// Runs COLLECT for one slide batch.
+    ///
+    /// Two equivalent implementations of the deletion and insertion phases
+    /// exist: the per-point path (one tree traversal per element, the
+    /// paper's Alg. 1 read literally) and the batched path (bulk R-tree
+    /// mutations plus one multi-center ε-ball traversal per phase). The
+    /// [`DiscConfig::enable_bulk_slide`](crate::DiscConfig) toggle selects
+    /// between them; both produce identical counts, adoptions-or-
+    /// needs-adoption outcomes, and classifications.
     pub(crate) fn collect(&mut self, batch: &SlideBatch<D>) -> CollectOutcome {
-        let eps = self.cfg.eps;
         let tau = self.cfg.tau;
         let mut out = CollectOutcome::default();
 
-        // --- Deletions (Alg. 1 lines 2-7) --------------------------------
+        if self.cfg.enable_bulk_slide {
+            self.delete_batched(batch, &mut out);
+            self.insert_batched(batch);
+        } else {
+            self.delete_per_point(batch, &mut out);
+            self.insert_per_point(batch);
+        }
+
+        // --- Classification (Alg. 1 line 13) -----------------------------
+        // Departed ex-cores first (they are no longer in `touched`).
+        out.ex_cores.extend(out.ghosts.iter().copied());
+        for id in &self.touched {
+            let rec = self.points.at(*id);
+            if rec.is_ex_core(tau) {
+                out.ex_cores.push(*id);
+            } else if rec.is_neo_core(tau) {
+                out.neo_cores.push(*id);
+            } else if !rec.is_core(tau) && rec.adopter.is_none() {
+                // Fresh non-core without an opportunistic adopter, or a
+                // point that dropped out of core range: let the adoption
+                // pass decide between border and noise.
+                self.needs_adoption.insert(*id);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Per-point slide path
+    // ------------------------------------------------------------------
+
+    /// Deletions (Alg. 1 lines 2-7), one tree traversal per element.
+    fn delete_per_point(&mut self, batch: &SlideBatch<D>, out: &mut CollectOutcome) {
+        let eps = self.cfg.eps;
         for (id, _) in &batch.outgoing {
             let rec = *self
                 .points
@@ -73,8 +113,12 @@ impl<const D: usize> Disc<D> {
             }
             self.touched.remove(id);
         }
+    }
 
-        // --- Insertions (Alg. 1 lines 8-12) ------------------------------
+    /// Insertions (Alg. 1 lines 8-12), one tree traversal per element.
+    fn insert_per_point(&mut self, batch: &SlideBatch<D>) {
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
         for (id, point) in &batch.incoming {
             debug_assert!(
                 !self.points.contains(*id),
@@ -119,24 +163,151 @@ impl<const D: usize> Disc<D> {
             self.points.insert(*id, fresh);
             self.touched.insert(*id);
         }
+    }
 
-        // --- Classification (Alg. 1 line 13) -----------------------------
-        // Departed ex-cores first (they are no longer in `touched`).
-        out.ex_cores.extend(out.ghosts.iter().copied());
-        for id in &self.touched {
-            let rec = self.points.at(*id);
-            if rec.is_ex_core(tau) {
-                out.ex_cores.push(*id);
-            } else if rec.is_neo_core(tau) {
-                out.neo_cores.push(*id);
-            } else if !rec.is_core(tau) && rec.adopter.is_none() {
-                // Fresh non-core without an opportunistic adopter, or a
-                // point that dropped out of core range: let the adoption
-                // pass decide between border and noise.
-                self.needs_adoption.insert(*id);
-            }
+    // ------------------------------------------------------------------
+    // Batched slide path
+    // ------------------------------------------------------------------
+
+    /// Deletions via one multi-center traversal plus one bulk tree removal.
+    ///
+    /// All decrements run *before* any record is retired, so hits between
+    /// two departing points are skipped explicitly — their effects are
+    /// unobservable either way, because a departing ex-core resets its count
+    /// to zero and every other departure drops its record entirely. Adopter
+    /// invalidations on fellow departures are likewise skipped: the adoption
+    /// pass ignores retired records.
+    fn delete_batched(&mut self, batch: &SlideBatch<D>, out: &mut CollectOutcome) {
+        if batch.outgoing.is_empty() {
+            return;
         }
-        out
+        let eps = self.cfg.eps;
+        let outgoing: FxHashSet<PointId> = batch.outgoing.iter().map(|(id, _)| *id).collect();
+        let mut ids: Vec<PointId> = Vec::with_capacity(batch.outgoing.len());
+        let mut centers: Vec<Point<D>> = Vec::with_capacity(batch.outgoing.len());
+        for (id, _) in &batch.outgoing {
+            let rec = self
+                .points
+                .get(*id)
+                .unwrap_or_else(|| panic!("outgoing point {id} is not in the window"));
+            debug_assert!(rec.in_window, "outgoing point {id} already retired");
+            ids.push(*id);
+            centers.push(rec.point);
+        }
+
+        let points = &mut self.points;
+        let touched = &mut self.touched;
+        let needs_adoption = &mut self.needs_adoption;
+        self.tree.for_each_in_balls(&centers, eps, |ci, qid, _| {
+            // Skips the center itself and every fellow departure.
+            if outgoing.contains(&qid) {
+                return;
+            }
+            if let Some(q) = points.get_mut(qid) {
+                if q.in_window {
+                    q.n_eps -= 1;
+                    touched.insert(qid);
+                    if q.adopter == Some(ids[ci]) {
+                        q.adopter = None;
+                        needs_adoption.insert(qid);
+                    }
+                }
+            }
+        });
+
+        // Retire the records, then sync the tree with one bulk removal.
+        // Departed ex-cores keep their entries (C_out ghosts).
+        let mut evict: Vec<(PointId, Point<D>)> = Vec::new();
+        for (ci, id) in ids.iter().enumerate() {
+            let rec = self.points.at(*id);
+            if rec.prev_core {
+                let ghost = self.points.get_mut(*id).expect("record vanished");
+                ghost.in_window = false;
+                ghost.n_eps = 0;
+                out.ghosts.push(*id);
+            } else {
+                evict.push((*id, centers[ci]));
+                self.points.remove(*id);
+            }
+            self.touched.remove(id);
+        }
+        let evicted = self.tree.bulk_remove(&evict);
+        debug_assert_eq!(evicted, evict.len(), "departing points must be indexed");
+    }
+
+    /// Insertions via one bulk tree insert plus one multi-center traversal.
+    ///
+    /// The whole stride is indexed first, then a single traversal resolves
+    /// every neighbourhood. A pair of Δin points shows up twice (once from
+    /// each center), so the count is applied on one orientation only —
+    /// preserving the count-each-pair-once invariant the per-point path gets
+    /// from its insert-then-scan ordering. Opportunistic adopters are taken
+    /// from established neighbours that meet τ when observed: counts only
+    /// grow during this phase, so such a neighbour is a core of the final
+    /// window; newcomers the traversal cannot vouch for fall through to the
+    /// adoption pass, which resolves them with final counts.
+    fn insert_batched(&mut self, batch: &SlideBatch<D>) {
+        if batch.incoming.is_empty() {
+            return;
+        }
+        let eps = self.cfg.eps;
+        let tau = self.cfg.tau;
+        for (id, point) in &batch.incoming {
+            debug_assert!(
+                !self.points.contains(*id),
+                "incoming point {id} already in the window"
+            );
+            assert!(
+                point.is_finite(),
+                "incoming point {id} has non-finite coordinates"
+            );
+        }
+        self.tree.bulk_insert(batch.incoming.clone());
+
+        let centers: Vec<Point<D>> = batch.incoming.iter().map(|(_, p)| *p).collect();
+        let center_of: FxHashMap<PointId, u32> = batch
+            .incoming
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i as u32))
+            .collect();
+        let mut gained = vec![0u32; centers.len()];
+        let mut adopters: Vec<Option<PointId>> = vec![None; centers.len()];
+        let mut intra: Vec<(u32, u32)> = Vec::new();
+        let points = &mut self.points;
+        let touched = &mut self.touched;
+        self.tree.for_each_in_balls(&centers, eps, |ci, qid, _| {
+            if let Some(&qi) = center_of.get(&qid) {
+                // Δin-Δin pair: record one orientation, apply both ends
+                // later. `qi == ci` is the center finding itself.
+                if (ci as u32) < qi {
+                    intra.push((ci as u32, qi));
+                }
+                return;
+            }
+            if let Some(q) = points.get_mut(qid) {
+                if q.in_window {
+                    q.n_eps += 1;
+                    gained[ci] += 1;
+                    touched.insert(qid);
+                    if adopters[ci].is_none() && q.n_eps as usize >= tau {
+                        adopters[ci] = Some(qid);
+                    }
+                }
+            }
+        });
+        for (a, b) in intra {
+            gained[a as usize] += 1;
+            gained[b as usize] += 1;
+        }
+
+        for (i, (id, point)) in batch.incoming.iter().enumerate() {
+            let mut fresh = PointRecord::new(*point);
+            fresh.n_eps += gained[i];
+            fresh.adopter = adopters[i];
+            self.points.insert(*id, fresh);
+            self.touched.insert(*id);
+        }
     }
 }
 

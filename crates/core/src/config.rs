@@ -21,6 +21,11 @@ pub struct DiscConfig {
     /// Use epoch-based R-tree probing (§IV-B). When false, visited marks
     /// live in a side hash map and range searches cannot prune subtrees.
     pub enable_epoch_probe: bool,
+    /// Use the batched slide path in COLLECT: bulk R-tree insert/remove and
+    /// one multi-center ε-ball traversal per phase instead of a traversal
+    /// per point. Exactness is unaffected; this only changes how the same
+    /// updates are computed. Defaults to enabled; disable for ablation.
+    pub enable_bulk_slide: bool,
 }
 
 impl DiscConfig {
@@ -33,6 +38,7 @@ impl DiscConfig {
             tau,
             enable_msbfs: true,
             enable_epoch_probe: true,
+            enable_bulk_slide: true,
         }
     }
 
@@ -47,6 +53,12 @@ impl DiscConfig {
         self.enable_epoch_probe = false;
         self
     }
+
+    /// Disables the batched slide path (ablation).
+    pub fn without_bulk_slide(mut self) -> Self {
+        self.enable_bulk_slide = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -56,11 +68,13 @@ mod tests {
     #[test]
     fn builder_toggles() {
         let c = DiscConfig::new(0.5, 4);
-        assert!(c.enable_msbfs && c.enable_epoch_probe);
+        assert!(c.enable_msbfs && c.enable_epoch_probe && c.enable_bulk_slide);
         let c = c.without_msbfs();
         assert!(!c.enable_msbfs && c.enable_epoch_probe);
         let c = c.without_epoch_probe();
         assert!(!c.enable_msbfs && !c.enable_epoch_probe);
+        let c = c.without_bulk_slide();
+        assert!(!c.enable_bulk_slide);
     }
 
     #[test]

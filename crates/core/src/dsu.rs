@@ -9,6 +9,8 @@
 //!   merge, and the epoch probe resolves stored owners through this
 //!   structure.
 
+use disc_geom::FxHashMap;
+
 /// Union-find with path halving and union by size.
 #[derive(Clone, Debug, Default)]
 pub struct Dsu {
@@ -57,6 +59,25 @@ impl Dsu {
             x = self.parent[x as usize];
         }
         x
+    }
+
+    /// Memoised read-only find for bulk resolution behind `&self`.
+    ///
+    /// Caches the root of every slot on the walked chain, so resolving a
+    /// whole window's labels walks each parent chain once per call instead
+    /// of once per point (the compression `find` would do, without needing
+    /// `&mut self`).
+    pub fn find_cached(&self, x: u32, cache: &mut FxHashMap<u32, u32>) -> u32 {
+        if let Some(&root) = cache.get(&x) {
+            return root;
+        }
+        let root = self.find_immutable(x);
+        let mut cur = x;
+        while cur != root {
+            cache.insert(cur, root);
+            cur = self.parent[cur as usize];
+        }
+        root
     }
 
     /// Merges the sets of `a` and `b`; returns the surviving root.
@@ -126,6 +147,28 @@ mod tests {
         let root = d.find(ids[0]);
         for &i in &ids {
             assert_eq!(d.find_immutable(i), root);
+        }
+    }
+
+    #[test]
+    fn cached_find_matches_and_memoises() {
+        let mut d = Dsu::new();
+        let ids: Vec<u32> = (0..12).map(|_| d.alloc()).collect();
+        for w in ids.windows(2) {
+            d.union(w[0], w[1]);
+        }
+        let lone = d.alloc();
+        let mut cache = FxHashMap::default();
+        let root = d.find_immutable(ids[0]);
+        for &i in &ids {
+            assert_eq!(d.find_cached(i, &mut cache), root);
+        }
+        assert_eq!(d.find_cached(lone, &mut cache), lone);
+        // Every non-root chain slot was memoised along the way.
+        for &i in &ids {
+            if i != root {
+                assert_eq!(cache.get(&i), Some(&root));
+            }
         }
     }
 

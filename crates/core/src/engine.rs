@@ -4,9 +4,9 @@ use crate::config::DiscConfig;
 use crate::dsu::Dsu;
 use crate::label::{ClusterId, PointLabel};
 use crate::record::PointRecord;
-use crate::store::PointStore;
 use crate::stats::SlideStats;
-use disc_geom::{FxHashSet, Point, PointId};
+use crate::store::PointStore;
+use disc_geom::{FxHashMap, FxHashSet, Point, PointId};
 use disc_index::RTree;
 use disc_window::SlideBatch;
 
@@ -128,14 +128,25 @@ impl<const D: usize> Disc<D> {
     }
 
     fn resolve_label(&self, rec: &PointRecord<D>) -> PointLabel {
+        self.resolve_label_with(rec, &mut |x| self.clusters.find_immutable(x))
+    }
+
+    /// Label resolution with a pluggable root lookup, so whole-window
+    /// methods can share one memoised find per call instead of walking the
+    /// same union-find chains once per point.
+    fn resolve_label_with(
+        &self,
+        rec: &PointRecord<D>,
+        find: &mut impl FnMut(u32) -> u32,
+    ) -> PointLabel {
         if rec.is_core(self.cfg.tau) {
-            return PointLabel::Core(ClusterId(self.clusters.find_immutable(rec.cid.0)));
+            return PointLabel::Core(ClusterId(find(rec.cid.0)));
         }
         match rec.adopter {
             Some(a) => match self.points.get(a) {
                 Some(core) => {
                     debug_assert!(core.is_core(self.cfg.tau), "stale adopter {a}");
-                    PointLabel::Border(ClusterId(self.clusters.find_immutable(core.cid.0)))
+                    PointLabel::Border(ClusterId(find(core.cid.0)))
                 }
                 None => PointLabel::Noise,
             },
@@ -145,19 +156,29 @@ impl<const D: usize> Disc<D> {
 
     /// Labels of every window point, in unspecified order.
     pub fn labels(&self) -> Vec<(PointId, PointLabel)> {
+        let mut cache = FxHashMap::default();
         self.points
             .iter()
-            .map(|(id, rec)| (id, self.resolve_label(rec)))
+            .map(|(id, rec)| {
+                let label =
+                    self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache));
+                (id, label)
+            })
             .collect()
     }
 
     /// `(id, cluster)` assignments sorted by arrival id, with `-1` for
     /// noise — the exchange format of the metrics crate and CSV dumps.
     pub fn assignments(&self) -> Vec<(PointId, i64)> {
+        let mut cache = FxHashMap::default();
         let mut out: Vec<(PointId, i64)> = self
             .points
             .iter()
-            .map(|(id, rec)| (id, self.resolve_label(rec).as_i64()))
+            .map(|(id, rec)| {
+                let label =
+                    self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache));
+                (id, label.as_i64())
+            })
             .collect();
         out.sort_unstable_by_key(|(id, _)| *id);
         out
@@ -165,10 +186,15 @@ impl<const D: usize> Disc<D> {
 
     /// `(point, cluster)` rows for snapshot dumps (Fig. 12).
     pub fn snapshot(&self) -> Vec<(Point<D>, i64)> {
+        let mut cache = FxHashMap::default();
         let mut rows: Vec<(PointId, Point<D>, i64)> = self
             .points
             .iter()
-            .map(|(id, rec)| (id, rec.point, self.resolve_label(rec).as_i64()))
+            .map(|(id, rec)| {
+                let label =
+                    self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache));
+                (id, rec.point, label.as_i64())
+            })
             .collect();
         rows.sort_unstable_by_key(|(id, _, _)| *id);
         rows.into_iter().map(|(_, p, l)| (p, l)).collect()
@@ -176,10 +202,11 @@ impl<const D: usize> Disc<D> {
 
     /// Number of distinct clusters in the current window.
     pub fn num_clusters(&self) -> usize {
+        let mut cache = FxHashMap::default();
         let mut roots: FxHashSet<u32> = FxHashSet::default();
         for (_, rec) in self.points.iter() {
             if rec.is_core(self.cfg.tau) {
-                roots.insert(self.clusters.find_immutable(rec.cid.0));
+                roots.insert(self.clusters.find_cached(rec.cid.0, &mut cache));
             }
         }
         roots.len()
@@ -187,11 +214,12 @@ impl<const D: usize> Disc<D> {
 
     /// Number of core / border / noise points (diagnostics).
     pub fn census(&self) -> (usize, usize, usize) {
+        let mut cache = FxHashMap::default();
         let mut core = 0;
         let mut border = 0;
         let mut noise = 0;
         for (_, rec) in self.points.iter() {
-            match self.resolve_label(rec) {
+            match self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache)) {
                 PointLabel::Core(_) => core += 1,
                 PointLabel::Border(_) => border += 1,
                 PointLabel::Noise => noise += 1,
@@ -207,11 +235,8 @@ impl<const D: usize> Disc<D> {
         assert_eq!(self.tree.len(), self.points.len(), "tree/map desync");
         let tau = self.cfg.tau;
         let eps = self.cfg.eps;
-        let ids: Vec<(PointId, Point<D>)> = self
-            .points
-            .iter()
-            .map(|(id, r)| (id, r.point))
-            .collect();
+        let ids: Vec<(PointId, Point<D>)> =
+            self.points.iter().map(|(id, r)| (id, r.point)).collect();
         for (id, pos) in ids {
             let n = self.tree.ball_count(&pos, eps);
             let rec = self.points.at(id);
@@ -269,7 +294,10 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
-        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0]), (2, [1.0, 0.0])], &[]));
+        disc.apply(&batch(
+            &[(0, [0.0, 0.0]), (1, [0.5, 0.0]), (2, [1.0, 0.0])],
+            &[],
+        ));
         let before = disc.assignments();
         let stats = disc.apply(&SlideBatch::default());
         assert_eq!(stats.inserted, 0);

@@ -42,8 +42,8 @@
 //! assert!(clusters >= 3, "three blobs expected, found {clusters}");
 //! ```
 
-pub mod collect;
 pub mod cluster;
+pub mod collect;
 pub mod config;
 pub mod dsu;
 pub mod engine;

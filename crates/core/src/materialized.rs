@@ -254,7 +254,10 @@ impl<const D: usize> GraphDisc<D> {
         // --- Freeze core status -------------------------------------------
         for id in touched {
             let core = self.is_core(&self.vertices[&id]);
-            self.vertices.get_mut(&id).expect("touched vanished").prev_core = core;
+            self.vertices
+                .get_mut(&id)
+                .expect("touched vanished")
+                .prev_core = core;
         }
     }
 
@@ -364,7 +367,13 @@ mod tests {
     use disc_metrics::ari;
     use disc_window::{datasets, SlidingWindow};
 
-    fn agree(records: Vec<disc_window::Record<2>>, window: usize, stride: usize, eps: f64, tau: usize) {
+    fn agree(
+        records: Vec<disc_window::Record<2>>,
+        window: usize,
+        stride: usize,
+        eps: f64,
+        tau: usize,
+    ) {
         let mut w = SlidingWindow::new(records, window, stride);
         let mut graph = GraphDisc::new(DiscConfig::new(eps, tau));
         let mut disc = Disc::new(DiscConfig::new(eps, tau));
@@ -409,7 +418,13 @@ mod tests {
 
     #[test]
     fn matches_disc_on_blobs_full_turnover() {
-        agree(datasets::gaussian_blobs::<2>(900, 3, 0.6, 9), 300, 300, 1.0, 5);
+        agree(
+            datasets::gaussian_blobs::<2>(900, 3, 0.6, 9),
+            300,
+            300,
+            1.0,
+            5,
+        );
     }
 
     #[test]

@@ -92,9 +92,9 @@ impl<const D: usize> Disc<D> {
             // searches without that starter ever probing on its own.
             match probe {
                 Some(probe) => {
-                    let marked =
-                        self.tree
-                            .mark_visited(probe, &self.points.at(s).point, s, t);
+                    let marked = self
+                        .tree
+                        .mark_visited(probe, &self.points.at(s).point, s, t);
                     debug_assert!(marked, "starter {s} missing from the index");
                 }
                 None => {
@@ -138,9 +138,8 @@ impl<const D: usize> Disc<D> {
                     out.clear();
                     let points = &self.points;
                     let threads_ref = &mut threads;
-                    let mut is_vertex = |id: PointId| {
-                        points.get(id).map(|p| p.is_core(tau)).unwrap_or(false)
-                    };
+                    let mut is_vertex =
+                        |id: PointId| points.get(id).map(|p| p.is_core(tau)).unwrap_or(false);
                     let mut resolve = |o: u32| threads_ref.find(o);
                     self.tree.epoch_probe(
                         probe,
@@ -251,9 +250,8 @@ impl<const D: usize> Disc<D> {
                 if let Some(probe) = probe {
                     out.clear();
                     let points = &self.points;
-                    let mut is_vertex = |id: PointId| {
-                        points.get(id).map(|p| p.is_core(tau)).unwrap_or(false)
-                    };
+                    let mut is_vertex =
+                        |id: PointId| points.get(id).map(|p| p.is_core(tau)).unwrap_or(false);
                     let mut resolve = |o: u32| o;
                     self.tree.epoch_probe(
                         probe,

@@ -165,7 +165,10 @@ impl ClusterTracker {
         for (p, mut kids) in children {
             kids.sort_unstable();
             if kids.len() >= 2 {
-                events.push(Evolution::Split { from: p, into: kids });
+                events.push(Evolution::Split {
+                    from: p,
+                    into: kids,
+                });
                 continue;
             }
             let c = kids[0];
@@ -288,8 +291,14 @@ mod tests {
         let mut t = ClusterTracker::new();
         t.observe(&snap(&[(0, 1), (1, 1)]));
         let events = t.observe(&snap(&[(5, 3), (6, 3)]));
-        assert!(events.contains(&Evolution::Dissipated { cluster: 1, size: 2 }));
-        assert!(events.contains(&Evolution::Emerged { cluster: 3, size: 2 }));
+        assert!(events.contains(&Evolution::Dissipated {
+            cluster: 1,
+            size: 2
+        }));
+        assert!(events.contains(&Evolution::Emerged {
+            cluster: 3,
+            size: 2
+        }));
     }
 
     #[test]
@@ -317,9 +326,7 @@ mod tests {
         let mut tracker = ClusterTracker::new();
         disc.apply(&w.fill());
         let first = tracker.observe(&disc.assignments());
-        assert!(first
-            .iter()
-            .all(|e| matches!(e, Evolution::Emerged { .. })));
+        assert!(first.iter().all(|e| matches!(e, Evolution::Emerged { .. })));
         let mut total = 0usize;
         while let Some(b) = w.advance() {
             disc.apply(&b);

@@ -28,7 +28,9 @@ fn batch(incoming: &[(u64, f64)], outgoing: &[(u64, f64)]) -> SlideBatch<2> {
 }
 
 fn cluster_of(disc: &Disc<2>, id: u64) -> i64 {
-    disc.label_of(PointId(id)).expect("point in window").as_i64()
+    disc.label_of(PointId(id))
+        .expect("point in window")
+        .as_i64()
 }
 
 #[test]
@@ -72,7 +74,10 @@ fn expansion_keeps_the_cluster_id() {
 #[test]
 fn shrink_keeps_the_cluster_id() {
     let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
-    disc.apply(&batch(&[(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)], &[]));
+    disc.apply(&batch(
+        &[(0, 0.0), (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)],
+        &[],
+    ));
     let before = cluster_of(&disc, 2);
 
     let stats = disc.apply(&batch(&[], &[(4, 4.0)]));
@@ -127,14 +132,7 @@ fn split_assigns_a_fresh_id_to_one_side() {
 fn merger_unifies_ids_without_relabelling() {
     let mut disc = Disc::new(DiscConfig::new(EPS, TAU));
     // Two separate lines with a gap at x=3.
-    let pts: Vec<(u64, f64)> = vec![
-        (0, 0.0),
-        (1, 1.0),
-        (2, 2.0),
-        (4, 4.0),
-        (5, 5.0),
-        (6, 6.0),
-    ];
+    let pts: Vec<(u64, f64)> = vec![(0, 0.0), (1, 1.0), (2, 2.0), (4, 4.0), (5, 5.0), (6, 6.0)];
     disc.apply(&batch(&pts, &[]));
     assert_eq!(disc.num_clusters(), 2);
     let left = cluster_of(&disc, 0);
@@ -163,10 +161,7 @@ fn simultaneous_split_and_merge_in_one_slide() {
 
     // One slide removes A's middle (split) and bridges A's right half to B
     // (merge): expect 2 clusters at the end (A-left | A-right + B).
-    let stats = disc.apply(&batch(
-        &[(20, 7.0), (21, 8.0), (22, 9.0)],
-        &[(3, 3.0)],
-    ));
+    let stats = disc.apply(&batch(&[(20, 7.0), (21, 8.0), (22, 9.0)], &[(3, 3.0)]));
     assert!(stats.splits >= 1, "{stats:?}");
     assert!(stats.merges >= 1, "{stats:?}");
     assert_eq!(disc.num_clusters(), 2);
@@ -282,7 +277,9 @@ fn ablation_variants_agree_on_every_scenario() {
         DiscConfig::new(EPS, TAU),
         DiscConfig::new(EPS, TAU).without_msbfs(),
         DiscConfig::new(EPS, TAU).without_epoch_probe(),
-        DiscConfig::new(EPS, TAU).without_msbfs().without_epoch_probe(),
+        DiscConfig::new(EPS, TAU)
+            .without_msbfs()
+            .without_epoch_probe(),
     ] {
         let mut disc = Disc::new(cfg);
         let line: Vec<(u64, f64)> = (0..7).map(|i| (i, i as f64)).collect();

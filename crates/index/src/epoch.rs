@@ -157,7 +157,9 @@ impl<const D: usize> RTree<D> {
         self.stats.epoch_probes += 1;
         let eps2 = eps * eps;
         let root = self.root;
-        self.probe_rec(root, probe.tick, center, eps2, thread, resolve, is_vertex, out);
+        self.probe_rec(
+            root, probe.tick, center, eps2, thread, resolve, is_vertex, out,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -200,19 +202,18 @@ impl<const D: usize> RTree<D> {
                 // probe is the hot path and must not allocate per node.
                 let n = v.len();
                 for slot in 0..n {
-                    let (child, epoch, in_range, covered) =
-                        match &self.nodes[idx as usize].kind {
-                            NodeKind::Internal(v) => {
-                                let b = &v[slot];
-                                (
-                                    b.child,
-                                    b.epoch,
-                                    b.mbr.dist2_to_point(center) <= eps2,
-                                    b.mbr.max_dist2_to_point(center) <= eps2,
-                                )
-                            }
-                            NodeKind::Leaf(_) => unreachable!(),
-                        };
+                    let (child, epoch, in_range, covered) = match &self.nodes[idx as usize].kind {
+                        NodeKind::Internal(v) => {
+                            let b = &v[slot];
+                            (
+                                b.child,
+                                b.epoch,
+                                b.mbr.dist2_to_point(center) <= eps2,
+                                b.mbr.max_dist2_to_point(center) <= eps2,
+                            )
+                        }
+                        NodeKind::Leaf(_) => unreachable!(),
+                    };
                     if !in_range {
                         continue;
                     }

@@ -86,10 +86,16 @@ impl<const D: usize> RTree<D> {
                     for e in entries {
                         let d2 = center.dist2(&e.point);
                         if best.len() < k {
-                            best.push(Candidate { dist2: d2, id: e.id });
+                            best.push(Candidate {
+                                dist2: d2,
+                                id: e.id,
+                            });
                         } else if d2 < best.peek().expect("non-empty").dist2 {
                             best.pop();
-                            best.push(Candidate { dist2: d2, id: e.id });
+                            best.push(Candidate {
+                                dist2: d2,
+                                id: e.id,
+                            });
                         }
                     }
                 }

@@ -18,6 +18,7 @@
 //! *(epoch, owner)* pair instead of a bare epoch so that two MS-BFS threads
 //! can still detect that they met inside an already-visited subtree.
 
+pub mod bulk;
 pub mod epoch;
 pub mod knn;
 pub mod node;

@@ -23,6 +23,22 @@ pub struct Stats {
     pub inserts: u64,
     /// Points removed over the tree's lifetime.
     pub removes: u64,
+    /// Batched mutations taken through `bulk_insert` (one per batch that
+    /// actually used the shared-descent path, not the per-point fallback).
+    pub bulk_insert_batches: u64,
+    /// Batched mutations taken through `bulk_remove` (shared-descent path).
+    pub bulk_remove_batches: u64,
+    /// Multi-center ball traversals (`for_each_in_balls` calls).
+    pub multi_ball_queries: u64,
+    /// Centers served across all multi-center traversals. Comparing this to
+    /// `multi_ball_queries` gives the batching factor.
+    pub multi_ball_centers: u64,
+    /// Nodes descended into by the batched paths (bulk insert/remove and
+    /// multi-center traversal). Kept separate from `nodes_visited` so the
+    /// per-point and batched costs can be compared side by side.
+    pub bulk_nodes_visited: u64,
+    /// Leaf entries examined by the batched paths.
+    pub bulk_leaf_scans: u64,
 }
 
 impl Stats {
@@ -41,6 +57,12 @@ impl Stats {
             subtrees_pruned: self.subtrees_pruned - earlier.subtrees_pruned,
             inserts: self.inserts - earlier.inserts,
             removes: self.removes - earlier.removes,
+            bulk_insert_batches: self.bulk_insert_batches - earlier.bulk_insert_batches,
+            bulk_remove_batches: self.bulk_remove_batches - earlier.bulk_remove_batches,
+            multi_ball_queries: self.multi_ball_queries - earlier.multi_ball_queries,
+            multi_ball_centers: self.multi_ball_centers - earlier.multi_ball_centers,
+            bulk_nodes_visited: self.bulk_nodes_visited - earlier.bulk_nodes_visited,
+            bulk_leaf_scans: self.bulk_leaf_scans - earlier.bulk_leaf_scans,
         }
     }
 }
@@ -59,6 +81,12 @@ mod tests {
             subtrees_pruned: 3,
             inserts: 7,
             removes: 2,
+            bulk_insert_batches: 5,
+            bulk_remove_batches: 4,
+            multi_ball_queries: 9,
+            multi_ball_centers: 90,
+            bulk_nodes_visited: 80,
+            bulk_leaf_scans: 70,
         };
         let b = Stats {
             range_searches: 4,
@@ -68,6 +96,12 @@ mod tests {
             subtrees_pruned: 1,
             inserts: 5,
             removes: 1,
+            bulk_insert_batches: 2,
+            bulk_remove_batches: 1,
+            multi_ball_queries: 3,
+            multi_ball_centers: 30,
+            bulk_nodes_visited: 20,
+            bulk_leaf_scans: 10,
         };
         let d = a.since(&b);
         assert_eq!(d.range_searches, 6);
@@ -77,6 +111,12 @@ mod tests {
         assert_eq!(d.subtrees_pruned, 2);
         assert_eq!(d.inserts, 2);
         assert_eq!(d.removes, 1);
+        assert_eq!(d.bulk_insert_batches, 3);
+        assert_eq!(d.bulk_remove_batches, 3);
+        assert_eq!(d.multi_ball_queries, 6);
+        assert_eq!(d.multi_ball_centers, 60);
+        assert_eq!(d.bulk_nodes_visited, 60);
+        assert_eq!(d.bulk_leaf_scans, 60);
     }
 
     #[test]

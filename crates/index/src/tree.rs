@@ -29,8 +29,8 @@ pub struct RTree<const D: usize> {
     pub(crate) nodes: Vec<Node<D>>,
     pub(crate) root: NodeIdx,
     free: Vec<NodeIdx>,
-    len: usize,
-    height: usize,
+    pub(crate) len: usize,
+    pub(crate) height: usize,
     /// Monotone counter handing out epoch ticks to MS-BFS instances.
     pub(crate) tick_counter: u64,
     pub(crate) stats: Stats,
@@ -82,7 +82,7 @@ impl<const D: usize> RTree<D> {
         self.stats.reset();
     }
 
-    fn alloc(&mut self, node: Node<D>) -> NodeIdx {
+    pub(crate) fn alloc(&mut self, node: Node<D>) -> NodeIdx {
         if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = node;
             idx
@@ -92,7 +92,7 @@ impl<const D: usize> RTree<D> {
         }
     }
 
-    fn dealloc(&mut self, idx: NodeIdx) {
+    pub(crate) fn dealloc(&mut self, idx: NodeIdx) {
         // Leave a cheap tombstone; the slot is recycled via the free list.
         self.nodes[idx as usize] = Node {
             kind: NodeKind::Leaf(Vec::new()),
@@ -100,11 +100,11 @@ impl<const D: usize> RTree<D> {
         self.free.push(idx);
     }
 
-    fn node(&self, idx: NodeIdx) -> &Node<D> {
+    pub(crate) fn node(&self, idx: NodeIdx) -> &Node<D> {
         &self.nodes[idx as usize]
     }
 
-    fn node_mut(&mut self, idx: NodeIdx) -> &mut Node<D> {
+    pub(crate) fn node_mut(&mut self, idx: NodeIdx) -> &mut Node<D> {
         &mut self.nodes[idx as usize]
     }
 
@@ -124,7 +124,7 @@ impl<const D: usize> RTree<D> {
         self.len += 1;
     }
 
-    fn grow_root(&mut self, sib_mbr: Aabb<D>, sib: NodeIdx) {
+    pub(crate) fn grow_root(&mut self, sib_mbr: Aabb<D>, sib: NodeIdx) {
         let old_root = self.root;
         let old_mbr = self.node(old_root).mbr();
         let mut new_root = Node::new_internal();
@@ -209,6 +209,12 @@ impl<const D: usize> RTree<D> {
         let NodeKind::Internal(v) = &self.node(idx).kind else {
             unreachable!("choose_subtree on a leaf");
         };
+        Self::choose_branch(v, point)
+    }
+
+    /// Static form of the least-enlargement choice, usable while the caller
+    /// holds a mutable borrow of the branch list (bulk insert path).
+    pub(crate) fn choose_branch(v: &[Branch<D>], point: &Point<D>) -> usize {
         let target = Aabb::from_point(*point);
         let mut best = 0usize;
         let mut best_enl = f64::INFINITY;
@@ -334,7 +340,7 @@ impl<const D: usize> RTree<D> {
 
     /// Like `insert_rec` but re-inserting an existing leaf entry (keeps id,
     /// point, and epoch mark).
-    fn insert_rec_entry(
+    pub(crate) fn insert_rec_entry(
         &mut self,
         idx: NodeIdx,
         level: usize,
@@ -433,7 +439,7 @@ impl<const D: usize> RTree<D> {
 
     /// Moves every leaf entry stored under `idx` into `orphans` and frees
     /// the subtree's nodes.
-    fn collect_subtree(&mut self, idx: NodeIdx, orphans: &mut Vec<LeafEntry<D>>) {
+    pub(crate) fn collect_subtree(&mut self, idx: NodeIdx, orphans: &mut Vec<LeafEntry<D>>) {
         match std::mem::replace(
             &mut self.nodes[idx as usize].kind,
             NodeKind::Leaf(Vec::new()),
@@ -578,8 +584,15 @@ impl<const D: usize> RTree<D> {
     /// Collects the ids of points within `eps` of `center`.
     pub fn ball_ids(&mut self, center: &Point<D>, eps: f64) -> Vec<PointId> {
         let mut out = Vec::new();
-        self.for_each_in_ball(center, eps, |id, _| out.push(id));
+        self.ball_ids_into(center, eps, &mut out);
         out
+    }
+
+    /// Like [`ball_ids`](Self::ball_ids) but clears and fills a
+    /// caller-provided buffer, so query loops reuse one allocation.
+    pub fn ball_ids_into(&mut self, center: &Point<D>, eps: f64, out: &mut Vec<PointId>) {
+        out.clear();
+        self.for_each_in_ball(center, eps, |id, _| out.push(id));
     }
 
     /// Counts the points within `eps` of `center`.
@@ -657,9 +670,7 @@ impl<const D: usize> RTree<D> {
 /// enlargement, honouring the minimum fill of both groups.
 ///
 /// Returns the index sets of the two groups.
-pub(crate) fn quadratic_partition<const D: usize>(
-    boxes: &[Aabb<D>],
-) -> (Vec<usize>, Vec<usize>) {
+pub(crate) fn quadratic_partition<const D: usize>(boxes: &[Aabb<D>]) -> (Vec<usize>, Vec<usize>) {
     let n = boxes.len();
     debug_assert!(n >= 2);
 
@@ -753,7 +764,10 @@ where
     for item in items {
         chunk.push(item);
         if chunk.len() == cap {
-            out.push(finish(std::mem::replace(&mut chunk, Vec::with_capacity(cap))));
+            out.push(finish(std::mem::replace(
+                &mut chunk,
+                Vec::with_capacity(cap),
+            )));
         }
     }
     if !chunk.is_empty() {
@@ -786,7 +800,9 @@ mod tests {
         // Deterministic pseudo-random points via a simple LCG.
         let mut state = 0x2545_f491_4f6c_dd1du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         (0..n)
@@ -1029,8 +1045,15 @@ impl<const D: usize> RTree<D> {
     /// Collects the ids of points inside `rect`.
     pub fn rect_ids(&mut self, rect: &Aabb<D>) -> Vec<PointId> {
         let mut out = Vec::new();
-        self.for_each_in_rect(rect, |id, _| out.push(id));
+        self.rect_ids_into(rect, &mut out);
         out
+    }
+
+    /// Like [`rect_ids`](Self::rect_ids) but clears and fills a
+    /// caller-provided buffer, so query loops reuse one allocation.
+    pub fn rect_ids_into(&mut self, rect: &Aabb<D>, out: &mut Vec<PointId>) {
+        out.clear();
+        self.for_each_in_rect(rect, |id, _| out.push(id));
     }
 }
 
@@ -1049,7 +1072,11 @@ mod rect_tests {
             .map(|i| (PointId(i), Point::new([next(), next()])))
             .collect();
         let mut tree = RTree::bulk_load(items.clone());
-        for (lo, hi) in [([5.0, 5.0], [20.0, 30.0]), ([0.0, 0.0], [50.0, 50.0]), ([48.0, 48.0], [49.0, 49.0])] {
+        for (lo, hi) in [
+            ([5.0, 5.0], [20.0, 30.0]),
+            ([0.0, 0.0], [50.0, 50.0]),
+            ([48.0, 48.0], [49.0, 49.0]),
+        ] {
             let rect = Aabb::new(Point::new(lo), Point::new(hi));
             let mut got = tree.rect_ids(&rect);
             got.sort();

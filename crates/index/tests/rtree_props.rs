@@ -8,10 +8,17 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { x: f64, y: f64 },
+    Insert {
+        x: f64,
+        y: f64,
+    },
     /// Remove the k-th live point (mod live count).
     Remove(usize),
-    Query { x: f64, y: f64, eps: f64 },
+    Query {
+        x: f64,
+        y: f64,
+        eps: f64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -64,6 +71,82 @@ proptest! {
             prop_assert_eq!(tree.len(), oracle.len());
         }
         tree.check_invariants();
+    }
+
+    #[test]
+    fn bulk_mutations_match_per_point_mutations(
+        strides in prop::collection::vec(
+            prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..60),
+            1..8,
+        ),
+        queries in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 0.5..20.0f64), 1..10),
+    ) {
+        // Two trees fed the same random strides, one through the batched
+        // mutations and one per point, must answer every ball query
+        // identically and both stay structurally valid. Strides slide:
+        // each round inserts the new stride and removes the previous one.
+        let mut bulk: RTree<2> = RTree::new();
+        let mut per: RTree<2> = RTree::new();
+        let mut next_id = 0u64;
+        let mut prev: Vec<(PointId, Point<2>)> = Vec::new();
+
+        for stride in strides {
+            let items: Vec<(PointId, Point<2>)> = stride
+                .iter()
+                .map(|&(x, y)| {
+                    let id = PointId(next_id);
+                    next_id += 1;
+                    (id, Point::new([x, y]))
+                })
+                .collect();
+            bulk.bulk_insert(items.clone());
+            for (id, p) in &items {
+                per.insert(*id, *p);
+            }
+            prop_assert_eq!(bulk.bulk_remove(&prev), prev.len());
+            for (id, p) in &prev {
+                prop_assert!(per.remove(*id, *p));
+            }
+            bulk.check_invariants();
+            prop_assert_eq!(bulk.len(), per.len());
+            prev = items;
+
+            for &(x, y, eps) in &queries {
+                let q = Point::new([x, y]);
+                let mut got = bulk.ball_ids(&q, eps);
+                got.sort();
+                let mut want = per.ball_ids(&q, eps);
+                want.sort();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_center_traversal_matches_per_center_queries(
+        points in prop::collection::vec((-30.0..30.0f64, -30.0..30.0f64), 1..150),
+        centers in prop::collection::vec((-30.0..30.0f64, -30.0..30.0f64), 1..40),
+        eps in 0.5..15.0f64,
+    ) {
+        let items: Vec<(PointId, Point<2>)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (PointId(i as u64), Point::new([x, y])))
+            .collect();
+        let mut tree = RTree::bulk_load(items.clone());
+        let centers: Vec<Point<2>> = centers
+            .iter()
+            .map(|&(x, y)| Point::new([x, y]))
+            .collect();
+        let mut got: Vec<(usize, PointId)> = Vec::new();
+        tree.for_each_in_balls(&centers, eps, |ci, id, _| got.push((ci, id)));
+        got.sort();
+        let mut want: Vec<(usize, PointId)> = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            tree.for_each_in_ball(c, eps, |id, _| want.push((ci, id)));
+        }
+        want.sort();
+        prop_assert_eq!(got, want);
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn ari(a: &[i64], b: &[i64]) -> f64 {
     if (max_index - expected).abs() < 1e-12 {
         // Both partitions are trivial (all-in-one or all-singletons): they
         // are identical iff the observed index hits the maximum.
-        return if (sum_ij - max_index).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_ij - max_index).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_ij - expected) / (max_index - expected)
 }
@@ -169,7 +173,10 @@ mod tests {
         // Dumping a cluster into noise must hurt the score.
         let truth = vec![0, 0, 0, 1, 1, 1];
         let pred = vec![0, 0, 0, -1, -1, -1];
-        assert!((ari(&truth, &pred) - 1.0).abs() < 1e-12, "consistent relabel");
+        assert!(
+            (ari(&truth, &pred) - 1.0).abs() < 1e-12,
+            "consistent relabel"
+        );
         let pred_bad = vec![-1, -1, -1, -1, -1, -1];
         assert!(ari(&truth, &pred_bad) < 0.5);
     }

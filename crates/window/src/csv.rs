@@ -11,10 +11,7 @@ use std::path::Path;
 
 /// Writes records as CSV: one row per point, `D` coordinate columns followed
 /// by an optional integer label column (empty when unlabelled).
-pub fn write_records<const D: usize>(
-    path: &Path,
-    records: &[Record<D>],
-) -> io::Result<()> {
+pub fn write_records<const D: usize>(path: &Path, records: &[Record<D>]) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut out = BufWriter::new(file);
     for r in records {
@@ -34,16 +31,16 @@ pub fn write_records<const D: usize>(
 
 /// Writes a labelled snapshot: coordinates plus a cluster label, with `-1`
 /// standing for noise.
-pub fn write_snapshot<const D: usize>(
-    path: &Path,
-    rows: &[(Point<D>, i64)],
-) -> io::Result<()> {
+pub fn write_snapshot<const D: usize>(path: &Path, rows: &[(Point<D>, i64)]) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut out = BufWriter::new(file);
     writeln!(
         out,
         "{},cluster",
-        (0..D).map(|i| format!("x{i}")).collect::<Vec<_>>().join(",")
+        (0..D)
+            .map(|i| format!("x{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for (p, label) in rows {
         for i in 0..D {
@@ -126,8 +123,11 @@ mod tests {
         let dir = std::env::temp_dir().join("disc_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot.csv");
-        write_snapshot(&path, &[(Point::new([1.0, 2.0]), 5), (Point::new([3.0, 4.0]), -1)])
-            .unwrap();
+        write_snapshot(
+            &path,
+            &[(Point::new([1.0, 2.0]), 5), (Point::new([3.0, 4.0]), -1)],
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "x0,x1,cluster");

@@ -37,7 +37,13 @@ pub struct Profile {
 
 /// Table II analogue: the default profile of every dataset generator.
 pub fn profiles() -> [Profile; 5] {
-    [DTG_PROFILE, GEOLIFE_PROFILE, COVID_PROFILE, IRIS_PROFILE, MAZE_PROFILE]
+    [
+        DTG_PROFILE,
+        GEOLIFE_PROFILE,
+        COVID_PROFILE,
+        IRIS_PROFILE,
+        MAZE_PROFILE,
+    ]
 }
 
 /// DTG-like vehicle stream (2D), paper default: τ=372, ε=0.002, W=2M.
@@ -746,10 +752,14 @@ mod tests {
         let spread = |b: u32| -> f64 {
             let pts: Vec<_> = recs.iter().filter(|r| r.truth == Some(b)).collect();
             let cx = pts.iter().map(|r| r.point[0]).sum::<f64>() / pts.len() as f64;
-            (pts.iter().map(|r| (r.point[0] - cx).powi(2)).sum::<f64>() / pts.len() as f64)
-                .sqrt()
+            (pts.iter().map(|r| (r.point[0] - cx).powi(2)).sum::<f64>() / pts.len() as f64).sqrt()
         };
-        assert!(spread(2) > 3.0 * spread(0), "{} vs {}", spread(2), spread(0));
+        assert!(
+            spread(2) > 3.0 * spread(0),
+            "{} vs {}",
+            spread(2),
+            spread(0)
+        );
         assert!(recs.iter().any(|r| r.truth.is_none()), "noise present");
     }
 

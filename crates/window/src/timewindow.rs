@@ -50,8 +50,14 @@ impl<const D: usize> TimeWindow<D> {
     /// time (panics otherwise); `window` and `stride` are positive
     /// durations with `stride <= window`.
     pub fn new(records: Vec<TimedRecord<D>>, window: f64, stride: f64) -> Self {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
-        assert!(stride > 0.0 && stride.is_finite(), "stride must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
+        assert!(
+            stride > 0.0 && stride.is_finite(),
+            "stride must be positive"
+        );
         assert!(stride <= window, "stride must not exceed the window");
         assert!(
             records.windows(2).all(|w| w[0].time <= w[1].time),
@@ -188,7 +194,7 @@ mod tests {
         let mut w = TimeWindow::new(recs(&[0.0, 1.0, 2.0, 5.0, 11.0, 12.0]), 10.0, 2.0);
         w.fill();
         let s = w.advance().unwrap(); // window (2, 12]
-        // Outgoing: t ≤ 2 → records 0,1,2. Incoming: 10 < t ≤ 12 → 11,12.
+                                      // Outgoing: t ≤ 2 → records 0,1,2. Incoming: 10 < t ≤ 12 → 11,12.
         assert_eq!(s.outgoing.len(), 3);
         assert_eq!(s.incoming.len(), 2);
         assert_eq!(w.current_len(), 3);

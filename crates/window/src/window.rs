@@ -176,11 +176,17 @@ mod tests {
 
         let s1 = w.advance().unwrap();
         assert_eq!(
-            s1.outgoing.iter().map(|(id, _)| id.raw()).collect::<Vec<_>>(),
+            s1.outgoing
+                .iter()
+                .map(|(id, _)| id.raw())
+                .collect::<Vec<_>>(),
             vec![0, 1, 2, 3]
         );
         assert_eq!(
-            s1.incoming.iter().map(|(id, _)| id.raw()).collect::<Vec<_>>(),
+            s1.incoming
+                .iter()
+                .map(|(id, _)| id.raw())
+                .collect::<Vec<_>>(),
             vec![8, 9, 10, 11]
         );
         let s2 = w.advance().unwrap();

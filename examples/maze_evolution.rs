@@ -43,15 +43,14 @@ fn main() {
     let records = datasets::maze(30_000, 60, 11);
     let stride_frac = 20; // stride = window / 20 (5%)
 
-    println!("{:<12} {:>8} {:>8} {:>8}", "window", "DISC", "DBSTREAM", "EDMStream");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "window", "DISC", "DBSTREAM", "EDMStream"
+    );
     for window in [2_000usize, 4_000, 8_000] {
         let stride = window / stride_frac;
-        let (_, disc_ari) = run_method(
-            Disc::new(DiscConfig::new(0.6, 6)),
-            &records,
-            window,
-            stride,
-        );
+        let (_, disc_ari) =
+            run_method(Disc::new(DiscConfig::new(0.6, 6)), &records, window, stride);
         let (_, dbs_ari) = run_method(
             DbStream::new(DbStreamConfig {
                 radius: 0.7,

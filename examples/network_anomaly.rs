@@ -32,10 +32,8 @@ fn main() {
     let mut slide = 0usize;
     loop {
         // Evaluate the current window: flagged = noise-labelled points.
-        let truth: std::collections::HashMap<PointId, bool> = w
-            .current_truth()
-            .map(|(id, t)| (id, t.is_none()))
-            .collect();
+        let truth: std::collections::HashMap<PointId, bool> =
+            w.current_truth().map(|(id, t)| (id, t.is_none())).collect();
         let mut tp = 0usize;
         let mut flagged = 0usize;
         let actual = truth.values().filter(|&&a| a).count();

@@ -44,10 +44,12 @@ pub use disc_core::{Disc, DiscConfig, PointLabel, SlideStats};
 /// Everything needed by typical consumers, in one import.
 pub mod prelude {
     pub use crate::baselines::{
-        DbStream, DbStreamConfig, Dbscan, EdmStream, EdmStreamConfig, ExtraN, IncDbscan,
-        RhoDbscan, WindowClusterer,
+        DbStream, DbStreamConfig, Dbscan, EdmStream, EdmStreamConfig, ExtraN, IncDbscan, RhoDbscan,
+        WindowClusterer,
     };
-    pub use crate::core::{ClusterTracker, Disc, DiscConfig, Evolution, GraphDisc, PointLabel, SlideStats};
+    pub use crate::core::{
+        ClusterTracker, Disc, DiscConfig, Evolution, GraphDisc, PointLabel, SlideStats,
+    };
     pub use crate::geom::{Point, PointId};
     pub use crate::metrics::{ari, nmi, purity};
     pub use crate::window::{datasets, Record, SlideBatch, SlidingWindow, TimeWindow, TimedRecord};

@@ -180,7 +180,10 @@ fn index_is_usable_standalone() {
     let mut tree: RTree<3> = RTree::new();
     for i in 0..500u64 {
         let f = i as f64;
-        tree.insert(PointId(i), Point::new([f.sin() * 10.0, f.cos() * 10.0, f / 100.0]));
+        tree.insert(
+            PointId(i),
+            Point::new([f.sin() * 10.0, f.cos() * 10.0, f / 100.0]),
+        );
     }
     let hits = tree.ball_count(&Point::new([0.0, 10.0, 2.5]), 3.0);
     assert!(hits > 0);
@@ -213,10 +216,7 @@ fn runs_are_deterministic() {
 fn time_window_drives_every_method() {
     // The time-based model must be consumable by the whole method family.
     let records = datasets::gaussian_blobs::<2>(1_500, 3, 0.5, 77);
-    let stamped = disc::window::timewindow::stamp_with_gaps(
-        records,
-        &[1.0, 1.0, 0.2, 4.0],
-    );
+    let stamped = disc::window::timewindow::stamp_with_gaps(records, &[1.0, 1.0, 0.2, 4.0]);
     let mut methods: Vec<Box<dyn WindowClusterer<2>>> = vec![
         Box::new(Disc::new(DiscConfig::new(1.0, 4))),
         Box::new(Dbscan::new(1.0, 4)),

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! miniature wall-clock benchmark harness with the API surface the `benches/`
+//! targets use: `Criterion::{default, sample_size, bench_function,
+//! benchmark_group}`, `BenchmarkGroup::{bench_with_input, finish}`,
+//! `BenchmarkId::from_parameter`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros (both invocation forms).
+//!
+//! Instead of criterion's statistical machinery it reports the mean, min,
+//! and max time per iteration over `sample_size` samples, each sample sized
+//! to run for roughly `measure_ms / sample_size` milliseconds. Good enough
+//! for the relative comparisons the repo's benches make; not a substitute
+//! for real criterion when the registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    /// Total measurement budget per benchmark, milliseconds.
+    measure_ms: u64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour a benchmark-name filter passed on the command line so
+        // `cargo bench --bench foo -- some/prefix` works like criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench" && a != "--test");
+        Criterion {
+            sample_size: 20,
+            measure_ms: 600,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (builder, same as criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn skip(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => !id.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.skip(id) {
+            return self;
+        }
+        let mut b = Bencher::new(self.sample_size, self.measure_ms);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group; ids are reported as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.c.skip(&full) {
+            return self;
+        }
+        let mut b = Bencher::new(self.c.sample_size, self.c.measure_ms);
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    measure_ms: u64,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measure_ms: u64) -> Self {
+        Bencher {
+            sample_size,
+            measure_ms,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Times `f`, collecting `sample_size` samples.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm up and size the samples: grow the iteration count until one
+        // sample takes at least measure_ms / sample_size.
+        let target = Duration::from_millis((self.measure_ms / self.sample_size as u64).max(1));
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= (1 << 20) {
+                break elapsed / iters as u32;
+            }
+            // Aim straight for the target from the measured rate.
+            let scale = (target.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).ceil();
+            iters = (iters as f64 * scale.clamp(2.0, 1_000.0)) as u64;
+        };
+        let _ = per_iter;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no measurement — closure never called iter)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean: Duration =
+            self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{id:<50} time: [{} {} {}] ({} samples x {} iters)",
+            fmt(*min),
+            fmt(mean),
+            fmt(*max),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Re-export point used by generated code.
+pub fn run_groups(groups: &[&dyn Fn()]) {
+    for g in groups {
+        g();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        // Shrink the budget so the test is quick.
+        c.measure_ms = 10;
+        let mut ran = 0u64;
+        c.bench_function("stub/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        c.measure_ms = 4;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        group.finish();
+    }
+}

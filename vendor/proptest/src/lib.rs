@@ -1,0 +1,468 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! miniature property-testing harness with the subset of the proptest API the
+//! test suites use: the `proptest!` macro, `ProptestConfig::with_cases`,
+//! range/tuple/`prop_oneof!`/`prop::collection::vec` strategies, `prop_map`,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for size:
+//!
+//! * no shrinking — a failing case reports its case index and the test's
+//!   deterministic seed, which is enough to replay under a debugger;
+//! * value streams are deterministic per test name (no `PROPTEST_` env
+//!   handling, no regression-file persistence — `*.proptest-regressions`
+//!   files are ignored);
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `TestCaseError`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Harness configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Unlike the real proptest there is no value tree: `sample` yields the
+/// final value directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A constant strategy (mirrors `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+/// Object-safe strategy, used by `prop_oneof!` arms.
+pub trait DynStrategy {
+    type Value;
+
+    fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// Boxes a strategy for use in a heterogeneous `prop_oneof!` arm list.
+pub fn boxed<T, S>(s: S) -> Box<dyn DynStrategy<Value = T>>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    Box::new(s)
+}
+
+/// Weighted union of strategies, the engine behind `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<(u32, Box<dyn DynStrategy<Value = T>>)>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<(u32, Box<dyn DynStrategy<Value = T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all arm weights are zero");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.sample_dyn(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range");
+    }
+}
+
+/// The `prop::` namespace re-exported by the prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Accepted size specifications for [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange {
+                    lo: *r.start(),
+                    hi_inclusive: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    lo: n,
+                    hi_inclusive: n,
+                }
+            }
+        }
+
+        /// `Vec` strategy: `len` sampled from `size`, elements from
+        /// `element`.
+        pub fn vec<S: Strategy>(
+            element: S,
+            size: impl Into<SizeRange>,
+        ) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Output of [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+                let len = self.size.lo + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform `bool` strategy.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The value `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Derives a per-test seed from the test's name, deterministically.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        boxed, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, OneOf,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::boxed($strat))),+
+        ])
+    };
+}
+
+/// The harness macro. Accepts the same shape as the real crate:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0i64..5, 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@tests ($cfg:expr)) => {};
+    (@tests ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let __strategies = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let ($($arg,)+) = $crate::Strategy::sample(&__strategies, &mut __rng);
+                $body
+            }
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let x = Strategy::sample(&(0u64..10), &mut rng);
+            assert!(x < 10);
+            let f = Strategy::sample(&(-1.0..1.0f64), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let v = Strategy::sample(&prop::collection::vec(-1i64..6, 3..=5), &mut rng);
+            assert!((3..=5).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1..6).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_arms() {
+        let s = prop_oneof![
+            1 => Just(1u8),
+            0 => Just(2u8),
+        ];
+        let mut rng = TestRng::new(9);
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut rng), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_with_mapped_and_tuple_strategies(
+            pair in (0usize..5, -2.0..2.0f64).prop_map(|(a, b)| (a + 1, b)),
+            flag in prop::bool::ANY,
+        ) {
+            let (a, b) = pair;
+            prop_assert!((1..=5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            let _ = flag;
+        }
+    }
+}
