@@ -7,23 +7,46 @@
 
 use crate::traits::WindowClusterer;
 use disc_geom::{FxHashMap, Point, PointId};
-use disc_index::RTree;
+use disc_index::{RTree, SpatialBackend};
 use disc_window::SlideBatch;
 
-/// A static DBSCAN re-run per slide.
-pub struct Dbscan<const D: usize> {
+/// A static DBSCAN re-run per slide, rebuilding a spatial index (`B`, the
+/// R-tree by default) from scratch on every batch via
+/// [`SpatialBackend::from_batch`].
+pub struct Dbscan<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     eps: f64,
     tau: usize,
     window: FxHashMap<PointId, Point<D>>,
     /// Result of the latest run.
     labels: FxHashMap<PointId, i64>,
     range_searches: u64,
+    _backend: std::marker::PhantomData<B>,
 }
 
 impl<const D: usize> Dbscan<D> {
     /// Creates a DBSCAN runner with the given thresholds (τ counts the
-    /// point itself, matching the rest of the workspace).
+    /// point itself, matching the rest of the workspace). Uses the default
+    /// R-tree backend; see [`Dbscan::with_backend`] for others.
     pub fn new(eps: f64, tau: usize) -> Self {
+        Dbscan::with_backend(eps, tau)
+    }
+
+    /// Runs DBSCAN over `points`, returning `(id, cluster)` with `-1` noise.
+    /// Exposed so other components (quality truth for Fig. 10, tests) can
+    /// cluster arbitrary point sets. Uses the default R-tree backend;
+    /// `Dbscan::<D, B>::run_with` picks another.
+    pub fn run(
+        points: &[(PointId, Point<D>)],
+        eps: f64,
+        tau: usize,
+    ) -> (FxHashMap<PointId, i64>, u64) {
+        Self::run_with(points, eps, tau)
+    }
+}
+
+impl<const D: usize, B: SpatialBackend<D>> Dbscan<D, B> {
+    /// Creates a DBSCAN runner rebuilding backend `B` every slide.
+    pub fn with_backend(eps: f64, tau: usize) -> Self {
         assert!(eps > 0.0 && tau >= 1);
         Dbscan {
             eps,
@@ -31,18 +54,17 @@ impl<const D: usize> Dbscan<D> {
             window: FxHashMap::default(),
             labels: FxHashMap::default(),
             range_searches: 0,
+            _backend: std::marker::PhantomData,
         }
     }
 
-    /// Runs DBSCAN over `points`, returning `(id, cluster)` with `-1` noise.
-    /// Exposed so other components (quality truth for Fig. 10, tests) can
-    /// cluster arbitrary point sets.
-    pub fn run(
+    /// [`Dbscan::run`] on an arbitrary backend.
+    pub fn run_with(
         points: &[(PointId, Point<D>)],
         eps: f64,
         tau: usize,
     ) -> (FxHashMap<PointId, i64>, u64) {
-        let mut tree = RTree::bulk_load(points.to_vec());
+        let mut tree = B::from_batch(eps, points.to_vec());
         let mut labels: FxHashMap<PointId, i64> = FxHashMap::default();
         let mut visited: FxHashMap<PointId, bool> = FxHashMap::default(); // true = expanded
         let mut next_cluster = 0i64;
@@ -110,9 +132,13 @@ fn tree_point<const D: usize>(order: &[(PointId, Point<D>)], id: PointId) -> Poi
     order[idx].1
 }
 
-impl<const D: usize> WindowClusterer<D> for Dbscan<D> {
+impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Dbscan<D, B> {
     fn name(&self) -> &'static str {
-        "DBSCAN"
+        match B::NAME {
+            "rtree" => "DBSCAN",
+            "grid" => "DBSCAN(grid)",
+            other => other,
+        }
     }
 
     fn apply(&mut self, batch: &SlideBatch<D>) {
@@ -123,7 +149,7 @@ impl<const D: usize> WindowClusterer<D> for Dbscan<D> {
             self.window.insert(*id, *p);
         }
         let pts: Vec<(PointId, Point<D>)> = self.window.iter().map(|(id, p)| (*id, *p)).collect();
-        let (labels, searches) = Self::run(&pts, self.eps, self.tau);
+        let (labels, searches) = Self::run_with(&pts, self.eps, self.tau);
         self.labels = labels;
         self.range_searches += searches;
     }
@@ -162,6 +188,22 @@ mod tests {
         clusters.dedup();
         assert_eq!(clusters.len(), 2);
         assert!(searches >= 300, "one search per point at minimum");
+    }
+
+    #[test]
+    fn grid_backend_run_matches_rtree_run_exactly() {
+        // The expansion order of `run` is fixed by arrival id, so the
+        // resulting labels are identical whichever backend answers the
+        // range queries.
+        let recs = datasets::gaussian_blobs::<2>(300, 3, 0.5, 11);
+        let pts: Vec<(PointId, Point<2>)> = recs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (PointId(i as u64), r.point))
+            .collect();
+        let (rtree, _) = Dbscan::run(&pts, 1.0, 4);
+        let (grid, _) = Dbscan::<2, disc_index::GridIndex<2>>::run_with(&pts, 1.0, 4);
+        assert_eq!(rtree, grid);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use crate::traits::WindowClusterer;
 use disc_core::dsu::Dsu;
 use disc_geom::{FxHashMap, Point, PointId};
-use disc_index::RTree;
+use disc_index::{RTree, SpatialBackend};
 use disc_window::SlideBatch;
 
 const UNSET: u32 = u32::MAX;
@@ -48,7 +48,8 @@ struct Entry {
 }
 
 /// EXTRA-N: predicted-view counts and memberships, zero deletion searches.
-pub struct ExtraN<const D: usize> {
+/// The arrival range search runs on spatial backend `B` (R-tree default).
+pub struct ExtraN<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     eps: f64,
     tau: usize,
     stride: usize,
@@ -57,7 +58,7 @@ pub struct ExtraN<const D: usize> {
     slide: u64,
     started: bool,
     points: FxHashMap<PointId, Entry>,
-    tree: RTree<D>,
+    tree: B,
     /// One union-find shared by all views; each view's clusters are
     /// disjoint sets of slots allocated for that view.
     clusters: Dsu,
@@ -69,10 +70,18 @@ pub struct ExtraN<const D: usize> {
 }
 
 impl<const D: usize> ExtraN<D> {
-    /// Creates an EXTRA-N instance. `window` must be a multiple of
-    /// `stride` (the sub-window construction requires strides to tile the
-    /// window — the paper's experiments satisfy this throughout).
+    /// Creates an EXTRA-N instance on the default R-tree backend. `window`
+    /// must be a multiple of `stride` (the sub-window construction requires
+    /// strides to tile the window — the paper's experiments satisfy this
+    /// throughout). See [`ExtraN::with_backend`] for other backends.
     pub fn new(eps: f64, tau: usize, window: usize, stride: usize) -> Self {
+        ExtraN::with_backend(eps, tau, window, stride)
+    }
+}
+
+impl<const D: usize, B: SpatialBackend<D>> ExtraN<D, B> {
+    /// [`ExtraN::new`] on an explicit spatial backend.
+    pub fn with_backend(eps: f64, tau: usize, window: usize, stride: usize) -> Self {
         assert!(eps > 0.0 && tau >= 1);
         assert!(window > 0 && stride > 0 && stride <= window);
         assert_eq!(
@@ -88,7 +97,7 @@ impl<const D: usize> ExtraN<D> {
             slide: 0,
             started: false,
             points: FxHashMap::default(),
-            tree: RTree::new(),
+            tree: B::with_eps_hint(eps),
             clusters: Dsu::new(),
             labels: Vec::new(),
             hits_buf: Vec::new(),
@@ -224,7 +233,7 @@ impl<const D: usize> ExtraN<D> {
     }
 }
 
-impl<const D: usize> WindowClusterer<D> for ExtraN<D> {
+impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
     fn name(&self) -> &'static str {
         "EXTRA-N"
     }

@@ -2,6 +2,7 @@
 
 use disc_core::Disc;
 use disc_geom::PointId;
+use disc_index::SpatialBackend;
 use disc_window::SlideBatch;
 
 /// A clustering method that consumes sliding-window batches.
@@ -36,9 +37,15 @@ pub trait WindowClusterer<const D: usize> {
     }
 }
 
-impl<const D: usize> WindowClusterer<D> for Disc<D> {
+impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Disc<D, B> {
     fn name(&self) -> &'static str {
-        "DISC"
+        // The default backend keeps the paper's plain method name; other
+        // backends are tagged so ablation tables stay unambiguous.
+        match B::NAME {
+            "rtree" => "DISC",
+            "grid" => "DISC(grid)",
+            other => other,
+        }
     }
 
     fn apply(&mut self, batch: &SlideBatch<D>) {

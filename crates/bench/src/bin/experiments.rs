@@ -9,7 +9,7 @@
 
 use disc_bench::{suites, Scale};
 
-const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|evolution|all]... [--scale X]";
+const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|backend|evolution|all]... [--scale X]";
 
 fn main() {
     let mut targets: Vec<String> = Vec::new();
@@ -78,6 +78,9 @@ fn main() {
     }
     if wants("graph") {
         suites::graph_ablation::run(scale);
+    }
+    if wants("backend") {
+        suites::backend_ablation::run(scale);
     }
     if wants("evolution") {
         suites::evolution_stats::run(scale);

@@ -15,6 +15,8 @@
 //! | `fig10` | DTG ARI & latency | [`suites::fig10`] |
 //! | `fig11` | latency vs ε (DISC vs ρ₂) | [`suites::fig11`] |
 //! | `fig12` | cluster snapshots | [`suites::fig12`] |
+//! | `graph` | materialised-graph strawman | [`suites::graph_ablation`] |
+//! | `backend` | R-tree vs uniform-grid index | [`suites::backend_ablation`] |
 //!
 //! Workloads are the synthetic substitutes documented in `DESIGN.md` §4,
 //! at laptop scale; `--scale` multiplies every window size. Absolute times

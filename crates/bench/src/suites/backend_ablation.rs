@@ -1,0 +1,176 @@
+//! Extension experiment — spatial-backend ablation.
+//!
+//! DISC's COLLECT/CLUSTER phases only see the [`SpatialBackend`] trait, so
+//! the R-tree and the uniform grid are interchangeable. This suite drives
+//! both backends over the same DTG workload across window and stride sizes
+//! and compares the index work (range searches, node/cell visits) and the
+//! per-phase slide latency. Besides the usual CSV, it writes
+//! `out/backend_ablation.json` with the per-phase duration breakdown so
+//! downstream tooling can plot collect/cluster/adoption shares.
+//!
+//! [`SpatialBackend`]: disc_index::SpatialBackend
+
+use crate::report::{fmt_duration, Table};
+use crate::runner::{records_needed, slides_for, tile};
+use crate::suites::SEED;
+use crate::Scale;
+use disc_core::{Disc, DiscConfig, SlideStats};
+use disc_index::{GridIndex, SpatialBackend};
+use disc_window::{datasets, Record, SlidingWindow};
+use std::io::Write;
+use std::time::Duration;
+
+/// Averaged per-slide measurements for one backend on one configuration.
+struct Run {
+    backend: &'static str,
+    window: usize,
+    stride: usize,
+    slides: u32,
+    avg_slide: Duration,
+    avg_collect: Duration,
+    avg_cluster: Duration,
+    avg_adoption: Duration,
+    searches_per_slide: f64,
+    visits_per_slide: f64,
+}
+
+fn drive<const D: usize, B: SpatialBackend<D>>(
+    recs: &[Record<D>],
+    eps: f64,
+    tau: usize,
+    window: usize,
+    stride: usize,
+    max_slides: u32,
+) -> Run {
+    let mut w = SlidingWindow::new(recs.to_vec(), window, stride);
+    let mut disc: Disc<D, B> = Disc::with_index(DiscConfig::new(eps, tau));
+    disc.apply(&w.fill());
+
+    let mut slides = 0u32;
+    let mut total = Duration::ZERO;
+    let mut collect = Duration::ZERO;
+    let mut cluster = Duration::ZERO;
+    let mut adoption = Duration::ZERO;
+    let mut searches = 0u64;
+    let mut visits = 0u64;
+    while slides < max_slides {
+        let Some(batch) = w.advance() else { break };
+        let s: SlideStats = disc.apply(&batch);
+        total += s.elapsed;
+        collect += s.collect_time;
+        cluster += s.cluster_time;
+        adoption += s.adoption_time;
+        searches += s.index.range_searches;
+        visits += s.index.nodes_visited + s.index.bulk_nodes_visited;
+        slides += 1;
+    }
+    let n = slides.max(1);
+    Run {
+        backend: B::NAME,
+        window,
+        stride,
+        slides,
+        avg_slide: total / n,
+        avg_collect: collect / n,
+        avg_cluster: cluster / n,
+        avg_adoption: adoption / n,
+        searches_per_slide: searches as f64 / n as f64,
+        visits_per_slide: visits as f64 / n as f64,
+    }
+}
+
+/// Runs the backend ablation across window/stride sizes.
+pub fn run(scale: Scale) -> Table {
+    let prof = datasets::DTG_PROFILE;
+    let mut t = Table::new(
+        "Extension: R-tree vs uniform-grid backend (DTG)",
+        &[
+            "backend", "window", "stride", "slide", "collect", "cluster", "adoption", "searches",
+            "visits",
+        ],
+    );
+
+    let base = scale.apply(prof.window);
+    let mut runs: Vec<Run> = Vec::new();
+    for (wf, sf) in [(0.5, 0.05), (0.5, 0.2), (1.0, 0.05), (1.0, 0.2), (1.0, 0.5)] {
+        let target = ((base as f64) * wf) as usize;
+        let (window, stride) = tile(target.max(64), ((target as f64 * sf) as usize).max(1));
+        let slides = slides_for(stride).min(40);
+        let n = records_needed(window, stride, slides);
+        let recs = datasets::dtg_like(n, SEED);
+        runs.push(drive::<2, disc_index::RTree<2>>(
+            &recs, prof.eps, prof.tau, window, stride, slides,
+        ));
+        runs.push(drive::<2, GridIndex<2>>(
+            &recs, prof.eps, prof.tau, window, stride, slides,
+        ));
+    }
+
+    for r in &runs {
+        t.row(vec![
+            r.backend.to_string(),
+            r.window.to_string(),
+            r.stride.to_string(),
+            fmt_duration(r.avg_slide),
+            fmt_duration(r.avg_collect),
+            fmt_duration(r.avg_cluster),
+            fmt_duration(r.avg_adoption),
+            format!("{:.0}", r.searches_per_slide),
+            format!("{:.0}", r.visits_per_slide),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("backend_ablation");
+    let _ = write_json(&runs);
+    t
+}
+
+/// Hand-rolled JSON report with the per-phase duration breakdown
+/// (satellite of the bench harness; no serde in the workspace).
+fn write_json(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("out");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("backend_ablation.json");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "[")?;
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 == runs.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  {{\"backend\": \"{}\", \"window\": {}, \"stride\": {}, \"slides\": {}, \
+             \"avg_slide_us\": {:.3}, \"avg_collect_us\": {:.3}, \"avg_cluster_us\": {:.3}, \
+             \"avg_adoption_us\": {:.3}, \"searches_per_slide\": {:.1}, \
+             \"visits_per_slide\": {:.1}}}{}",
+            r.backend,
+            r.window,
+            r.stride,
+            r.slides,
+            r.avg_slide.as_secs_f64() * 1e6,
+            r.avg_collect.as_secs_f64() * 1e6,
+            r.avg_cluster.as_secs_f64() * 1e6,
+            r.avg_adoption.as_secs_f64() * 1e6,
+            r.searches_per_slide,
+            r.visits_per_slide,
+            sep,
+        )?;
+    }
+    writeln!(f, "]")?;
+    f.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_run_measures_both_backends() {
+        let t = run(Scale(0.1));
+        assert_eq!(t.rows.len(), 10, "5 configs x 2 backends");
+        let backends: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(backends.contains(&"rtree") && backends.contains(&"grid"));
+        let json = std::fs::read_to_string("out/backend_ablation.json").unwrap();
+        assert!(json.contains("\"avg_collect_us\""));
+        assert!(json.trim_start().starts_with('['));
+    }
+}

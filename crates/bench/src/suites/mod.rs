@@ -1,6 +1,7 @@
 //! One suite per paper artefact. Each `run(scale)` prints its tables and
 //! writes matching CSVs under `out/`.
 
+pub mod backend_ablation;
 pub mod evolution_stats;
 pub mod fig10;
 pub mod fig11;

@@ -2,7 +2,8 @@
 
 use crate::Opts;
 use disc_baselines::{Dbscan, ExtraN, IncDbscan, RhoDbscan, WindowClusterer};
-use disc_core::{kdistance, Disc, DiscConfig};
+use disc_core::{kdistance, Disc, DiscConfig, IndexBackend};
+use disc_index::GridIndex;
 use disc_window::{csv, datasets, Record, SlidingWindow};
 use std::path::Path;
 
@@ -41,13 +42,26 @@ impl DimCommand for ClusterCmd {
             ));
         }
 
-        let mut method: Box<dyn WindowClusterer<D>> = match opts.method.as_str() {
-            "disc" => Box::new(Disc::new(DiscConfig::new(eps, tau))),
-            "incdbscan" => Box::new(IncDbscan::new(eps, tau)),
-            "extran" => Box::new(ExtraN::new(eps, tau, window, stride)),
-            "dbscan" => Box::new(Dbscan::new(eps, tau)),
-            "rho2" => Box::new(RhoDbscan::new(eps, tau, opts.rho)),
-            other => return Err(format!("unknown --method {other:?}")),
+        let backend = IndexBackend::parse(&opts.index)
+            .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
+        let mut method: Box<dyn WindowClusterer<D>> = match (opts.method.as_str(), backend) {
+            ("disc", IndexBackend::RTree) => {
+                Box::new(Disc::new(DiscConfig::new(eps, tau).with_backend(backend)))
+            }
+            ("disc", IndexBackend::Grid) => Box::new(Disc::<D, GridIndex<D>>::with_index(
+                DiscConfig::new(eps, tau).with_backend(backend),
+            )),
+            ("incdbscan", _) => Box::new(IncDbscan::new(eps, tau)),
+            ("extran", IndexBackend::RTree) => Box::new(ExtraN::new(eps, tau, window, stride)),
+            ("extran", IndexBackend::Grid) => Box::new(ExtraN::<D, GridIndex<D>>::with_backend(
+                eps, tau, window, stride,
+            )),
+            ("dbscan", IndexBackend::RTree) => Box::new(Dbscan::new(eps, tau)),
+            ("dbscan", IndexBackend::Grid) => {
+                Box::new(Dbscan::<D, GridIndex<D>>::with_backend(eps, tau))
+            }
+            ("rho2", _) => Box::new(RhoDbscan::new(eps, tau, opts.rho)),
+            (other, _) => return Err(format!("unknown --method {other:?}")),
         };
 
         let mut w = SlidingWindow::new(records, window, stride);

@@ -31,7 +31,7 @@ const USAGE: &str = "\
 usage:
   disc cluster  --input F --dim D --eps X --tau N --window W --stride S
                 [--method disc|incdbscan|extran|dbscan|rho2] [--rho X]
-                [--out F] [--quiet]
+                [--index rtree|grid] [--out F] [--quiet]
   disc estimate --input F --dim D [--sample N]
   disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
                 [--seed N]
@@ -64,6 +64,7 @@ pub struct Opts {
     pub window: Option<usize>,
     pub stride: Option<usize>,
     pub method: String,
+    pub index: String,
     pub rho: f64,
     pub dataset: Option<String>,
     pub n: usize,
@@ -83,6 +84,7 @@ impl Opts {
             window: None,
             stride: None,
             method: "disc".to_string(),
+            index: "rtree".to_string(),
             rho: 0.001,
             dataset: None,
             n: 10_000,
@@ -106,6 +108,7 @@ impl Opts {
                 "--window" => o.window = Some(parse_num(flag, &value()?)?),
                 "--stride" => o.stride = Some(parse_num(flag, &value()?)?),
                 "--method" => o.method = value()?,
+                "--index" => o.index = value()?,
                 "--rho" => o.rho = parse_num(flag, &value()?)?,
                 "--dataset" => o.dataset = Some(value()?),
                 "--n" => o.n = parse_num(flag, &value()?)?,
@@ -148,6 +151,7 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.dim, 2);
         assert_eq!(o.method, "disc");
+        assert_eq!(o.index, "rtree");
         assert_eq!(o.rho, 0.001);
         assert!(!o.quiet);
         assert!(o.input.is_none());
@@ -157,7 +161,8 @@ mod tests {
     fn full_cluster_flag_set_parses() {
         let o = parse(&[
             "--input", "in.csv", "--dim", "3", "--eps", "0.5", "--tau", "7", "--window", "1000",
-            "--stride", "50", "--method", "rho2", "--rho", "0.1", "--out", "out.csv", "--quiet",
+            "--stride", "50", "--method", "rho2", "--rho", "0.1", "--index", "grid", "--out",
+            "out.csv", "--quiet",
         ])
         .unwrap();
         assert_eq!(o.input.as_ref().unwrap().to_str(), Some("in.csv"));
@@ -168,6 +173,7 @@ mod tests {
         assert_eq!(o.stride, Some(50));
         assert_eq!(o.method, "rho2");
         assert_eq!(o.rho, 0.1);
+        assert_eq!(o.index, "grid");
         assert!(o.quiet);
     }
 
@@ -246,6 +252,53 @@ mod tests {
         let text = std::fs::read_to_string(&snap).unwrap();
         assert!(text.starts_with("x0,x1,cluster"));
         assert_eq!(text.lines().count(), 301, "header + window points");
+    }
+
+    #[test]
+    fn cluster_accepts_grid_index_backend() {
+        let dir = std::env::temp_dir().join("disc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("grid.csv");
+        let args: Vec<String> = [
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let mut args: Vec<String> = [
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--dim",
+            "2",
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--index",
+            "grid",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        // And an unknown backend is rejected up front.
+        let n = args.len();
+        args[n - 1] = "quadtree".into();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--index"), "got: {err}");
     }
 
     #[test]

@@ -6,9 +6,11 @@ use crate::engine::Disc;
 use crate::label::ClusterId;
 use crate::stats::SlideStats;
 use disc_geom::{FxHashSet, PointId};
+use disc_index::SpatialBackend;
 
-impl<const D: usize> Disc<D> {
-    /// Runs CLUSTER for one slide.
+impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
+    /// Runs CLUSTER for one slide. The final adoption pass is a separate
+    /// call from `apply` so its duration is measured on its own.
     pub(crate) fn cluster(&mut self, outcome: &CollectOutcome, stats: &mut SlideStats) {
         self.ex_core_phase(&outcome.ex_cores, stats);
 
@@ -21,7 +23,6 @@ impl<const D: usize> Disc<D> {
         }
 
         self.neo_core_phase(&outcome.neo_cores, stats);
-        self.adoption_pass(stats);
     }
 
     // ------------------------------------------------------------------
@@ -80,11 +81,17 @@ impl<const D: usize> Disc<D> {
                         if m_seen.insert(qid) {
                             m_minus.push(qid);
                         }
-                        my_adopter = my_adopter.or(Some(qid));
+                        // Smallest qualifying id wins, so the adopter does
+                        // not depend on the index's traversal order.
+                        if my_adopter.is_none_or(|a| qid < a) {
+                            my_adopter = Some(qid);
+                        }
                     } else if q.is_core(tau) {
                         // A neo-core: not part of M⁻ (Def. 4 requires core
                         // in both windows) but a legal adopter.
-                        my_adopter = my_adopter.or(Some(qid));
+                        if my_adopter.is_none_or(|a| qid < a) {
+                            my_adopter = Some(qid);
+                        }
                     } else if q.in_window && q.adopter == Some(r) {
                         // A border that leaned on this ex-core.
                         q.adopter = None;
@@ -204,6 +211,11 @@ impl<const D: usize> Disc<D> {
         let mut remaining: FxHashSet<PointId> = neo_cores.iter().copied().collect();
         let mut r_plus: Vec<PointId> = Vec::new();
         let mut m_cids: Vec<u32> = Vec::new();
+        // Orphans adopted during this phase: when several neo-cores reach
+        // the same orphan, the smallest id must win regardless of the order
+        // the classes are visited in (backend-independent determinism).
+        // Adopters that survived from earlier slides are never replaced.
+        let mut adopted_here: FxHashSet<PointId> = FxHashSet::default();
 
         while let Some(&seed) = remaining.iter().next() {
             stats.neo_classes += 1;
@@ -224,6 +236,7 @@ impl<const D: usize> Disc<D> {
                 let points = &mut self.points;
                 let mut discovered_neo: Vec<PointId> = Vec::new();
                 let m_cids_ref = &mut m_cids;
+                let adopted_here_ref = &mut adopted_here;
                 self.tree.for_each_in_ball(&center, eps, |qid, _| {
                     if qid == r {
                         return;
@@ -235,10 +248,17 @@ impl<const D: usize> Disc<D> {
                         discovered_neo.push(qid);
                     } else if q.core_in_both(tau) {
                         m_cids_ref.push(q.cid.0);
-                    } else if q.in_window && !q.is_core(tau) && q.adopter.is_none() {
+                    } else if q.in_window && !q.is_core(tau) {
                         // Label maintenance: the neo-core adopts nearby
-                        // orphaned non-cores on the spot (§V).
-                        q.adopter = Some(r);
+                        // orphaned non-cores on the spot (§V). Among the
+                        // neo-cores competing this slide the smallest id
+                        // wins; adopters from earlier slides stand.
+                        if q.adopter.is_none() {
+                            q.adopter = Some(r);
+                            adopted_here_ref.insert(qid);
+                        } else if adopted_here_ref.contains(&qid) && q.adopter > Some(r) {
+                            q.adopter = Some(r);
+                        }
                     }
                 });
                 for qid in discovered_neo {
@@ -283,7 +303,7 @@ impl<const D: usize> Disc<D> {
     // Final adoption pass (§V, "updated later by examining neighbours")
     // ------------------------------------------------------------------
 
-    fn adoption_pass(&mut self, stats: &mut SlideStats) {
+    pub(crate) fn adoption_pass(&mut self, stats: &mut SlideStats) {
         let eps = self.cfg.eps;
         let tau = self.cfg.tau;
         let pending: Vec<PointId> = self.needs_adoption.drain().collect();
@@ -297,9 +317,9 @@ impl<const D: usize> Disc<D> {
             let center = rec.point;
             stats.adoption_searches += 1;
             let points = &self.points;
-            let mut adopter = None;
+            let mut adopter: Option<PointId> = None;
             self.tree.for_each_in_ball(&center, eps, |qid, _| {
-                if adopter.is_none() && qid != id {
+                if qid != id && adopter.is_none_or(|a| qid < a) {
                     if let Some(q) = points.get(qid) {
                         if q.is_core(tau) {
                             adopter = Some(qid);

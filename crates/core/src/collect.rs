@@ -9,6 +9,7 @@
 use crate::engine::Disc;
 use crate::record::PointRecord;
 use disc_geom::{FxHashMap, FxHashSet, Point, PointId};
+use disc_index::SpatialBackend;
 use disc_window::SlideBatch;
 
 /// What COLLECT hands to CLUSTER.
@@ -23,7 +24,7 @@ pub struct CollectOutcome {
     pub ghosts: Vec<PointId>,
 }
 
-impl<const D: usize> Disc<D> {
+impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     /// Runs COLLECT for one slide batch.
     ///
     /// Two equivalent implementations of the deletion and insertion phases
@@ -151,8 +152,11 @@ impl<const D: usize> Disc<D> {
                         // Opportunistic adoption: a neighbour that already
                         // meets τ now can only stay a core for the rest of
                         // the insertion phase (counts only grow), so it is a
-                        // valid adopter for the final window.
-                        if adopter.is_none() && q.n_eps as usize >= tau {
+                        // valid adopter for the final window. The smallest
+                        // qualifying id wins so the choice is independent of
+                        // the index's traversal order (and hence identical
+                        // across spatial backends).
+                        if q.n_eps as usize >= tau && adopter.is_none_or(|a| qid < a) {
                             adopter = Some(qid);
                         }
                     }
@@ -272,7 +276,7 @@ impl<const D: usize> Disc<D> {
             .map(|(i, (id, _))| (*id, i as u32))
             .collect();
         let mut gained = vec![0u32; centers.len()];
-        let mut adopters: Vec<Option<PointId>> = vec![None; centers.len()];
+        let mut hits: Vec<(u32, PointId)> = Vec::new();
         let mut intra: Vec<(u32, u32)> = Vec::new();
         let points = &mut self.points;
         let touched = &mut self.touched;
@@ -290,15 +294,25 @@ impl<const D: usize> Disc<D> {
                     q.n_eps += 1;
                     gained[ci] += 1;
                     touched.insert(qid);
-                    if adopters[ci].is_none() && q.n_eps as usize >= tau {
-                        adopters[ci] = Some(qid);
-                    }
+                    hits.push((ci as u32, qid));
                 }
             }
         });
         for (a, b) in intra {
             gained[a as usize] += 1;
             gained[b as usize] += 1;
+        }
+        // Opportunistic adoption on settled counts: a pre-existing neighbour
+        // whose final `n_ε` meets τ is a core of the new window and may adopt
+        // the fresh point. Deciding after the scan (rather than mid-scan)
+        // keeps the candidate set — and the min-id winner — independent of
+        // the index's traversal order, so all spatial backends agree.
+        let mut adopters: Vec<Option<PointId>> = vec![None; centers.len()];
+        for &(ci, qid) in &hits {
+            let q = points.at(qid);
+            if q.n_eps as usize >= tau && adopters[ci as usize].is_none_or(|a| qid < a) {
+                adopters[ci as usize] = Some(qid);
+            }
         }
 
         for (i, (id, point)) in batch.incoming.iter().enumerate() {

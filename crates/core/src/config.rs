@@ -1,5 +1,47 @@
 //! DISC configuration.
 
+/// Which [`SpatialBackend`](disc_index::SpatialBackend) implementor a
+/// driver should instantiate the engine over.
+///
+/// The backend is a *type parameter* of [`Disc`](crate::Disc), so this enum
+/// cannot switch it at runtime by itself; it is the declarative half that
+/// CLI / bench drivers match on to pick the instantiation (and that reports
+/// carry so results are attributable). [`DiscConfig::backend`] defaults to
+/// the paper's R-tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexBackend {
+    /// The paper's quadratic-split R-tree ([`disc_index::RTree`]).
+    #[default]
+    RTree,
+    /// The ε-aligned uniform grid ([`disc_index::GridIndex`]).
+    Grid,
+}
+
+impl IndexBackend {
+    /// Short name matching `SpatialBackend::NAME` (`"rtree"`, `"grid"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexBackend::RTree => "rtree",
+            IndexBackend::Grid => "grid",
+        }
+    }
+
+    /// Parses a backend name as accepted by the CLI's `--index` flag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rtree" => Some(IndexBackend::RTree),
+            "grid" => Some(IndexBackend::Grid),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Parameters of a [`Disc`] instance.
 ///
 /// `eps` and `tau` are DBSCAN's ε (distance threshold) and *MinPts* (called
@@ -26,6 +68,9 @@ pub struct DiscConfig {
     /// per point. Exactness is unaffected; this only changes how the same
     /// updates are computed. Defaults to enabled; disable for ablation.
     pub enable_bulk_slide: bool,
+    /// Which index backend drivers should instantiate the engine over (see
+    /// [`IndexBackend`]). Purely declarative for the engine itself.
+    pub backend: IndexBackend,
 }
 
 impl DiscConfig {
@@ -39,6 +84,7 @@ impl DiscConfig {
             enable_msbfs: true,
             enable_epoch_probe: true,
             enable_bulk_slide: true,
+            backend: IndexBackend::default(),
         }
     }
 
@@ -59,6 +105,12 @@ impl DiscConfig {
         self.enable_bulk_slide = false;
         self
     }
+
+    /// Declares the index backend drivers should instantiate over.
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +127,20 @@ mod tests {
         assert!(!c.enable_msbfs && !c.enable_epoch_probe);
         let c = c.without_bulk_slide();
         assert!(!c.enable_bulk_slide);
+    }
+
+    #[test]
+    fn backend_selection_round_trips() {
+        let c = DiscConfig::new(0.5, 4);
+        assert_eq!(c.backend, IndexBackend::RTree);
+        let c = c.with_backend(IndexBackend::Grid);
+        assert_eq!(c.backend, IndexBackend::Grid);
+        assert_eq!(c.backend.name(), "grid");
+        for b in [IndexBackend::RTree, IndexBackend::Grid] {
+            assert_eq!(IndexBackend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(IndexBackend::parse("kdtree"), None);
     }
 
     #[test]

@@ -7,8 +7,37 @@ use crate::record::PointRecord;
 use crate::stats::SlideStats;
 use crate::store::PointStore;
 use disc_geom::{FxHashMap, FxHashSet, Point, PointId};
-use disc_index::RTree;
+use disc_index::{RTree, SpatialBackend};
 use disc_window::SlideBatch;
+use std::cell::RefCell;
+
+/// A slide batch that cannot be applied (driver bug).
+///
+/// Returned by [`Disc::try_apply`]; [`Disc::apply`] panics on the same
+/// conditions instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlideError {
+    /// An outgoing id is not in the current window.
+    UnknownOutgoing(PointId),
+    /// An incoming id is already in the window (or appears twice in the
+    /// batch).
+    DuplicateIncoming(PointId),
+}
+
+impl std::fmt::Display for SlideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlideError::UnknownOutgoing(id) => {
+                write!(f, "outgoing point {id} is not in the window")
+            }
+            SlideError::DuplicateIncoming(id) => {
+                write!(f, "incoming point {id} already in the window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlideError {}
 
 /// An incremental DBSCAN-equivalent clusterer for sliding windows.
 ///
@@ -16,16 +45,29 @@ use disc_window::SlideBatch;
 /// [`disc_window::SlidingWindow`]; after every [`apply`] the engine holds
 /// the exact density-based clustering of the current window.
 ///
+/// The second type parameter selects the neighbourhood index — any
+/// [`SpatialBackend`], defaulting to the paper's [`RTree`] so existing
+/// `Disc<D>` code compiles unchanged. `Disc<D, GridIndex<D>>` runs the same
+/// algorithm over the uniform grid:
+///
+/// ```
+/// use disc_core::{Disc, DiscConfig};
+/// use disc_index::GridIndex;
+///
+/// let mut disc: Disc<2, GridIndex<2>> = Disc::with_index(DiscConfig::new(1.0, 5));
+/// # let _ = &mut disc;
+/// ```
+///
 /// See the crate docs for an end-to-end example.
 ///
 /// [`apply`]: Disc::apply
-pub struct Disc<const D: usize> {
+pub struct Disc<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     pub(crate) cfg: DiscConfig,
     /// Per-point state, keyed by arrival id. After each `apply` this holds
     /// exactly the points of the current window.
     pub(crate) points: PointStore<D>,
     /// Spatial index over the window (plus `C_out` ghosts mid-slide).
-    pub(crate) tree: RTree<D>,
+    pub(crate) tree: B,
     /// Union-find over cluster ids; the canonical id is the root.
     pub(crate) clusters: Dsu,
     /// Non-core points whose adopter was invalidated this slide; resolved
@@ -33,19 +75,36 @@ pub struct Disc<const D: usize> {
     pub(crate) needs_adoption: FxHashSet<PointId>,
     /// Points whose `n_ε` changed this slide (candidate ex-/neo-cores).
     pub(crate) touched: FxHashSet<PointId>,
+    /// Memoised DSU-root resolution shared by every `&self` inspection
+    /// method between slides; invalidated by `apply` (the only place unions
+    /// happen). A bench loop calling `labels()`, `num_clusters()` and
+    /// `census()` per slide walks each parent chain once, not three times.
+    root_cache: RefCell<FxHashMap<u32, u32>>,
     last_stats: SlideStats,
 }
 
 impl<const D: usize> Disc<D> {
-    /// Creates an engine with an empty window.
+    /// Creates an engine with an empty window over the default R-tree
+    /// backend. Defined on the default instantiation (rather than the
+    /// generic one) so `Disc::new(cfg)` keeps inferring `Disc<D>` at call
+    /// sites that never name a backend.
     pub fn new(cfg: DiscConfig) -> Self {
+        Disc::with_index(cfg)
+    }
+}
+
+impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
+    /// Creates an engine with an empty window over backend `B`. The backend
+    /// is constructed with the configured ε as its sizing hint.
+    pub fn with_index(cfg: DiscConfig) -> Self {
         Disc {
             cfg,
             points: PointStore::new(),
-            tree: RTree::new(),
+            tree: B::with_eps_hint(cfg.eps),
             clusters: Dsu::new(),
             needs_adoption: FxHashSet::default(),
             touched: FxHashSet::default(),
+            root_cache: RefCell::new(FxHashMap::default()),
             last_stats: SlideStats::default(),
         }
     }
@@ -53,6 +112,11 @@ impl<const D: usize> Disc<D> {
     /// The configuration in force.
     pub fn config(&self) -> &DiscConfig {
         &self.cfg
+    }
+
+    /// The backend's short name (`"rtree"`, `"grid"`).
+    pub fn backend_name(&self) -> &'static str {
+        B::NAME
     }
 
     /// Number of points in the current window.
@@ -75,8 +139,22 @@ impl<const D: usize> Disc<D> {
     /// from-scratch DBSCAN of the new window.
     ///
     /// Panics if an outgoing id is not in the window or an incoming id is
-    /// already present — both indicate a driver bug.
+    /// already present — both indicate a driver bug. Use
+    /// [`try_apply`](Disc::try_apply) to get a typed error instead.
     pub fn apply(&mut self, batch: &SlideBatch<D>) -> SlideStats {
+        match self.try_apply(batch) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`apply`](Disc::apply): validates the batch first and
+    /// returns a [`SlideError`] instead of panicking. On `Err` the engine
+    /// is untouched and remains usable.
+    pub fn try_apply(&mut self, batch: &SlideBatch<D>) -> Result<SlideStats, SlideError> {
+        self.validate(batch)?;
+        self.root_cache.borrow_mut().clear();
+
         let start = std::time::Instant::now();
         let index_before = *self.tree.stats();
         let mut stats = SlideStats {
@@ -91,8 +169,15 @@ impl<const D: usize> Disc<D> {
         let outcome = self.collect(batch);
         stats.ex_cores = outcome.ex_cores.len();
         stats.neo_cores = outcome.neo_cores.len();
+        stats.collect_time = start.elapsed();
 
+        let t_cluster = std::time::Instant::now();
         self.cluster(&outcome, &mut stats);
+        stats.cluster_time = t_cluster.elapsed();
+
+        let t_adoption = std::time::Instant::now();
+        self.adoption_pass(&mut stats);
+        stats.adoption_time = t_adoption.elapsed();
 
         // Freeze core status for the next slide and drop any remaining
         // bookkeeping. Ghost records were dropped by the cluster step.
@@ -106,7 +191,27 @@ impl<const D: usize> Disc<D> {
         stats.index = self.tree.stats().since(&index_before);
         stats.elapsed = start.elapsed();
         self.last_stats = stats;
-        stats
+        Ok(stats)
+    }
+
+    /// Rejects batches that [`apply`](Disc::apply) would panic on, before
+    /// any state is touched. Incoming ids may legally reuse an id departing
+    /// in the same batch (outgoing retires first).
+    fn validate(&self, batch: &SlideBatch<D>) -> Result<(), SlideError> {
+        for (id, _) in &batch.outgoing {
+            if !self.points.get(*id).map(|r| r.in_window).unwrap_or(false) {
+                return Err(SlideError::UnknownOutgoing(*id));
+            }
+        }
+        let outgoing: FxHashSet<PointId> = batch.outgoing.iter().map(|(id, _)| *id).collect();
+        let mut fresh: FxHashSet<PointId> = FxHashSet::default();
+        for (id, _) in &batch.incoming {
+            let present = self.points.get(*id).map(|r| r.in_window).unwrap_or(false);
+            if (present && !outgoing.contains(id)) || !fresh.insert(*id) {
+                return Err(SlideError::DuplicateIncoming(*id));
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -128,7 +233,8 @@ impl<const D: usize> Disc<D> {
     }
 
     fn resolve_label(&self, rec: &PointRecord<D>) -> PointLabel {
-        self.resolve_label_with(rec, &mut |x| self.clusters.find_immutable(x))
+        let mut cache = self.root_cache.borrow_mut();
+        self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache))
     }
 
     /// Label resolution with a pluggable root lookup, so whole-window
@@ -156,7 +262,7 @@ impl<const D: usize> Disc<D> {
 
     /// Labels of every window point, in unspecified order.
     pub fn labels(&self) -> Vec<(PointId, PointLabel)> {
-        let mut cache = FxHashMap::default();
+        let mut cache = self.root_cache.borrow_mut();
         self.points
             .iter()
             .map(|(id, rec)| {
@@ -170,7 +276,7 @@ impl<const D: usize> Disc<D> {
     /// `(id, cluster)` assignments sorted by arrival id, with `-1` for
     /// noise — the exchange format of the metrics crate and CSV dumps.
     pub fn assignments(&self) -> Vec<(PointId, i64)> {
-        let mut cache = FxHashMap::default();
+        let mut cache = self.root_cache.borrow_mut();
         let mut out: Vec<(PointId, i64)> = self
             .points
             .iter()
@@ -186,7 +292,7 @@ impl<const D: usize> Disc<D> {
 
     /// `(point, cluster)` rows for snapshot dumps (Fig. 12).
     pub fn snapshot(&self) -> Vec<(Point<D>, i64)> {
-        let mut cache = FxHashMap::default();
+        let mut cache = self.root_cache.borrow_mut();
         let mut rows: Vec<(PointId, Point<D>, i64)> = self
             .points
             .iter()
@@ -202,7 +308,7 @@ impl<const D: usize> Disc<D> {
 
     /// Number of distinct clusters in the current window.
     pub fn num_clusters(&self) -> usize {
-        let mut cache = FxHashMap::default();
+        let mut cache = self.root_cache.borrow_mut();
         let mut roots: FxHashSet<u32> = FxHashSet::default();
         for (_, rec) in self.points.iter() {
             if rec.is_core(self.cfg.tau) {
@@ -214,7 +320,7 @@ impl<const D: usize> Disc<D> {
 
     /// Number of core / border / noise points (diagnostics).
     pub fn census(&self) -> (usize, usize, usize) {
-        let mut cache = FxHashMap::default();
+        let mut cache = self.root_cache.borrow_mut();
         let mut core = 0;
         let mut border = 0;
         let mut noise = 0;
@@ -264,6 +370,7 @@ impl<const D: usize> Disc<D> {
 mod tests {
     use super::*;
     use disc_geom::Point;
+    use disc_index::GridIndex;
 
     fn batch(incoming: &[(u64, [f64; 2])], outgoing: &[(u64, [f64; 2])]) -> SlideBatch<2> {
         SlideBatch {
@@ -334,10 +441,63 @@ mod tests {
     }
 
     #[test]
+    fn phase_durations_sum_below_elapsed() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        let s = disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        assert!(s.collect_time + s.cluster_time + s.adoption_time <= s.elapsed);
+    }
+
+    #[test]
     #[should_panic(expected = "not in the window")]
     fn removing_unknown_point_panics() {
         let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
         disc.apply(&batch(&[], &[(7, [0.0, 0.0])]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the window")]
+    fn inserting_duplicate_point_panics() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0])], &[]));
+        disc.apply(&batch(&[(0, [1.0, 0.0])], &[]));
+    }
+
+    #[test]
+    fn try_apply_reports_unknown_outgoing_and_leaves_engine_usable() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        let before = disc.assignments();
+        let err = disc
+            .try_apply(&batch(&[(2, [1.0, 0.0])], &[(7, [0.0, 0.0])]))
+            .unwrap_err();
+        assert_eq!(err, SlideError::UnknownOutgoing(PointId(7)));
+        assert_eq!(err.to_string(), "outgoing point p7 is not in the window");
+        // The failed batch must not have touched anything.
+        assert_eq!(disc.assignments(), before);
+        assert_eq!(disc.window_len(), 2);
+        assert!(disc
+            .try_apply(&batch(&[(2, [1.0, 0.0])], &[(0, [0.0, 0.0])]))
+            .is_ok());
+        disc.check_invariants();
+    }
+
+    #[test]
+    fn try_apply_reports_duplicate_incoming() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0])], &[]));
+        // Already in the window.
+        let err = disc.try_apply(&batch(&[(0, [1.0, 0.0])], &[])).unwrap_err();
+        assert_eq!(err, SlideError::DuplicateIncoming(PointId(0)));
+        // Repeated inside one batch.
+        let err = disc
+            .try_apply(&batch(&[(5, [1.0, 0.0]), (5, [2.0, 0.0])], &[]))
+            .unwrap_err();
+        assert_eq!(err, SlideError::DuplicateIncoming(PointId(5)));
+        // Reusing an id that departs in the same batch is legal.
+        assert!(disc
+            .try_apply(&batch(&[(0, [3.0, 0.0])], &[(0, [0.0, 0.0])]))
+            .is_ok());
+        assert_eq!(disc.window_len(), 1);
     }
 
     #[test]
@@ -347,5 +507,23 @@ mod tests {
         let first = disc.index_stats().range_searches;
         disc.apply(&batch(&[(1, [0.5, 0.0])], &[]));
         assert!(disc.index_stats().range_searches > first);
+    }
+
+    #[test]
+    fn grid_backend_clusters_like_the_default() {
+        let pts: Vec<(u64, [f64; 2])> = (0..12)
+            .map(|i| (i, [(i % 4) as f64 * 0.5, (i / 4) as f64 * 0.5]))
+            .chain((20..24).map(|i| (i, [50.0 + (i % 4) as f64 * 0.5, 0.0])))
+            .collect();
+        let b = batch(&pts, &[]);
+        let mut rtree: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        let mut grid: Disc<2, GridIndex<2>> = Disc::with_index(DiscConfig::new(1.0, 3));
+        assert_eq!(rtree.backend_name(), "rtree");
+        assert_eq!(grid.backend_name(), "grid");
+        rtree.apply(&b);
+        grid.apply(&b);
+        assert_eq!(rtree.assignments(), grid.assignments());
+        assert_eq!(rtree.num_clusters(), grid.num_clusters());
+        grid.check_invariants();
     }
 }

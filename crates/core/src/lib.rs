@@ -56,8 +56,8 @@ pub mod stats;
 pub mod store;
 pub mod tracker;
 
-pub use config::DiscConfig;
-pub use engine::Disc;
+pub use config::{DiscConfig, IndexBackend};
+pub use engine::{Disc, SlideError};
 pub use label::{ClusterId, PointLabel};
 pub use materialized::GraphDisc;
 pub use stats::SlideStats;

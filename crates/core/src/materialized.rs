@@ -23,7 +23,7 @@ use crate::config::DiscConfig;
 use crate::dsu::Dsu;
 use crate::label::{ClusterId, PointLabel};
 use disc_geom::{FxHashMap, FxHashSet, Point, PointId};
-use disc_index::RTree;
+use disc_index::{RTree, SpatialBackend};
 use disc_window::SlideBatch;
 use std::collections::VecDeque;
 
@@ -43,22 +43,33 @@ impl<const D: usize> Vertex<D> {
 }
 
 /// DISC on a materialised ε-graph: identical output, different costs.
-pub struct GraphDisc<const D: usize> {
+///
+/// Like [`Disc`](crate::Disc), generic over the arrival-discovery index
+/// with the R-tree as the default.
+pub struct GraphDisc<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     cfg: DiscConfig,
     vertices: FxHashMap<PointId, Vertex<D>>,
     /// Index used ONLY to discover a newcomer's neighbourhood (one search
     /// per arrival). All other work is graph traversal.
-    tree: RTree<D>,
+    tree: B,
     clusters: Dsu,
 }
 
 impl<const D: usize> GraphDisc<D> {
-    /// Creates an engine with an empty window.
+    /// Creates an engine with an empty window over the default R-tree
+    /// backend (same inference rationale as [`Disc::new`](crate::Disc::new)).
     pub fn new(cfg: DiscConfig) -> Self {
+        GraphDisc::with_index(cfg)
+    }
+}
+
+impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
+    /// Creates an engine with an empty window over backend `B`.
+    pub fn with_index(cfg: DiscConfig) -> Self {
         GraphDisc {
             cfg,
             vertices: FxHashMap::default(),
-            tree: RTree::new(),
+            tree: B::with_eps_hint(cfg.eps),
             clusters: Dsu::new(),
         }
     }

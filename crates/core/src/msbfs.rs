@@ -23,7 +23,7 @@
 use crate::dsu::Dsu;
 use crate::engine::Disc;
 use disc_geom::{FxHashMap, PointId};
-use disc_index::ProbeOutcome;
+use disc_index::{ProbeOutcome, SpatialBackend};
 use std::collections::VecDeque;
 
 /// Result of a connectivity check over a starter set.
@@ -41,7 +41,7 @@ pub struct Connectivity {
     pub survivor_rep: PointId,
 }
 
-impl<const D: usize> Disc<D> {
+impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     /// Checks how many connected components of the current core graph the
     /// `starters` fall into, dispatching on the configured strategy.
     ///

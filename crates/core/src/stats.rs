@@ -36,6 +36,14 @@ pub struct SlideStats {
     pub index: IndexStats,
     /// Wall-clock duration of the whole `apply` call.
     pub elapsed: std::time::Duration,
+    /// Time spent in COLLECT (Alg. 1): `n_ε` maintenance, index updates,
+    /// ex-/neo-core identification.
+    pub collect_time: std::time::Duration,
+    /// Time spent in CLUSTER (Alg. 2): ex-core and neo-core phases,
+    /// connectivity checks, ghost eviction.
+    pub cluster_time: std::time::Duration,
+    /// Time spent in the final adoption pass (§V label maintenance).
+    pub adoption_time: std::time::Duration,
 }
 
 impl SlideStats {

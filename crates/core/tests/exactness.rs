@@ -6,6 +6,7 @@
 
 use disc_core::{Disc, DiscConfig, PointLabel};
 use disc_geom::{Point, PointId};
+use disc_index::{GridIndex, SpatialBackend};
 use disc_window::{datasets, Record, SlidingWindow};
 use proptest::prelude::*;
 
@@ -81,7 +82,10 @@ enum NaiveLabel {
 }
 
 /// Asserts DBSCAN-equivalence of DISC's current labelling.
-fn assert_equivalent<const D: usize>(disc: &Disc<D>, window: &[(PointId, Point<D>)]) {
+fn assert_equivalent<const D: usize, B: SpatialBackend<D>>(
+    disc: &Disc<D, B>,
+    window: &[(PointId, Point<D>)],
+) {
     let cfg = *disc.config();
     let oracle = naive_dbscan(window, cfg.eps, cfg.tau);
     let got: std::collections::BTreeMap<PointId, PointLabel> = disc.labels().into_iter().collect();
@@ -138,7 +142,7 @@ fn assert_equivalent<const D: usize>(disc: &Disc<D>, window: &[(PointId, Point<D
     }
 }
 
-fn run_stream<const D: usize>(
+fn run_stream_on<const D: usize, B: SpatialBackend<D>>(
     records: Vec<Record<D>>,
     window: usize,
     stride: usize,
@@ -147,7 +151,7 @@ fn run_stream<const D: usize>(
     cfg_mod: impl Fn(DiscConfig) -> DiscConfig,
 ) {
     let mut w = SlidingWindow::new(records, window, stride);
-    let mut disc = Disc::new(cfg_mod(DiscConfig::new(eps, tau)));
+    let mut disc: Disc<D, B> = Disc::with_index(cfg_mod(DiscConfig::new(eps, tau)));
     disc.apply(&w.fill());
     let snapshot: Vec<(PointId, Point<D>)> = w.current().collect();
     assert_equivalent(&disc, &snapshot);
@@ -158,6 +162,17 @@ fn run_stream<const D: usize>(
         assert_equivalent(&disc, &snapshot);
         disc.check_invariants();
     }
+}
+
+fn run_stream<const D: usize>(
+    records: Vec<Record<D>>,
+    window: usize,
+    stride: usize,
+    eps: f64,
+    tau: usize,
+    cfg_mod: impl Fn(DiscConfig) -> DiscConfig,
+) {
+    run_stream_on::<D, disc_index::RTree<D>>(records, window, stride, eps, tau, cfg_mod);
 }
 
 #[test]
@@ -257,6 +272,77 @@ fn batched_and_per_point_paths_agree_exactly() {
     }
 }
 
+/// The grid backend must satisfy the same oracle lockstep as the R-tree on
+/// a mixed workload (blobs + maze + heavy noise styles), slide by slide.
+#[test]
+fn grid_backend_blobs_stream_is_exact() {
+    let recs = datasets::gaussian_blobs::<2>(1200, 4, 0.6, 7);
+    run_stream_on::<2, GridIndex<2>>(recs, 300, 60, 1.0, 5, |c| c);
+}
+
+#[test]
+fn grid_backend_maze_stream_is_exact() {
+    let recs = datasets::maze(1500, 12, 3);
+    run_stream_on::<2, GridIndex<2>>(recs, 400, 80, 0.6, 5, |c| c);
+}
+
+#[test]
+fn grid_backend_covid_stream_is_exact_with_heavy_noise() {
+    let recs = datasets::covid_like(1200, 11);
+    run_stream_on::<2, GridIndex<2>>(recs, 400, 50, 1.2, 5, |c| c);
+}
+
+#[test]
+fn grid_backend_iris_4d_stream_is_exact() {
+    let recs = datasets::iris_like(900, 13);
+    run_stream_on::<4, GridIndex<4>>(recs, 300, 60, 2.0, 5, |c| c);
+}
+
+#[test]
+fn grid_backend_exact_without_any_optimisation() {
+    let recs = datasets::maze(1000, 10, 31);
+    run_stream_on::<2, GridIndex<2>>(recs, 300, 60, 0.6, 5, |c| {
+        c.without_msbfs().without_epoch_probe().without_bulk_slide()
+    });
+}
+
+/// Backend agreement on a fixed mixed workload: for every slide of the
+/// stream, grid-backend clustering == R-tree-backend clustering (ids
+/// included) == from-scratch DBSCAN (via each backend's own oracle run
+/// above; here the two engines are compared directly).
+#[test]
+fn grid_and_rtree_backends_agree_exactly() {
+    for (window, stride) in [(300, 30), (300, 150), (200, 200)] {
+        let mut recs = datasets::gaussian_blobs::<2>(900, 3, 0.8, 59);
+        let noise = datasets::uniform::<2>(150, 25.0, 61);
+        for (i, n) in noise.into_iter().enumerate() {
+            recs.insert((i * 5) % recs.len(), n);
+        }
+        let mut w = SlidingWindow::new(recs, window, stride);
+        let mut rtree: Disc<2> = Disc::new(DiscConfig::new(0.9, 4));
+        let mut grid: Disc<2, GridIndex<2>> = Disc::with_index(DiscConfig::new(0.9, 4));
+        let fill = w.fill();
+        rtree.apply(&fill);
+        grid.apply(&fill);
+        loop {
+            assert_eq!(
+                rtree.assignments(),
+                grid.assignments(),
+                "backends diverged at window={window} stride={stride}"
+            );
+            let snapshot: Vec<(PointId, Point<2>)> = w.current().collect();
+            assert_equivalent(&grid, &snapshot);
+            match w.advance() {
+                Some(batch) => {
+                    rtree.apply(&batch);
+                    grid.apply(&batch);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 #[test]
 fn large_stride_full_turnover_is_exact() {
     // stride == window: every slide replaces the whole population.
@@ -306,6 +392,70 @@ proptest! {
         };
         run_stream(recs, window, stride, eps, tau, cfg_mod);
     }
+
+    /// Random slide sequences must produce identical clusterings and
+    /// identical ex-/neo-core counts under the R-tree and grid backends —
+    /// the backends answer the same queries, so every density decision
+    /// must coincide. Assignments are compared after canonical cluster
+    /// renumbering (first appearance in ascending id order): internal
+    /// cluster-id *allocation* order legitimately varies with hash-set
+    /// iteration, but the induced partition may not.
+    #[test]
+    fn backends_agree_on_random_streams(
+        seed in 0u64..5000,
+        eps in 0.6..2.0f64,
+        tau in 2usize..6,
+        window in 60usize..160,
+        stride_frac in 1usize..10,
+    ) {
+        let stride = (window * stride_frac / 10).max(1);
+        let mut recs = datasets::gaussian_blobs::<2>(400, 3, 1.0, seed);
+        let noise = datasets::uniform::<2>(100, 25.0, seed ^ 0xdead);
+        for (i, n) in noise.into_iter().enumerate() {
+            recs.insert((i * 5) % recs.len(), n);
+        }
+        let mut w = SlidingWindow::new(recs, window, stride);
+        let mut rtree: Disc<2> = Disc::new(DiscConfig::new(eps, tau));
+        let mut grid: Disc<2, GridIndex<2>> = Disc::with_index(DiscConfig::new(eps, tau));
+        let fill = w.fill();
+        let sa = rtree.apply(&fill);
+        let sb = grid.apply(&fill);
+        prop_assert_eq!(sa.ex_cores, sb.ex_cores);
+        prop_assert_eq!(sa.neo_cores, sb.neo_cores);
+        prop_assert_eq!(
+            canonical(&rtree.assignments()),
+            canonical(&grid.assignments())
+        );
+        while let Some(batch) = w.advance() {
+            let sa = rtree.apply(&batch);
+            let sb = grid.apply(&batch);
+            prop_assert_eq!(sa.ex_cores, sb.ex_cores, "ex-cores diverged (seed {})", seed);
+            prop_assert_eq!(sa.neo_cores, sb.neo_cores, "neo-cores diverged (seed {})", seed);
+            prop_assert_eq!(
+                canonical(&rtree.assignments()),
+                canonical(&grid.assignments()),
+                "partitions diverged (seed {})", seed
+            );
+        }
+    }
+}
+
+/// Renumbers cluster ids by first appearance in ascending point-id order;
+/// noise stays `-1`. Two assignment vectors are canonically equal iff they
+/// induce the same partition with the same noise set.
+fn canonical(assignments: &[(PointId, i64)]) -> Vec<(PointId, i64)> {
+    let mut rename: std::collections::BTreeMap<i64, i64> = Default::default();
+    assignments
+        .iter()
+        .map(|&(id, l)| {
+            if l < 0 {
+                (id, -1)
+            } else {
+                let next = rename.len() as i64;
+                (id, *rename.entry(l).or_insert(next))
+            }
+        })
+        .collect()
 }
 
 /// Regression: one previous cluster cut by several disjoint ex-core classes

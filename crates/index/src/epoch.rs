@@ -63,6 +63,12 @@ pub struct EpochProbe {
 }
 
 impl EpochProbe {
+    /// Wraps a raw tick — backends mint probes through this from their own
+    /// tick counters.
+    pub(crate) fn with_tick(tick: u64) -> Self {
+        EpochProbe { tick }
+    }
+
     /// The instance's tick (diagnostics).
     pub fn tick(&self) -> u64 {
         self.tick

@@ -1,4 +1,4 @@
-//! An in-memory R-tree purpose-built for DISC (ICDE 2021).
+//! Neighborhood indexes purpose-built for DISC (ICDE 2021).
 //!
 //! The paper implements its own in-memory R-tree because two of its key
 //! techniques need index internals:
@@ -11,22 +11,33 @@
 //!   increasing epochs, letting a probe skip whole subtrees that the current
 //!   MS-BFS instance has already explored, with no per-instance reset cost.
 //!
-//! This crate reproduces that design: a classic quadratic-split R-tree over
-//! `D`-dimensional points with insert, delete (condense + reinsert), STR bulk
-//! load, plain ε-range queries, and the epoch probe. One deliberate deviation
-//! from the paper's Alg. 4 is documented in [`epoch`]: entries store an
-//! *(epoch, owner)* pair instead of a bare epoch so that two MS-BFS threads
-//! can still detect that they met inside an already-visited subtree.
+//! Nothing in DISC's correctness argument depends on the index *structure*,
+//! though — only on exact ε-range answers plus the visited-mark probing
+//! contract. That contract is captured by the [`SpatialBackend`] trait, with
+//! two implementors:
+//!
+//! * [`RTree`] — a classic quadratic-split R-tree over `D`-dimensional points
+//!   with insert, delete (condense + reinsert), STR bulk load, plain ε-range
+//!   queries, and the epoch probe. One deliberate deviation from the paper's
+//!   Alg. 4 is documented in [`epoch`]: entries store an *(epoch, owner)*
+//!   pair instead of a bare epoch so that two MS-BFS threads can still detect
+//!   that they met inside an already-visited subtree.
+//! * [`GridIndex`] — a uniform grid with ε-aligned cells, 3^D-neighbourhood
+//!   range answering, and grid-native epoch marks stored per cell entry.
 
 pub mod bulk;
 pub mod epoch;
+pub mod grid;
 pub mod knn;
 pub mod node;
 pub mod stats;
+pub mod traits;
 pub mod tree;
 
 pub use epoch::{EpochProbe, ProbeOutcome};
+pub use grid::GridIndex;
 pub use stats::Stats;
+pub use traits::SpatialBackend;
 pub use tree::RTree;
 
 pub(crate) const MAX_ENTRIES: usize = 16;
