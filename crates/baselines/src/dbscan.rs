@@ -20,6 +20,8 @@ pub struct Dbscan<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     /// Result of the latest run.
     labels: FxHashMap<PointId, i64>,
     range_searches: u64,
+    recorder: disc_telemetry::SharedRecorder,
+    slide_seq: u64,
     _backend: std::marker::PhantomData<B>,
 }
 
@@ -54,6 +56,8 @@ impl<const D: usize, B: SpatialBackend<D>> Dbscan<D, B> {
             window: FxHashMap::default(),
             labels: FxHashMap::default(),
             range_searches: 0,
+            recorder: disc_telemetry::noop(),
+            slide_seq: 0,
             _backend: std::marker::PhantomData,
         }
     }
@@ -142,6 +146,7 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Dbscan<D, B> {
     }
 
     fn apply(&mut self, batch: &SlideBatch<D>) {
+        let start = std::time::Instant::now();
         for (id, _) in &batch.outgoing {
             self.window.remove(id);
         }
@@ -152,6 +157,30 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Dbscan<D, B> {
         let (labels, searches) = Self::run_with(&pts, self.eps, self.tau);
         self.labels = labels;
         self.range_searches += searches;
+        self.slide_seq += 1;
+        let rec = self.recorder.as_ref();
+        if rec.enabled() {
+            let elapsed = start.elapsed();
+            rec.counter_add("disc_slides_total", 1);
+            rec.counter_add("disc_points_inserted_total", batch.incoming.len() as u64);
+            rec.counter_add("disc_points_removed_total", batch.outgoing.len() as u64);
+            // The per-slide tree is dropped inside `run_with`; only its
+            // headline search count survives to the exporter.
+            rec.counter_add("disc_index_range_searches_total", searches);
+            rec.record_duration("disc_slide_seconds", elapsed);
+            rec.gauge_set("disc_window_points", self.window.len() as f64);
+            rec.emit(&disc_telemetry::SlideEvent {
+                seq: self.slide_seq,
+                engine: "dbscan",
+                backend: B::NAME,
+                window_len: self.window.len(),
+                inserted: batch.incoming.len(),
+                removed: batch.outgoing.len(),
+                total_ns: elapsed.as_nanos() as u64,
+                range_searches: searches,
+                ..disc_telemetry::SlideEvent::default()
+            });
+        }
     }
 
     fn assignments(&self) -> Vec<(PointId, i64)> {
@@ -166,6 +195,10 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Dbscan<D, B> {
 
     fn memory_bytes(&self) -> usize {
         self.window.len() * (std::mem::size_of::<Point<D>>() + 48)
+    }
+
+    fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
+        self.recorder = recorder;
     }
 }
 

@@ -67,6 +67,8 @@ pub struct ExtraN<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     labels: Vec<(PointId, i64)>,
     /// Reused buffer for the arrival range search.
     hits_buf: Vec<PointId>,
+    recorder: disc_telemetry::SharedRecorder,
+    slide_seq: u64,
 }
 
 impl<const D: usize> ExtraN<D> {
@@ -101,6 +103,8 @@ impl<const D: usize, B: SpatialBackend<D>> ExtraN<D, B> {
             clusters: Dsu::new(),
             labels: Vec::new(),
             hits_buf: Vec::new(),
+            recorder: disc_telemetry::noop(),
+            slide_seq: 0,
         }
     }
 
@@ -239,6 +243,8 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
     }
 
     fn apply(&mut self, batch: &SlideBatch<D>) {
+        let start = std::time::Instant::now();
+        let index_before = *self.tree.stats();
         if self.started {
             self.slide += 1;
         } else {
@@ -255,6 +261,33 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
             self.insert_point(*id, *p);
         }
         self.labels = self.extract_current_view();
+        self.slide_seq += 1;
+        let rec = self.recorder.as_ref();
+        if rec.enabled() {
+            let elapsed = start.elapsed();
+            rec.counter_add("disc_slides_total", 1);
+            rec.counter_add("disc_points_inserted_total", batch.incoming.len() as u64);
+            rec.counter_add("disc_points_removed_total", batch.outgoing.len() as u64);
+            rec.record_duration("disc_slide_seconds", elapsed);
+            rec.gauge_set("disc_window_points", self.points.len() as f64);
+            let index = self.tree.stats().since(&index_before);
+            index.publish_to(rec);
+            rec.emit(&disc_telemetry::SlideEvent {
+                seq: self.slide_seq,
+                engine: "extran",
+                backend: B::NAME,
+                window_len: self.points.len(),
+                inserted: batch.incoming.len(),
+                removed: batch.outgoing.len(),
+                total_ns: elapsed.as_nanos() as u64,
+                range_searches: index.range_searches,
+                epoch_probes: index.epoch_probes,
+                nodes_visited: index.nodes_visited,
+                distance_checks: index.distance_checks,
+                subtrees_pruned: index.subtrees_pruned,
+                ..disc_telemetry::SlideEvent::default()
+            });
+        }
     }
 
     fn assignments(&self) -> Vec<(PointId, i64)> {
@@ -276,6 +309,10 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
             })
             .sum::<usize>()
             + self.clusters.len() * 8
+    }
+
+    fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
+        self.recorder = recorder;
     }
 }
 

@@ -35,6 +35,13 @@ pub trait WindowClusterer<const D: usize> {
     fn memory_bytes(&self) -> usize {
         0
     }
+
+    /// Routes the method's telemetry to `recorder`. Methods without
+    /// instrumentation ignore the call (the default) — drivers can hand
+    /// every boxed clusterer the same recorder unconditionally.
+    fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
+        let _ = recorder;
+    }
 }
 
 impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Disc<D, B> {
@@ -64,6 +71,10 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Disc<D, B> {
         // Point record + map/index overhead, rough but comparable.
         self.window_len() * (std::mem::size_of::<disc_geom::Point<D>>() + 64)
     }
+
+    fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
+        Disc::set_recorder(self, recorder);
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +96,46 @@ mod tests {
         assert_eq!(m.assignments().len(), 200);
         assert!(m.range_searches() > 0);
         assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn recorder_threads_through_boxed_clusterers() {
+        use crate::dbscan::Dbscan;
+        use crate::extran::ExtraN;
+        use disc_telemetry::Registry;
+        use std::sync::Arc;
+
+        let recs = datasets::gaussian_blobs::<2>(300, 2, 0.5, 3);
+        let methods: Vec<Box<dyn WindowClusterer<2>>> = vec![
+            Box::new(Disc::new(DiscConfig::new(1.0, 4))),
+            Box::new(Dbscan::new(1.0, 4)),
+            Box::new(ExtraN::new(1.0, 4, 150, 50)),
+        ];
+        for mut m in methods {
+            let reg = Arc::new(Registry::new());
+            m.set_recorder(reg.clone());
+            let mut w = SlidingWindow::new(recs.clone(), 150, 50);
+            m.apply(&w.fill());
+            while let Some(b) = w.advance() {
+                m.apply(&b);
+            }
+            assert_eq!(reg.counter_value("disc_slides_total"), 4, "{}", m.name());
+            assert_eq!(
+                reg.histogram_snapshot("disc_slide_seconds").unwrap().count,
+                4,
+                "{}",
+                m.name()
+            );
+            assert!(
+                reg.counter_value("disc_index_range_searches_total") > 0,
+                "{}",
+                m.name()
+            );
+            assert_eq!(reg.events_emitted(), 4, "{}", m.name());
+        }
+        // Methods without instrumentation accept (and ignore) a recorder.
+        let mut inc: Box<dyn WindowClusterer<2>> =
+            Box::new(crate::incdbscan::IncDbscan::new(1.0, 4));
+        inc.set_recorder(Arc::new(Registry::new()));
     }
 }

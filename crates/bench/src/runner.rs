@@ -1,6 +1,7 @@
 //! Shared measurement machinery.
 
 use disc_baselines::WindowClusterer;
+use disc_telemetry::{HistSnapshot, LogHistogram};
 use disc_window::{Record, SlidingWindow};
 use std::time::{Duration, Instant};
 
@@ -13,6 +14,10 @@ pub struct Measurement {
     pub avg_slide: Duration,
     /// Mean wall time per *point* of the slide (`avg_slide / stride`).
     pub per_point: Duration,
+    /// Per-slide wall-time distribution (nanoseconds): p50/p90/p99/max.
+    /// Means hide tail stalls — a slide that triggers a big merge costs
+    /// orders of magnitude more than the median — so reports carry both.
+    pub latency: HistSnapshot,
     /// Mean ε-range searches per slide.
     pub searches_per_slide: f64,
     /// Resident state estimate after the last slide.
@@ -21,6 +26,18 @@ pub struct Measurement {
     pub slides: u32,
     /// Final assignments (for quality measurements).
     pub assignments: Vec<(disc_geom::PointId, i64)>,
+}
+
+impl Measurement {
+    /// Median per-slide wall time.
+    pub fn p50_slide(&self) -> Duration {
+        Duration::from_nanos(self.latency.p50)
+    }
+
+    /// 99th-percentile per-slide wall time.
+    pub fn p99_slide(&self) -> Duration {
+        Duration::from_nanos(self.latency.p99)
+    }
 }
 
 /// Drives `method` over `records` with the given window/stride, measuring
@@ -37,12 +54,15 @@ pub fn measure<const D: usize, M: WindowClusterer<D>>(
 
     let searches_before = method.range_searches();
     let mut total = Duration::ZERO;
+    let mut hist = LogHistogram::new();
     let mut slides = 0u32;
     while slides < max_slides {
         let Some(batch) = w.advance() else { break };
         let t = Instant::now();
         method.apply(&batch);
-        total += t.elapsed();
+        let dt = t.elapsed();
+        total += dt;
+        hist.record(dt.as_nanos() as u64);
         slides += 1;
     }
     let avg = if slides > 0 {
@@ -55,6 +75,7 @@ pub fn measure<const D: usize, M: WindowClusterer<D>>(
         name: method.name().to_string(),
         avg_slide: avg,
         per_point: avg / stride.max(1) as u32,
+        latency: hist.snapshot(),
         searches_per_slide: if slides > 0 {
             searches as f64 / slides as f64
         } else {
@@ -79,12 +100,15 @@ pub fn measure_with_window<const D: usize, M: WindowClusterer<D>>(
     method.apply(&w.fill());
     let searches_before = method.range_searches();
     let mut total = Duration::ZERO;
+    let mut hist = LogHistogram::new();
     let mut slides = 0u32;
     while slides < max_slides {
         let Some(batch) = w.advance() else { break };
         let t = Instant::now();
         method.apply(&batch);
-        total += t.elapsed();
+        let dt = t.elapsed();
+        total += dt;
+        hist.record(dt.as_nanos() as u64);
         slides += 1;
     }
     let avg = if slides > 0 {
@@ -97,6 +121,7 @@ pub fn measure_with_window<const D: usize, M: WindowClusterer<D>>(
         name: method.name().to_string(),
         avg_slide: avg,
         per_point: avg / stride.max(1) as u32,
+        latency: hist.snapshot(),
         searches_per_slide: if slides > 0 {
             searches as f64 / slides as f64
         } else {
@@ -154,6 +179,10 @@ mod tests {
         assert!(m.searches_per_slide > 0.0);
         assert!(m.avg_slide > Duration::ZERO);
         assert!(m.per_point <= m.avg_slide);
+        assert_eq!(m.latency.count, 5, "one histogram sample per slide");
+        assert!(m.p50_slide() > Duration::ZERO);
+        assert!(m.p50_slide() <= m.p99_slide());
+        assert!(m.latency.p99 <= m.latency.max);
     }
 
     #[test]

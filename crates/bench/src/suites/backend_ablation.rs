@@ -16,6 +16,7 @@ use crate::suites::SEED;
 use crate::Scale;
 use disc_core::{Disc, DiscConfig, SlideStats};
 use disc_index::{GridIndex, SpatialBackend};
+use disc_telemetry::{HistSnapshot, LogHistogram};
 use disc_window::{datasets, Record, SlidingWindow};
 use std::io::Write;
 use std::time::Duration;
@@ -27,6 +28,8 @@ struct Run {
     stride: usize,
     slides: u32,
     avg_slide: Duration,
+    /// Per-slide latency distribution (ns) — tails, not just the mean.
+    latency: HistSnapshot,
     avg_collect: Duration,
     avg_cluster: Duration,
     avg_adoption: Duration,
@@ -48,6 +51,7 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
 
     let mut slides = 0u32;
     let mut total = Duration::ZERO;
+    let mut hist = LogHistogram::new();
     let mut collect = Duration::ZERO;
     let mut cluster = Duration::ZERO;
     let mut adoption = Duration::ZERO;
@@ -57,6 +61,7 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
         let Some(batch) = w.advance() else { break };
         let s: SlideStats = disc.apply(&batch);
         total += s.elapsed;
+        hist.record(s.elapsed.as_nanos() as u64);
         collect += s.collect_time;
         cluster += s.cluster_time;
         adoption += s.adoption_time;
@@ -71,6 +76,7 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
         stride,
         slides,
         avg_slide: total / n,
+        latency: hist.snapshot(),
         avg_collect: collect / n,
         avg_cluster: cluster / n,
         avg_adoption: adoption / n,
@@ -85,8 +91,8 @@ pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "Extension: R-tree vs uniform-grid backend (DTG)",
         &[
-            "backend", "window", "stride", "slide", "collect", "cluster", "adoption", "searches",
-            "visits",
+            "backend", "window", "stride", "slide", "p50", "p99", "collect", "cluster", "adoption",
+            "searches", "visits",
         ],
     );
 
@@ -112,6 +118,8 @@ pub fn run(scale: Scale) -> Table {
             r.window.to_string(),
             r.stride.to_string(),
             fmt_duration(r.avg_slide),
+            fmt_duration(Duration::from_nanos(r.latency.p50)),
+            fmt_duration(Duration::from_nanos(r.latency.p99)),
             fmt_duration(r.avg_collect),
             fmt_duration(r.avg_cluster),
             fmt_duration(r.avg_adoption),
@@ -122,6 +130,11 @@ pub fn run(scale: Scale) -> Table {
     t.print();
     let _ = t.write_csv("backend_ablation");
     let _ = write_json(&runs);
+    // Unit tests run this suite at tiny scale; skip the headline file so
+    // `cargo test` never clobbers the committed release-run numbers.
+    if !cfg!(test) {
+        let _ = write_bench_summary(&runs);
+    }
     t
 }
 
@@ -159,6 +172,49 @@ fn write_json(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
     Ok(path)
 }
 
+/// Machine-readable headline summary at the repo root (`BENCH_disc.json`),
+/// one record per (suite, backend, window, stride) with the tail latencies.
+/// CI and regression tooling diff this file across commits; it deliberately
+/// lives next to the sources rather than under `out/` with the bulky
+/// per-suite reports.
+fn write_bench_summary(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
+    // Anchor to the workspace root so the path is independent of the
+    // working directory the harness was launched from.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_disc.json");
+    write_bench_summary_to(runs, &path)
+}
+
+fn write_bench_summary_to(
+    runs: &[Run],
+    path: &std::path::Path,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 == runs.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  {{\"suite\": \"backend_ablation\", \"backend\": \"{}\", \"window\": {}, \
+             \"stride\": {}, \"slides\": {}, \"p50_slide_us\": {:.3}, \"p99_slide_us\": {:.3}, \
+             \"max_slide_us\": {:.3}, \"searches_per_slide\": {:.1}}}{}",
+            r.backend,
+            r.window,
+            r.stride,
+            r.slides,
+            r.latency.p50 as f64 / 1e3,
+            r.latency.p99 as f64 / 1e3,
+            r.latency.max as f64 / 1e3,
+            r.searches_per_slide,
+            sep,
+        )?;
+    }
+    writeln!(f, "]")?;
+    f.flush()?;
+    Ok(path.to_path_buf())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +228,32 @@ mod tests {
         let json = std::fs::read_to_string("out/backend_ablation.json").unwrap();
         assert!(json.contains("\"avg_collect_us\""));
         assert!(json.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn bench_summary_has_the_headline_schema() {
+        let recs = datasets::dtg_like(900, SEED);
+        let runs = vec![
+            drive::<2, disc_index::RTree<2>>(&recs, 0.5, 4, 500, 100, 4),
+            drive::<2, GridIndex<2>>(&recs, 0.5, 4, 500, 100, 4),
+        ];
+        let path = std::env::temp_dir().join("disc_bench_summary_test.json");
+        write_bench_summary_to(&runs, &path).unwrap();
+        let summary = std::fs::read_to_string(&path).unwrap();
+        assert!(summary.trim_start().starts_with('['));
+        assert_eq!(
+            summary.matches("\"suite\": \"backend_ablation\"").count(),
+            2
+        );
+        assert_eq!(summary.matches("\"backend\": \"rtree\"").count(), 1);
+        assert_eq!(summary.matches("\"backend\": \"grid\"").count(), 1);
+        for key in [
+            "p50_slide_us",
+            "p99_slide_us",
+            "max_slide_us",
+            "searches_per_slide",
+        ] {
+            assert!(summary.contains(&format!("\"{key}\"")), "missing {key}");
+        }
     }
 }

@@ -23,7 +23,7 @@ pub fn run(scale: Scale) -> Table {
     let prof = datasets::DTG_PROFILE;
     let mut t = Table::new(
         "Fig. 10: DTG — ARI (vs DBSCAN truth) and per-point latency vs window",
-        &["window", "method", "ARI", "latency/point"],
+        &["window", "method", "ARI", "latency/point", "p99 slide"],
     );
     for factor in WINDOW_FACTORS {
         let base = (scale.apply(prof.window) as f64 * factor) as usize;
@@ -93,6 +93,7 @@ pub fn run(scale: Scale) -> Table {
                 names[i].to_string(),
                 format!("{:.3}", ari(&truth, &pred)),
                 fmt_duration(m.per_point),
+                fmt_duration(m.p99_slide()),
             ]);
         }
     }

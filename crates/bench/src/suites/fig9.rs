@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Table {
     let prof = datasets::MAZE_PROFILE;
     let mut t = Table::new(
         "Fig. 9: Maze — ARI and per-point update latency vs window",
-        &["window", "method", "ARI", "latency/point"],
+        &["window", "method", "ARI", "latency/point", "p99 slide"],
     );
     for factor in WINDOW_FACTORS {
         let base = (scale.apply(prof.window) as f64 * factor) as usize;
@@ -91,6 +91,7 @@ pub fn run(scale: Scale) -> Table {
                 names[i].to_string(),
                 format!("{:.3}", quality(m, w)),
                 fmt_duration(m.per_point),
+                fmt_duration(m.p99_slide()),
             ]);
         }
     }

@@ -4,8 +4,10 @@ use crate::Opts;
 use disc_baselines::{Dbscan, ExtraN, IncDbscan, RhoDbscan, WindowClusterer};
 use disc_core::{kdistance, Disc, DiscConfig, IndexBackend};
 use disc_index::GridIndex;
+use disc_telemetry::{JsonlSink, PromServer, Registry};
 use disc_window::{csv, datasets, Record, SlidingWindow};
 use std::path::Path;
+use std::sync::Arc;
 
 /// A command that is generic over the point dimension.
 pub trait DimCommand {
@@ -64,13 +66,46 @@ impl DimCommand for ClusterCmd {
             (other, _) => return Err(format!("unknown --method {other:?}")),
         };
 
+        // Telemetry: one shared registry feeds the JSONL sink, the scrape
+        // endpoint and the periodic summary alike.
+        let registry: Arc<Registry> = match &opts.metrics_out {
+            Some(path) => {
+                let sink = JsonlSink::create(path)
+                    .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
+                Arc::new(Registry::with_sink(Box::new(sink)))
+            }
+            None => Arc::new(Registry::new()),
+        };
+        let prom = match &opts.prom_addr {
+            Some(addr) => {
+                let server = PromServer::spawn(addr, registry.clone())
+                    .map_err(|e| format!("--prom-addr {addr}: {e}"))?;
+                if !opts.quiet {
+                    eprintln!(
+                        "serving Prometheus metrics on http://{}/metrics",
+                        server.local_addr()
+                    );
+                }
+                Some(server)
+            }
+            None => None,
+        };
+        method.set_recorder(registry.clone());
+
         let mut w = SlidingWindow::new(records, window, stride);
         let start = std::time::Instant::now();
         method.apply(&w.fill());
         let mut slides = 0u64;
+        if opts.stats_every == 1 {
+            stats_summary(&registry, 1);
+        }
         while let Some(batch) = w.advance() {
             method.apply(&batch);
             slides += 1;
+            // The fill counts as slide 1, so the human cadence is 1-based.
+            if opts.stats_every > 0 && (slides + 1).is_multiple_of(opts.stats_every) {
+                stats_summary(&registry, slides + 1);
+            }
             if !opts.quiet {
                 let clusters: std::collections::HashSet<i64> = method
                     .assignments()
@@ -82,6 +117,10 @@ impl DimCommand for ClusterCmd {
             }
         }
         let elapsed = start.elapsed();
+        registry.flush();
+        if let Some(server) = &prom {
+            server.shutdown();
+        }
 
         let assignments = method.assignments();
         let clusters: std::collections::HashSet<i64> = assignments
@@ -109,7 +148,48 @@ impl DimCommand for ClusterCmd {
             csv::write_snapshot(out, &rows).map_err(|e| format!("{}: {e}", out.display()))?;
             println!("wrote {}", out.display());
         }
+        if let Some(path) = &opts.metrics_out {
+            println!("wrote per-slide metrics to {}", path.display());
+        }
         Ok(())
+    }
+}
+
+/// One `--stats-every` summary line, computed from the cumulative registry.
+///
+/// The two ratios are the paper's headline efficiency arguments: Theorem 1
+/// says CLUSTER runs one connectivity check per retro-reachable *class*
+/// rather than per ex-core (`ex_classes / ex_cores`, lower is better), and
+/// epoch-based probing (Alg. 4) skips index subtrees whole (`pruned /
+/// (visited + pruned)`, higher is better).
+fn stats_summary(registry: &Registry, slide: u64) {
+    let lat = registry
+        .histogram_snapshot("disc_slide_seconds")
+        .unwrap_or_default();
+    let ex_cores = registry.counter_value("disc_ex_cores_total");
+    let ex_classes = registry.counter_value("disc_ex_classes_total");
+    let pruned = registry.counter_value("disc_index_subtrees_pruned_total");
+    let visited = registry.counter_value("disc_index_nodes_visited_total");
+    eprintln!(
+        "stats @ slide {slide}: latency p50 {:?} p99 {:?} max {:?} | \
+         range searches {} (epoch probes {}) | \
+         theorem-1 savings {ex_classes}/{ex_cores} = {} | epoch-prune ratio {}",
+        std::time::Duration::from_nanos(lat.p50),
+        std::time::Duration::from_nanos(lat.p99),
+        std::time::Duration::from_nanos(lat.max),
+        registry.counter_value("disc_index_range_searches_total"),
+        registry.counter_value("disc_index_epoch_probes_total"),
+        ratio(ex_classes, ex_cores),
+        ratio(pruned, visited + pruned),
+    );
+}
+
+/// `num / den` to three decimals, or `n/a` before any work has happened.
+fn ratio(num: u64, den: u64) -> String {
+    if den == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.3}", num as f64 / den as f64)
     }
 }
 

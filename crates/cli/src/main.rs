@@ -32,6 +32,8 @@ usage:
   disc cluster  --input F --dim D --eps X --tau N --window W --stride S
                 [--method disc|incdbscan|extran|dbscan|rho2] [--rho X]
                 [--index rtree|grid] [--out F] [--quiet]
+                [--metrics-out F.jsonl] [--prom-addr HOST:PORT]
+                [--stats-every N]
   disc estimate --input F --dim D [--sample N]
   disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
                 [--seed N]
@@ -71,6 +73,12 @@ pub struct Opts {
     pub seed: u64,
     pub sample: usize,
     pub quiet: bool,
+    /// Per-slide telemetry events, one JSON line each (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
+    /// Prometheus scrape listener address (`--prom-addr`).
+    pub prom_addr: Option<String>,
+    /// Print a rolled-up summary every N slides (`--stats-every`, 0 = off).
+    pub stats_every: u64,
 }
 
 impl Opts {
@@ -91,6 +99,9 @@ impl Opts {
             seed: 42,
             sample: 2_000,
             quiet: false,
+            metrics_out: None,
+            prom_addr: None,
+            stats_every: 0,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -114,6 +125,9 @@ impl Opts {
                 "--n" => o.n = parse_num(flag, &value()?)?,
                 "--seed" => o.seed = parse_num(flag, &value()?)?,
                 "--sample" => o.sample = parse_num(flag, &value()?)?,
+                "--metrics-out" => o.metrics_out = Some(PathBuf::from(value()?)),
+                "--prom-addr" => o.prom_addr = Some(value()?),
+                "--stats-every" => o.stats_every = parse_num(flag, &value()?)?,
                 "--quiet" => o.quiet = true,
                 other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
             }
@@ -175,6 +189,26 @@ mod tests {
         assert_eq!(o.rho, 0.1);
         assert_eq!(o.index, "grid");
         assert!(o.quiet);
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let o = parse(&[
+            "--metrics-out",
+            "m.jsonl",
+            "--prom-addr",
+            "127.0.0.1:9977",
+            "--stats-every",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(o.metrics_out.as_ref().unwrap().to_str(), Some("m.jsonl"));
+        assert_eq!(o.prom_addr.as_deref(), Some("127.0.0.1:9977"));
+        assert_eq!(o.stats_every, 10);
+        let o = parse(&[]).unwrap();
+        assert!(o.metrics_out.is_none());
+        assert!(o.prom_addr.is_none());
+        assert_eq!(o.stats_every, 0);
     }
 
     #[test]
@@ -299,6 +333,93 @@ mod tests {
         args[n - 1] = "quadtree".into();
         let err = run(&args).unwrap_err();
         assert!(err.contains("--index"), "got: {err}");
+    }
+
+    #[test]
+    fn metrics_out_writes_schema_valid_jsonl() {
+        let dir = std::env::temp_dir().join("disc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tele.csv");
+        let metrics = dir.join("tele.jsonl");
+        let args: Vec<String> = [
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let args: Vec<String> = [
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--dim",
+            "2",
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--stats-every",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Fill + 3 advances = 4 slides, one event per slide.
+        assert_eq!(lines.len(), 4, "one JSONL event per slide");
+        for (i, line) in lines.iter().enumerate() {
+            disc_telemetry::SlideEvent::validate_jsonl(line).unwrap();
+            let ev = disc_telemetry::SlideEvent::from_jsonl(line).unwrap();
+            assert_eq!(ev.seq, i as u64 + 1);
+            assert_eq!(ev.engine, "disc");
+            assert_eq!(ev.backend, "rtree");
+            assert!(ev.total_ns > 0);
+            assert!(ev.range_searches > 0);
+        }
+    }
+
+    #[test]
+    fn bad_prom_addr_is_reported() {
+        let dir = std::env::temp_dir().join("disc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("prom.csv");
+        std::fs::write(&data, "0.0,0.0,\n1.0,0.0,\n0.5,0.5,\n").unwrap();
+        let args: Vec<String> = [
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--tau",
+            "2",
+            "--window",
+            "2",
+            "--stride",
+            "1",
+            "--quiet",
+            "--prom-addr",
+            "not-an-address",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--prom-addr"), "got: {err}");
     }
 
     #[test]

@@ -139,6 +139,9 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 continue; // a single bonding core is respliceable: shrink
             }
             let conn = self.check_connectivity(m_minus);
+            stats.msbfs_instances += 1;
+            stats.msbfs_starters += m_minus.len();
+            stats.msbfs_rounds += conn.rounds;
             if conn.ncc > 1 {
                 stats.splits += 1;
                 self.relabel_detached(&conn.detached, tau);
@@ -178,6 +181,9 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 });
                 if reps.len() >= 2 {
                     let conn = self.check_connectivity(&reps);
+                    stats.msbfs_instances += 1;
+                    stats.msbfs_starters += reps.len();
+                    stats.msbfs_rounds += conn.rounds;
                     if conn.ncc > 1 {
                         self.relabel_detached(&conn.detached, tau);
                     }

@@ -81,6 +81,12 @@ pub struct Disc<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     /// `census()` per slide walks each parent chain once, not three times.
     root_cache: RefCell<FxHashMap<u32, u32>>,
     last_stats: SlideStats,
+    /// Telemetry destination. Defaults to the no-op recorder, whose
+    /// `enabled() == false` makes publication one virtual call and a branch
+    /// per slide — the algorithm itself is never instrumented inline.
+    recorder: disc_telemetry::SharedRecorder,
+    /// Committed slides so far (1-based sequence number of the next event).
+    slide_seq: u64,
 }
 
 impl<const D: usize> Disc<D> {
@@ -106,7 +112,25 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             touched: FxHashSet::default(),
             root_cache: RefCell::new(FxHashMap::default()),
             last_stats: SlideStats::default(),
+            recorder: disc_telemetry::noop(),
+            slide_seq: 0,
         }
+    }
+
+    /// Builder-style [`set_recorder`](Disc::set_recorder).
+    pub fn with_recorder(mut self, recorder: disc_telemetry::SharedRecorder) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// Routes this engine's telemetry to `recorder`. Every *committed*
+    /// slide publishes per-phase latency histograms, evolution and index
+    /// counters, and one structured [`SlideEvent`] — rejected batches
+    /// ([`try_apply`](Disc::try_apply) errors) publish nothing.
+    ///
+    /// [`SlideEvent`]: disc_telemetry::SlideEvent
+    pub fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// The configuration in force.
@@ -191,6 +215,14 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         stats.index = self.tree.stats().since(&index_before);
         stats.elapsed = start.elapsed();
         self.last_stats = stats;
+        self.slide_seq += 1;
+        stats.publish_to(
+            self.recorder.as_ref(),
+            self.slide_seq,
+            "disc",
+            B::NAME,
+            self.points.len(),
+        );
         Ok(stats)
     }
 
@@ -507,6 +539,109 @@ mod tests {
         let first = disc.index_stats().range_searches;
         disc.apply(&batch(&[(1, [0.5, 0.0])], &[]));
         assert!(disc.index_stats().range_searches > first);
+    }
+
+    #[test]
+    fn committed_slides_publish_telemetry() {
+        use disc_telemetry::{MemorySink, Registry};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        struct Fwd(Arc<MemorySink>);
+        impl disc_telemetry::EventSink for Fwd {
+            fn emit(&self, ev: &disc_telemetry::SlideEvent) {
+                self.0.emit(ev);
+            }
+        }
+        let reg = Arc::new(Registry::with_sink(Box::new(Fwd(sink.clone()))));
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2)).with_recorder(reg.clone());
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        disc.apply(&batch(&[(2, [1.0, 0.0])], &[(0, [0.0, 0.0])]));
+
+        assert_eq!(reg.counter_value("disc_slides_total"), 2);
+        assert_eq!(reg.counter_value("disc_points_inserted_total"), 3);
+        assert_eq!(reg.counter_value("disc_points_removed_total"), 1);
+        assert!(reg.counter_value("disc_index_range_searches_total") > 0);
+        assert_eq!(reg.gauge_value("disc_window_points"), Some(2.0));
+        let slide = reg.histogram_snapshot("disc_slide_seconds").unwrap();
+        assert_eq!(slide.count, 2);
+        assert!(slide.max > 0);
+        assert!(reg.histogram_snapshot("disc_collect_seconds").is_some());
+        assert!(reg.histogram_snapshot("disc_cluster_seconds").is_some());
+        assert!(reg.histogram_snapshot("disc_adoption_seconds").is_some());
+
+        // Structured events: sequenced, labelled, consistent with stats.
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(events[1].engine, "disc");
+        assert_eq!(events[1].backend, "rtree");
+        assert_eq!(events[1].window_len, 2);
+        assert_eq!(events[1].inserted, 1);
+        assert_eq!(events[1].removed, 1);
+        assert!(events[1].total_ns > 0);
+        assert_eq!(
+            events[1].range_searches,
+            disc.last_stats().index.range_searches
+        );
+        disc_telemetry::SlideEvent::validate_jsonl(&events[1].to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn rejected_slides_publish_nothing() {
+        use disc_telemetry::{MemorySink, Registry};
+        use std::sync::Arc;
+
+        let reg = Arc::new(Registry::new());
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2)).with_recorder(reg.clone());
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        let before_counters = reg.counter_value("disc_slides_total");
+        let before_events = reg.events_emitted();
+        let before_assignments = disc.assignments();
+
+        // Both error paths: engine state unchanged, no partial slide in the
+        // telemetry stream.
+        assert!(disc
+            .try_apply(&batch(&[(5, [1.0, 0.0])], &[(7, [0.0, 0.0])]))
+            .is_err());
+        assert!(disc.try_apply(&batch(&[(0, [1.0, 0.0])], &[])).is_err());
+        assert_eq!(reg.counter_value("disc_slides_total"), before_counters);
+        assert_eq!(reg.counter_value("disc_points_inserted_total"), 2);
+        assert_eq!(reg.events_emitted(), before_events);
+        assert_eq!(
+            reg.histogram_snapshot("disc_slide_seconds").unwrap().count,
+            1
+        );
+        assert_eq!(disc.assignments(), before_assignments);
+
+        // The next committed slide continues the sequence with no gap.
+        let sink = Arc::new(MemorySink::new());
+        struct Fwd(Arc<MemorySink>);
+        impl disc_telemetry::EventSink for Fwd {
+            fn emit(&self, ev: &disc_telemetry::SlideEvent) {
+                self.0.emit(ev);
+            }
+        }
+        let reg2 = Arc::new(Registry::with_sink(Box::new(Fwd(sink.clone()))));
+        disc.set_recorder(reg2);
+        disc.apply(&batch(&[(2, [1.0, 0.0])], &[]));
+        assert_eq!(sink.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn msbfs_counters_reach_slide_stats() {
+        // A bridge point leaves, splitting one line cluster in two: the
+        // slide must run at least one connectivity check and report its
+        // starters and rounds.
+        let pts: Vec<(u64, [f64; 2])> = (0..9).map(|i| (i, [i as f64 * 0.5, 0.0])).collect();
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(0.6, 3));
+        disc.apply(&batch(&pts, &[]));
+        let s = disc.apply(&batch(&[], &[(4, [2.0, 0.0])]));
+        assert_eq!(s.splits, 1);
+        assert!(s.msbfs_instances >= 1, "stats {s:?}");
+        assert!(s.msbfs_starters >= 2);
+        assert!(s.msbfs_rounds >= 1);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct GraphDisc<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     /// per arrival). All other work is graph traversal.
     tree: B,
     clusters: Dsu,
+    /// Telemetry destination (no-op by default; see [`set_recorder`]).
+    ///
+    /// [`set_recorder`]: GraphDisc::set_recorder
+    recorder: disc_telemetry::SharedRecorder,
+    slide_seq: u64,
 }
 
 impl<const D: usize> GraphDisc<D> {
@@ -71,12 +76,28 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             vertices: FxHashMap::default(),
             tree: B::with_eps_hint(cfg.eps),
             clusters: Dsu::new(),
+            recorder: disc_telemetry::noop(),
+            slide_seq: 0,
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &DiscConfig {
         &self.cfg
+    }
+
+    /// Builder-style [`set_recorder`](GraphDisc::set_recorder).
+    pub fn with_recorder(mut self, recorder: disc_telemetry::SharedRecorder) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// Routes this engine's telemetry to `recorder`. GraphDisc keeps no
+    /// per-phase breakdown (the whole point is that there *are* no search
+    /// phases) — it publishes whole-slide latency, the mutation counters,
+    /// and the index counters of its arrival-discovery searches.
+    pub fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Number of points in the current window.
@@ -110,6 +131,8 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
     /// [`Disc::apply`]: crate::Disc::apply
     pub fn apply(&mut self, batch: &SlideBatch<D>) {
         let eps = self.cfg.eps;
+        let start = std::time::Instant::now();
+        let index_before = *self.tree.stats();
 
         // --- Departures: pure list surgery -------------------------------
         let mut ex_cores: Vec<PointId> = Vec::new();
@@ -269,6 +292,34 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
                 .get_mut(&id)
                 .expect("touched vanished")
                 .prev_core = core;
+        }
+
+        self.slide_seq += 1;
+        let rec = self.recorder.as_ref();
+        if rec.enabled() {
+            let elapsed = start.elapsed();
+            rec.counter_add("disc_slides_total", 1);
+            rec.counter_add("disc_points_inserted_total", batch.incoming.len() as u64);
+            rec.counter_add("disc_points_removed_total", batch.outgoing.len() as u64);
+            rec.record_duration("disc_slide_seconds", elapsed);
+            rec.gauge_set("disc_window_points", self.vertices.len() as f64);
+            let index = self.tree.stats().since(&index_before);
+            index.publish_to(rec);
+            rec.emit(&disc_telemetry::SlideEvent {
+                seq: self.slide_seq,
+                engine: "graphdisc",
+                backend: B::NAME,
+                window_len: self.vertices.len(),
+                inserted: batch.incoming.len(),
+                removed: batch.outgoing.len(),
+                total_ns: elapsed.as_nanos() as u64,
+                range_searches: index.range_searches,
+                epoch_probes: index.epoch_probes,
+                nodes_visited: index.nodes_visited,
+                distance_checks: index.distance_checks,
+                subtrees_pruned: index.subtrees_pruned,
+                ..disc_telemetry::SlideEvent::default()
+            });
         }
     }
 

@@ -39,6 +39,10 @@ pub struct Connectivity {
     /// A representative core of the surviving component (used by the
     /// cross-class split fixup, see `cluster.rs`).
     pub survivor_rep: PointId,
+    /// Queue-advance rounds this check took: round-robin passes for MS-BFS
+    /// (Alg. 3's outer loop), BFS levels summed over components for the
+    /// sequential variant. The telemetry layer aggregates these per slide.
+    pub rounds: usize,
 }
 
 impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
@@ -53,6 +57,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 ncc: 1,
                 detached: Vec::new(),
                 survivor_rep: starters[0],
+                rounds: 0,
             };
         }
         match (self.cfg.enable_msbfs, self.cfg.enable_epoch_probe) {
@@ -107,8 +112,10 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
 
         let mut active: Vec<u32> = (0..k as u32).collect();
         let mut detached: Vec<Vec<PointId>> = Vec::new();
+        let mut rounds = 0usize;
 
         while active.len() > 1 {
+            rounds += 1;
             let mut made_progress = false;
             let mut slot_idx = 0;
             while slot_idx < active.len() {
@@ -216,6 +223,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             ncc: detached.len() + 1,
             detached,
             survivor_rep,
+            rounds,
         }
     }
 
@@ -235,6 +243,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let mut out = ProbeOutcome::default();
         let mut plain_hits: Vec<PointId> = Vec::new();
         let mut threads = Dsu::new(); // one slot per component for the probe
+        let mut rounds = 0usize;
 
         for &s in starters {
             if seen.contains_key(&s) {
@@ -245,6 +254,10 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             seen.insert(s, ());
             let mut queue: VecDeque<PointId> = VecDeque::new();
             queue.push_back(s);
+            // BFS-level accounting: `in_level` vertices remain in the
+            // current level, pushes accumulate into the next one.
+            let mut in_level = 1usize;
+            let mut next_level = 0usize;
             while let Some(r) = queue.pop_front() {
                 let center = self.points.at(r).point;
                 if let Some(probe) = probe {
@@ -270,6 +283,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                         seen.insert(id, ());
                         comp.push(id);
                         queue.push_back(id);
+                        next_level += 1;
                     }
                 } else {
                     plain_hits.clear();
@@ -283,8 +297,15 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                         if seen.insert(id, ()).is_none() {
                             comp.push(id);
                             queue.push_back(id);
+                            next_level += 1;
                         }
                     }
+                }
+                in_level -= 1;
+                if in_level == 0 {
+                    rounds += 1;
+                    in_level = next_level;
+                    next_level = 0;
                 }
             }
             components.push(comp);
@@ -298,6 +319,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             ncc,
             detached,
             survivor_rep,
+            rounds,
         }
     }
 }

@@ -47,6 +47,48 @@ impl Stats {
         *self = Stats::default();
     }
 
+    /// Publishes every counter as a `disc_index_*_total` metric delta.
+    ///
+    /// Callers pass a *windowed* diff (see [`Stats::since`]) so the
+    /// recorder's monotone counters advance by exactly the work done in
+    /// the window. Shared by both [`SpatialBackend`] implementors, which
+    /// is what keeps the exported metric set backend-agnostic.
+    ///
+    /// [`SpatialBackend`]: crate::SpatialBackend
+    pub fn publish_to(&self, rec: &dyn disc_telemetry::Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter_add("disc_index_range_searches_total", self.range_searches);
+        rec.counter_add("disc_index_epoch_probes_total", self.epoch_probes);
+        rec.counter_add("disc_index_nodes_visited_total", self.nodes_visited);
+        rec.counter_add("disc_index_distance_checks_total", self.distance_checks);
+        rec.counter_add("disc_index_subtrees_pruned_total", self.subtrees_pruned);
+        rec.counter_add("disc_index_inserts_total", self.inserts);
+        rec.counter_add("disc_index_removes_total", self.removes);
+        rec.counter_add(
+            "disc_index_bulk_insert_batches_total",
+            self.bulk_insert_batches,
+        );
+        rec.counter_add(
+            "disc_index_bulk_remove_batches_total",
+            self.bulk_remove_batches,
+        );
+        rec.counter_add(
+            "disc_index_multi_ball_queries_total",
+            self.multi_ball_queries,
+        );
+        rec.counter_add(
+            "disc_index_multi_ball_centers_total",
+            self.multi_ball_centers,
+        );
+        rec.counter_add(
+            "disc_index_bulk_nodes_visited_total",
+            self.bulk_nodes_visited,
+        );
+        rec.counter_add("disc_index_bulk_leaf_scans_total", self.bulk_leaf_scans);
+    }
+
     /// Difference `self - earlier`, for windowed measurements.
     pub fn since(&self, earlier: &Stats) -> Stats {
         Stats {
@@ -117,6 +159,49 @@ mod tests {
         assert_eq!(d.multi_ball_centers, 60);
         assert_eq!(d.bulk_nodes_visited, 60);
         assert_eq!(d.bulk_leaf_scans, 60);
+    }
+
+    #[test]
+    fn publish_to_exports_every_counter() {
+        let s = Stats {
+            range_searches: 10,
+            epoch_probes: 4,
+            nodes_visited: 100,
+            distance_checks: 50,
+            subtrees_pruned: 3,
+            inserts: 7,
+            removes: 2,
+            bulk_insert_batches: 5,
+            bulk_remove_batches: 4,
+            multi_ball_queries: 9,
+            multi_ball_centers: 90,
+            bulk_nodes_visited: 80,
+            bulk_leaf_scans: 70,
+        };
+        let reg = disc_telemetry::Registry::new();
+        s.publish_to(&reg);
+        // 13 Stats fields -> 13 exported counters; the names below are the
+        // exact public metric set (DESIGN.md §9).
+        assert_eq!(reg.counter_value("disc_index_range_searches_total"), 10);
+        assert_eq!(reg.counter_value("disc_index_epoch_probes_total"), 4);
+        assert_eq!(reg.counter_value("disc_index_nodes_visited_total"), 100);
+        assert_eq!(reg.counter_value("disc_index_distance_checks_total"), 50);
+        assert_eq!(reg.counter_value("disc_index_subtrees_pruned_total"), 3);
+        assert_eq!(reg.counter_value("disc_index_inserts_total"), 7);
+        assert_eq!(reg.counter_value("disc_index_removes_total"), 2);
+        assert_eq!(reg.counter_value("disc_index_bulk_insert_batches_total"), 5);
+        assert_eq!(reg.counter_value("disc_index_bulk_remove_batches_total"), 4);
+        assert_eq!(reg.counter_value("disc_index_multi_ball_queries_total"), 9);
+        assert_eq!(reg.counter_value("disc_index_multi_ball_centers_total"), 90);
+        assert_eq!(reg.counter_value("disc_index_bulk_nodes_visited_total"), 80);
+        assert_eq!(reg.counter_value("disc_index_bulk_leaf_scans_total"), 70);
+        assert_eq!(reg.counter_names().len(), 13);
+        // Publishing again advances monotonically.
+        s.publish_to(&reg);
+        assert_eq!(reg.counter_value("disc_index_range_searches_total"), 20);
+        // A disabled recorder records nothing.
+        let noop = disc_telemetry::NoopRecorder;
+        s.publish_to(&noop); // must be a no-op (nothing to observe, but must not panic)
     }
 
     #[test]

@@ -339,6 +339,107 @@ mod tests {
         exercise::<crate::GridIndex<2>>();
     }
 
+    /// Runs one identical instrumented workload — bulk load, plain and
+    /// multi-center queries, epoch probes over a fully-visited region (so
+    /// pruning fires), point mutation, bulk removal — and returns the
+    /// accumulated counters.
+    fn counter_workload<B: SpatialBackend<2>>() -> Stats {
+        let mut ix = B::with_eps_hint(1.0);
+        let items: Vec<(PointId, Point<2>)> = (0..64u64)
+            .map(|i| {
+                (
+                    PointId(i),
+                    Point::new([(i % 8) as f64 * 0.4, (i / 8) as f64 * 0.4]),
+                )
+            })
+            .collect();
+        ix.bulk_insert(items.clone());
+        ix.ball_count(&Point::new([1.4, 1.4]), 1.0);
+        ix.for_each_in_balls(
+            &[Point::new([0.0, 0.0]), Point::new([2.8, 2.8])],
+            1.0,
+            |_, _, _| {},
+        );
+        // Two probes over a ball covering the whole extent: the first marks
+        // every entry for thread 0, the second must prune the now uniformly
+        // owned regions (subtrees / cells).
+        let probe = ix.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        for _ in 0..2 {
+            ix.epoch_probe(
+                probe,
+                &Point::new([1.4, 1.4]),
+                5.0,
+                0,
+                &mut resolve,
+                &mut all,
+                &mut out,
+            );
+            out.clear();
+        }
+        ix.insert(PointId(999), Point::new([5.0, 5.0]));
+        ix.remove(PointId(999), Point::new([5.0, 5.0]));
+        assert_eq!(ix.bulk_remove(&items), items.len());
+        *ix.stats()
+    }
+
+    #[test]
+    fn backends_populate_the_same_counters() {
+        // Counter symmetry: after the same workload, every Stats field a
+        // backend can meaningfully report is nonzero for BOTH backends —
+        // a grid/rtree ablation never compares a populated counter against
+        // an unpopulated zero.
+        let r = counter_workload::<RTree<2>>();
+        let g = counter_workload::<crate::GridIndex<2>>();
+        for (name, rv, gv) in [
+            ("range_searches", r.range_searches, g.range_searches),
+            ("epoch_probes", r.epoch_probes, g.epoch_probes),
+            ("nodes_visited", r.nodes_visited, g.nodes_visited),
+            ("distance_checks", r.distance_checks, g.distance_checks),
+            ("subtrees_pruned", r.subtrees_pruned, g.subtrees_pruned),
+            ("inserts", r.inserts, g.inserts),
+            ("removes", r.removes, g.removes),
+            (
+                "bulk_insert_batches",
+                r.bulk_insert_batches,
+                g.bulk_insert_batches,
+            ),
+            (
+                "bulk_remove_batches",
+                r.bulk_remove_batches,
+                g.bulk_remove_batches,
+            ),
+            (
+                "multi_ball_queries",
+                r.multi_ball_queries,
+                g.multi_ball_queries,
+            ),
+            (
+                "multi_ball_centers",
+                r.multi_ball_centers,
+                g.multi_ball_centers,
+            ),
+            (
+                "bulk_nodes_visited",
+                r.bulk_nodes_visited,
+                g.bulk_nodes_visited,
+            ),
+            ("bulk_leaf_scans", r.bulk_leaf_scans, g.bulk_leaf_scans),
+        ] {
+            assert!(rv > 0, "rtree left {name} unpopulated");
+            assert!(gv > 0, "grid left {name} unpopulated");
+        }
+        // Exact-count symmetry where the unit is backend-independent.
+        assert_eq!(r.range_searches, g.range_searches);
+        assert_eq!(r.epoch_probes, g.epoch_probes);
+        assert_eq!(r.inserts, g.inserts);
+        assert_eq!(r.removes, g.removes);
+        assert_eq!(r.multi_ball_queries, g.multi_ball_queries);
+        assert_eq!(r.multi_ball_centers, g.multi_ball_centers);
+    }
+
     #[test]
     fn from_batch_matches_incremental_build() {
         let items: Vec<(PointId, Point<2>)> = (0..50u64)

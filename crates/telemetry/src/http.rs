@@ -1,0 +1,113 @@
+//! A tiny blocking Prometheus scrape endpoint (feature `http`).
+//!
+//! One listener thread, one connection at a time, std-only. Serves the
+//! owning [`Registry`]'s current render on every `GET` (any path), which
+//! is exactly what a Prometheus scraper needs and nothing more. Not a
+//! general HTTP server: requests are read until the blank line and the
+//! response is written in one shot.
+
+use crate::registry::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Handle to a running scrape listener; the thread runs until process
+/// exit (scrapes are cheap and the listener owns no engine state).
+pub struct PromServer {
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl PromServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, or port 0 for ephemeral) and
+    /// serves `registry.render_prometheus()` to every request on a
+    /// background thread.
+    pub fn spawn(addr: &str, registry: Arc<Registry>) -> std::io::Result<PromServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        std::thread::Builder::new()
+            .name("disc-prom".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = serve_one(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(PromServer {
+            local_addr,
+            shutdown,
+        })
+    }
+
+    /// The bound address (useful when spawned on port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Asks the listener thread to exit after its next accepted
+    /// connection. Best-effort: the thread blocks in `accept`, so
+    /// shutdown completes lazily; process exit reaps it regardless.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // Drain the request head; we serve the same body regardless.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = registry.render_prometheus();
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn serves_registry_render_over_http() {
+        let registry = Arc::new(Registry::new());
+        registry.counter_add("disc_slides_total", 7);
+        registry.record_nanos("disc_slide_seconds", 5_000);
+        let server = PromServer::spawn("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"));
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let samples = crate::prom::parse_prometheus(body).unwrap();
+        assert!(samples.iter().any(|s| s.name == "disc_slides_total"));
+        server.shutdown();
+        // Poke the listener once so the thread can observe the flag.
+        let _ = TcpStream::connect(addr);
+    }
+}

@@ -1,0 +1,260 @@
+//! Prometheus text-format exposition: a validating parser.
+//!
+//! Rendering lives on [`Registry::render_prometheus`](crate::Registry);
+//! this module holds the other direction — a small parser for the 0.0.4
+//! text format, used by the round-trip tests (and handy for scraping our
+//! own exporter in integration tests). It validates the structural rules
+//! that matter for our output: sample lines parse, histogram buckets are
+//! cumulative and non-decreasing, and `_count` matches the `+Inf` bucket.
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in source order (our exporter only emits `le`).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition, returning every sample line.
+///
+/// Enforces: comment lines are `# HELP`/`# TYPE`; sample lines have a valid
+/// metric name, optional `{k="v",...}` labels and a float value; for every
+/// `<name>_bucket` series, cumulative counts are non-decreasing in `le`
+/// order of appearance and the `+Inf` bucket equals `<name>_count`.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if !(comment.starts_with("HELP") || comment.starts_with("TYPE")) {
+                return Err(format!("line {}: unknown comment kind", lineno + 1));
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    validate_histograms(&samples)?;
+    Ok(samples)
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_text) = match line.find('{') {
+        Some(_) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unclosed label set".to_string())?;
+            (line[..close + 1].to_string(), line[close + 1..].trim())
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let name = it.next().unwrap_or_default().to_string();
+            (name, it.next().unwrap_or_default().trim())
+        }
+    };
+    let (name, labels) = match head.find('{') {
+        Some(brace) => {
+            let name = head[..brace].to_string();
+            let body = &head[brace + 1..head.len() - 1];
+            (name, parse_labels(body)?)
+        }
+        None => (head, Vec::new()),
+    };
+    if !valid_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    if value_text.is_empty() {
+        return Err("missing sample value".to_string());
+    }
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {v:?}"))?,
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(labels);
+    }
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue; // trailing comma is legal in the format
+        }
+        let eq = pair
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {pair:?}"))?;
+        let key = pair[..eq].trim();
+        let raw = pair[eq + 1..].trim();
+        if !valid_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        if raw.len() < 2 || !raw.starts_with('"') || !raw.ends_with('"') {
+            return Err(format!("label value not quoted: {raw:?}"));
+        }
+        let val = raw[1..raw.len() - 1]
+            .replace("\\\"", "\"")
+            .replace("\\n", "\n")
+            .replace("\\\\", "\\");
+        labels.push((key.to_string(), val));
+    }
+    Ok(labels)
+}
+
+fn validate_histograms(samples: &[Sample]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    // base name -> (last cumulative, inf bucket, count value)
+    let mut last_cum: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut inf: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut last_le: BTreeMap<&str, f64> = BTreeMap::new();
+    for s in samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            let le_text = s
+                .label("le")
+                .ok_or_else(|| format!("{}: bucket without le label", s.name))?;
+            let le = match le_text {
+                "+Inf" => f64::INFINITY,
+                v => v
+                    .parse::<f64>()
+                    .map_err(|_| format!("{base}: invalid le {v:?}"))?,
+            };
+            if let Some(&prev) = last_le.get(base) {
+                if le <= prev {
+                    return Err(format!("{base}: le values not increasing"));
+                }
+            }
+            last_le.insert(base, le);
+            if let Some(&prev) = last_cum.get(base) {
+                if s.value < prev {
+                    return Err(format!("{base}: bucket counts decreased"));
+                }
+            }
+            last_cum.insert(base, s.value);
+            if le.is_infinite() {
+                inf.insert(base, s.value);
+            }
+        }
+    }
+    for s in samples {
+        if let Some(base) = s.name.strip_suffix("_count") {
+            if let Some(&inf_count) = inf.get(base) {
+                if (inf_count - s.value).abs() > f64::EPSILON {
+                    return Err(format!(
+                        "{base}: +Inf bucket {} != count {}",
+                        inf_count, s.value
+                    ));
+                }
+            }
+        }
+    }
+    // Every histogram with buckets must close with +Inf.
+    for (base, _) in last_cum {
+        if !inf.contains_key(base) {
+            return Err(format!("{base}: histogram missing +Inf bucket"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::registry::Registry;
+
+    #[test]
+    fn registry_render_round_trips_through_parser() {
+        let r = Registry::new();
+        r.counter_add("disc_slides_total", 12);
+        r.counter_add("disc_index_range_searches_total", 480);
+        r.gauge_set("disc_window_points", 1000.0);
+        for i in 1..=200u64 {
+            r.record_nanos("disc_slide_seconds", i * 10_000);
+        }
+        let text = r.render_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        let find = |n: &str| samples.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(find("disc_slides_total").value, 12.0);
+        assert_eq!(find("disc_window_points").value, 1000.0);
+        assert_eq!(find("disc_slide_seconds_count").value, 200.0);
+        // Sum rendered in seconds: 10us * (1+..+200) = 0.201s
+        let sum = find("disc_slide_seconds_sum").value;
+        assert!((sum - 0.201).abs() < 1e-9, "sum {sum}");
+        // Buckets cumulative, ending at +Inf = count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "disc_slide_seconds_bucket")
+            .collect();
+        assert!(buckets.len() > 2);
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 200.0);
+    }
+
+    #[test]
+    fn parser_rejects_structural_violations() {
+        // Decreasing bucket counts.
+        let bad =
+            "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n";
+        assert!(parse_prometheus(bad).unwrap_err().contains("decreased"));
+        // +Inf mismatch with count.
+        let bad = "h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n";
+        assert!(parse_prometheus(bad).unwrap_err().contains("!= count"));
+        // Missing +Inf closer.
+        let bad = "h_bucket{le=\"1\"} 2\n";
+        assert!(parse_prometheus(bad).unwrap_err().contains("+Inf"));
+        // Garbage value / name.
+        assert!(parse_prometheus("metric abc\n").is_err());
+        assert!(parse_prometheus("1metric 2\n").is_err());
+        assert!(parse_prometheus("# FOO bar\n").is_err());
+        // le values must increase.
+        let bad = "h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n";
+        assert!(parse_prometheus(bad).unwrap_err().contains("increasing"));
+    }
+
+    #[test]
+    fn labels_and_specials_parse() {
+        let text = "m{a=\"x\",b=\"y z\"} 1.5\nn +Inf\nempty{} 0\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples[0].label("a"), Some("x"));
+        assert_eq!(samples[0].label("b"), Some("y z"));
+        assert_eq!(samples[0].label("c"), None);
+        assert!(samples[1].value.is_infinite());
+        assert!(samples[2].labels.is_empty());
+    }
+}

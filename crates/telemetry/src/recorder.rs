@@ -1,0 +1,81 @@
+//! The [`Recorder`] trait: the engines' one telemetry entry point.
+//!
+//! Engines hold an `Arc<dyn Recorder>` and publish to it once per slide.
+//! The default [`NoopRecorder`] reports `enabled() == false`, letting hot
+//! paths skip event assembly entirely — with telemetry off, the total cost
+//! per slide is one virtual call and a branch.
+
+use crate::event::SlideEvent;
+use std::sync::Arc;
+
+/// A telemetry backend: monotone counters, gauges, duration histograms,
+/// and structured slide events.
+///
+/// Metric names are `&'static str` so recording never allocates; the
+/// convention is Prometheus-style snake case with a unit suffix
+/// (`disc_slide_seconds`, `disc_index_range_searches_total`). Histogram
+/// samples are **nanoseconds**; the Prometheus exporter converts metrics
+/// named `*_seconds` on render.
+pub trait Recorder: Send + Sync {
+    /// Whether callers should bother assembling telemetry at all. Engines
+    /// check this once per slide and skip publication when false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the monotone counter `name`.
+    fn counter_add(&self, name: &'static str, delta: u64);
+
+    /// Sets gauge `name` to `value`.
+    fn gauge_set(&self, name: &'static str, value: f64);
+
+    /// Records one duration sample (nanoseconds) into histogram `name`.
+    fn record_nanos(&self, name: &'static str, nanos: u64);
+
+    /// Records a [`Duration`](std::time::Duration) sample.
+    fn record_duration(&self, name: &'static str, d: std::time::Duration) {
+        self.record_nanos(name, d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Emits one structured slide event.
+    fn emit(&self, event: &SlideEvent);
+}
+
+/// The zero-cost default recorder: drops everything, reports disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+
+    fn record_nanos(&self, _name: &'static str, _nanos: u64) {}
+
+    fn emit(&self, _event: &SlideEvent) {}
+}
+
+/// A shared no-op recorder, the default wired into every engine.
+pub fn noop() -> Arc<dyn Recorder> {
+    Arc::new(NoopRecorder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let r = noop();
+        assert!(!r.enabled());
+        r.counter_add("x_total", 5);
+        r.gauge_set("g", 1.0);
+        r.record_nanos("h_seconds", 100);
+        r.record_duration("h_seconds", std::time::Duration::from_micros(3));
+        r.emit(&SlideEvent::default());
+    }
+}

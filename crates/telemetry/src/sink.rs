@@ -1,0 +1,123 @@
+//! Pluggable sinks for structured slide events.
+
+use crate::event::SlideEvent;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Receives every [`SlideEvent`] a [`Registry`](crate::Registry) is asked
+/// to emit. Sinks must be shareable across threads (the engine publishes,
+/// an exporter thread may flush).
+pub trait EventSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &SlideEvent);
+
+    /// Flushes any buffering (called on drop of the owning registry and by
+    /// drivers at end of run).
+    fn flush(&self) {}
+}
+
+/// Writes one JSON line per event to any `Write` target — the
+/// `--metrics-out FILE.jsonl` sink.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<std::io::BufWriter<W>>,
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Creates (truncating) `path` and writes events to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(std::io::BufWriter::new(out)),
+        }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, event: &SlideEvent) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Telemetry must never take the engine down; drop on I/O error.
+        let _ = writeln!(out, "{}", event.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Buffers events in memory — the test sink.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<SlideEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything emitted so far.
+    pub fn events(&self) -> Vec<SlideEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &SlideEvent) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = JsonlSink::new(buf);
+        let ev = SlideEvent {
+            seq: 1,
+            engine: "disc",
+            backend: "rtree",
+            ..SlideEvent::default()
+        };
+        sink.emit(&ev);
+        sink.emit(&ev);
+        let out = sink.out.into_inner().unwrap().into_inner().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            SlideEvent::validate_jsonl(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit(&SlideEvent::default());
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0], SlideEvent::default());
+    }
+}

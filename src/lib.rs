@@ -12,6 +12,8 @@
 //! * [`baselines`] — DBSCAN, IncDBSCAN, EXTRA-N, ρ₂-DBSCAN, DBSTREAM,
 //!   EDMStream;
 //! * [`metrics`] — ARI/NMI/purity and the DBSCAN-equivalence oracle;
+//! * [`telemetry`] — recorders, latency histograms, Prometheus/JSONL
+//!   exporters (see `DESIGN.md` §9);
 //! * [`geom`] — points, boxes and small utilities.
 //!
 //! ## Quick start
@@ -37,6 +39,7 @@ pub use disc_core as core;
 pub use disc_geom as geom;
 pub use disc_index as index;
 pub use disc_metrics as metrics;
+pub use disc_telemetry as telemetry;
 pub use disc_window as window;
 
 pub use disc_core::{Disc, DiscConfig, PointLabel, SlideStats};
@@ -52,5 +55,6 @@ pub mod prelude {
     };
     pub use crate::geom::{Point, PointId};
     pub use crate::metrics::{ari, nmi, purity};
+    pub use crate::telemetry::{Recorder, Registry, SharedRecorder, SlideEvent};
     pub use crate::window::{datasets, Record, SlideBatch, SlidingWindow, TimeWindow, TimedRecord};
 }

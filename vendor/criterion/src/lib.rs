@@ -175,8 +175,7 @@ impl Bencher {
         }
         let min = self.samples.iter().min().unwrap();
         let max = self.samples.iter().max().unwrap();
-        let mean: Duration =
-            self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let mean: Duration = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
         println!(
             "{id:<50} time: [{} {} {}] ({} samples x {} iters)",
             fmt(*min),

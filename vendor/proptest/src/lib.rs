@@ -273,10 +273,7 @@ pub mod prop {
 
         /// `Vec` strategy: `len` sampled from `size`, elements from
         /// `element`.
-        pub fn vec<S: Strategy>(
-            element: S,
-            size: impl Into<SizeRange>,
-        ) -> VecStrategy<S> {
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
             VecStrategy {
                 element,
                 size: size.into(),
