@@ -42,6 +42,18 @@ pub trait WindowClusterer<const D: usize> {
     fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
         let _ = recorder;
     }
+
+    /// Arms span tracing. Methods without span instrumentation ignore the
+    /// call (the default), so drivers can request tracing unconditionally
+    /// and just find [`drain_spans`](WindowClusterer::drain_spans) empty.
+    fn enable_tracing(&mut self) {}
+
+    /// Takes all spans recorded since the last drain (empty for methods
+    /// without span instrumentation). Ids stay unique across drains, so
+    /// per-slide drains concatenate into one export batch.
+    fn drain_spans(&mut self) -> Vec<disc_telemetry::SpanRecord> {
+        Vec::new()
+    }
 }
 
 impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Disc<D, B> {
@@ -74,6 +86,14 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Disc<D, B> {
 
     fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
         Disc::set_recorder(self, recorder);
+    }
+
+    fn enable_tracing(&mut self) {
+        Disc::set_tracer(self, disc_telemetry::Tracer::new());
+    }
+
+    fn drain_spans(&mut self) -> Vec<disc_telemetry::SpanRecord> {
+        Disc::drain_spans(self)
     }
 }
 
@@ -137,5 +157,32 @@ mod tests {
         let mut inc: Box<dyn WindowClusterer<2>> =
             Box::new(crate::incdbscan::IncDbscan::new(1.0, 4));
         inc.set_recorder(Arc::new(Registry::new()));
+    }
+
+    #[test]
+    fn tracing_threads_through_boxed_clusterers() {
+        let recs = datasets::gaussian_blobs::<2>(300, 2, 0.5, 3);
+        let mut m: Box<dyn WindowClusterer<2>> = Box::new(Disc::new(DiscConfig::new(1.0, 4)));
+        m.enable_tracing();
+        let mut w = SlidingWindow::new(recs, 150, 50);
+        m.apply(&w.fill());
+        let first = m.drain_spans();
+        assert!(first.iter().any(|s| s.name == "slide"));
+        while let Some(b) = w.advance() {
+            m.apply(&b);
+        }
+        let rest = m.drain_spans();
+        assert_eq!(rest.iter().filter(|s| s.name == "slide").count(), 3);
+        // Ids from successive drains never collide: concatenation exports.
+        let mut ids: Vec<u32> = first.iter().chain(rest.iter()).map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), first.len() + rest.len());
+
+        // Uninstrumented methods stay silent instead of failing.
+        let mut inc: Box<dyn WindowClusterer<2>> =
+            Box::new(crate::incdbscan::IncDbscan::new(1.0, 4));
+        inc.enable_tracing();
+        assert!(inc.drain_spans().is_empty());
     }
 }

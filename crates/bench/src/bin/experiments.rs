@@ -7,26 +7,48 @@
 //!
 //! Results are printed as aligned tables and written as CSV under `out/`.
 
-use disc_bench::{suites, Scale};
+use disc_bench::{compare, suites, Scale};
 
-const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|backend|evolution|all]... [--scale X]";
+const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|backend|evolution|all]... [--scale X]
+       experiments compare [--baseline F.json] [--fresh F.json]
+                           [--tolerance FRACTION] [--scale X]
+
+`compare` is the perf-regression gate: it re-measures the backend suite
+(or reads --fresh) and diffs the result against the committed baseline
+(BENCH_disc.json by default), failing with exit code 1 when p50/p99 per-
+slide latency regressed beyond the tolerance (default 0.25 = 25%).";
 
 fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut scale = Scale(1.0);
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--scale" => {
-                let v = args
-                    .next()
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("{USAGE}");
-                        std::process::exit(2);
-                    });
+                let v = value("--scale").parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
                 assert!(v > 0.0, "--scale must be positive");
                 scale = Scale(v);
+            }
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--fresh" => fresh = Some(value("--fresh")),
+            "--tolerance" => {
+                tolerance = value("--tolerance").parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
+                assert!(tolerance > 0.0, "--tolerance must be positive");
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -34,6 +56,9 @@ fn main() {
             }
             other => targets.push(other.to_string()),
         }
+    }
+    if targets.iter().any(|t| t == "compare") {
+        std::process::exit(run_compare(baseline, fresh, tolerance, scale));
     }
     if targets.is_empty() {
         targets.push("all".to_string());
@@ -86,4 +111,58 @@ fn main() {
         suites::evolution_stats::run(scale);
     }
     println!("\ntotal harness time: {:?}", t0.elapsed());
+}
+
+/// The regression gate (`experiments compare`). Returns the process exit
+/// code: 0 on pass, 1 on regression/lost coverage, 2 on usage errors.
+fn run_compare(
+    baseline: Option<String>,
+    fresh: Option<String>,
+    tolerance: f64,
+    scale: Scale,
+) -> i32 {
+    let baseline_path = baseline.unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_disc.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let baseline_rows = match compare::parse_rows(&baseline_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let fresh_text = match fresh {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read fresh summary {path}: {e}");
+                return 2;
+            }
+        },
+        None => {
+            println!("re-measuring the backend suite at scale {:.2}...", scale.0);
+            suites::backend_ablation::fresh_summary(scale)
+        }
+    };
+    let fresh_rows = match compare::parse_rows(&fresh_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fresh summary: {e}");
+            return 2;
+        }
+    };
+    let report = compare::compare(&baseline_rows, &fresh_rows, tolerance);
+    print!("{}", report.render());
+    i32::from(!report.passed())
 }

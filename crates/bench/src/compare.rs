@@ -1,0 +1,330 @@
+//! The perf-regression gate: diff a fresh bench summary against the
+//! committed baseline.
+//!
+//! `BENCH_disc.json` (repo root) is the committed headline summary — one
+//! record per `(suite, backend, window, stride)` with per-slide tail
+//! latencies. `experiments compare` re-measures (or reads `--fresh`),
+//! matches rows by key, and fails when either `p50_slide_us` or
+//! `p99_slide_us` grew beyond the tolerance (default 25%). Rows present
+//! in the baseline but missing from the fresh run also fail — a gate
+//! that silently loses coverage is no gate. Improvements beyond the
+//! tolerance are reported (the baseline is stale) but do not fail.
+
+use disc_telemetry::Json;
+
+/// One record of the headline summary (`BENCH_disc.json` schema).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Suite that produced the row (e.g. `backend_ablation`).
+    pub suite: String,
+    /// Spatial backend under test.
+    pub backend: String,
+    /// Window size.
+    pub window: u64,
+    /// Stride size.
+    pub stride: u64,
+    /// Slides measured.
+    pub slides: u64,
+    /// Median per-slide latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile per-slide latency (µs).
+    pub p99_us: f64,
+    /// Exact worst per-slide latency (µs).
+    pub max_us: f64,
+    /// Mean ε-range searches per slide.
+    pub searches_per_slide: f64,
+}
+
+impl BenchRow {
+    /// The identity a row is matched on across runs.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{} w={} s={}",
+            self.suite, self.backend, self.window, self.stride
+        )
+    }
+}
+
+/// Parses a `BENCH_disc.json` document into rows.
+pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
+    let doc = Json::parse(text)?;
+    let items = doc
+        .as_array()
+        .ok_or_else(|| "bench summary is not a JSON array".to_string())?;
+    let mut rows = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let str_field = |key: &str| {
+            item.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("row {i}: missing string {key:?}"))
+        };
+        let num = |key: &str| {
+            item.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing number {key:?}"))
+        };
+        rows.push(BenchRow {
+            suite: str_field("suite")?,
+            backend: str_field("backend")?,
+            window: num("window")? as u64,
+            stride: num("stride")? as u64,
+            slides: num("slides")? as u64,
+            p50_us: num("p50_slide_us")?,
+            p99_us: num("p99_slide_us")?,
+            max_us: num("max_slide_us")?,
+            searches_per_slide: num("searches_per_slide")?,
+        });
+    }
+    Ok(rows)
+}
+
+/// One metric of one row moving past the tolerance, in either direction.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Row identity (`suite/backend w=.. s=..`).
+    pub key: String,
+    /// Which latency metric moved (`p50` or `p99`).
+    pub metric: &'static str,
+    /// Baseline value (µs).
+    pub baseline_us: f64,
+    /// Fresh value (µs).
+    pub fresh_us: f64,
+}
+
+impl Delta {
+    /// `fresh / baseline` (∞ when the baseline is zero).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_us <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.fresh_us / self.baseline_us
+        }
+    }
+}
+
+/// Outcome of one baseline-vs-fresh comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Metrics that got slower than the tolerance allows (gate failures).
+    pub regressions: Vec<Delta>,
+    /// Metrics that got faster than the tolerance — the baseline is stale.
+    pub improvements: Vec<Delta>,
+    /// Baseline keys with no fresh counterpart (gate failures).
+    pub missing: Vec<String>,
+    /// Fresh keys with no baseline counterpart (informational).
+    pub added: Vec<String>,
+    /// Rows matched and checked.
+    pub checked: usize,
+    /// Tolerance used (fraction, e.g. 0.25).
+    pub tolerance: f64,
+}
+
+impl CompareReport {
+    /// Whether the gate passes (no regressions, no lost coverage).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable report, one line per finding.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let pct = self.tolerance * 100.0;
+        let _ = writeln!(
+            out,
+            "bench compare: {} row(s) checked, tolerance {pct:.0}%",
+            self.checked
+        );
+        for d in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  REGRESSION {} {}: {:.1}us -> {:.1}us ({:.2}x)",
+                d.key,
+                d.metric,
+                d.baseline_us,
+                d.fresh_us,
+                d.ratio()
+            );
+        }
+        for key in &self.missing {
+            let _ = writeln!(out, "  MISSING    {key}: baseline row not re-measured");
+        }
+        for d in &self.improvements {
+            let _ = writeln!(
+                out,
+                "  improved   {} {}: {:.1}us -> {:.1}us ({:.2}x) — consider refreshing the baseline",
+                d.key,
+                d.metric,
+                d.baseline_us,
+                d.fresh_us,
+                d.ratio()
+            );
+        }
+        for key in &self.added {
+            let _ = writeln!(out, "  new row    {key}: not in the baseline");
+        }
+        let _ = writeln!(
+            out,
+            "  verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Diffs `fresh` against `baseline` with a fractional `tolerance` on
+/// `p50_slide_us` and `p99_slide_us` per matched row.
+pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> CompareReport {
+    let mut report = CompareReport {
+        tolerance,
+        ..CompareReport::default()
+    };
+    let find = |rows: &[BenchRow], key: &str| rows.iter().find(|r| r.key() == key).cloned();
+    for b in baseline {
+        let key = b.key();
+        let Some(f) = find(fresh, &key) else {
+            report.missing.push(key);
+            continue;
+        };
+        report.checked += 1;
+        for (metric, base_us, fresh_us) in
+            [("p50", b.p50_us, f.p50_us), ("p99", b.p99_us, f.p99_us)]
+        {
+            let delta = Delta {
+                key: key.clone(),
+                metric,
+                baseline_us: base_us,
+                fresh_us,
+            };
+            if fresh_us > base_us * (1.0 + tolerance) {
+                report.regressions.push(delta);
+            } else if fresh_us < base_us * (1.0 - tolerance) {
+                report.improvements.push(delta);
+            }
+        }
+    }
+    for f in fresh {
+        if find(baseline, &f.key()).is_none() {
+            report.added.push(f.key());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(backend: &str, stride: u64, p50: f64, p99: f64) -> BenchRow {
+        BenchRow {
+            suite: "backend_ablation".to_string(),
+            backend: backend.to_string(),
+            window: 8000,
+            stride,
+            slides: 5,
+            p50_us: p50,
+            p99_us: p99,
+            max_us: p99,
+            searches_per_slide: 100.0,
+        }
+    }
+
+    #[test]
+    fn committed_baseline_parses() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_disc.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let rows = parse_rows(&text).unwrap();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r.suite, "backend_ablation");
+            assert!(r.p50_us > 0.0 && r.p50_us <= r.p99_us);
+            assert!(r.p99_us <= r.max_us + 1e-9);
+        }
+        // Keys are unique — the matcher relies on it.
+        let mut keys: Vec<String> = rows.iter().map(BenchRow::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), rows.len());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let rows = vec![
+            row("rtree", 400, 1000.0, 2000.0),
+            row("grid", 400, 500.0, 900.0),
+        ];
+        let report = compare(&rows, &rows, 0.25);
+        assert!(report.passed());
+        assert_eq!(report.checked, 2);
+        assert!(report.regressions.is_empty() && report.improvements.is_empty());
+        assert!(report.render().contains("PASS"));
+    }
+
+    /// The acceptance gate: against a baseline doctored to half the real
+    /// latency, the fresh run reads as a 2x regression and fails.
+    #[test]
+    fn doctored_2x_baseline_fails_the_gate() {
+        let fresh = vec![row("rtree", 400, 1000.0, 2000.0)];
+        let doctored = vec![row("rtree", 400, 500.0, 1000.0)];
+        let report = compare(&doctored, &fresh, 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 2, "both p50 and p99 doubled");
+        assert!((report.regressions[0].ratio() - 2.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn small_jitter_stays_inside_the_tolerance() {
+        let base = vec![row("rtree", 400, 1000.0, 2000.0)];
+        let fresh = vec![row("rtree", 400, 1100.0, 2200.0)];
+        assert!(compare(&base, &fresh, 0.25).passed());
+        // ...but a tightened tolerance catches the same drift.
+        assert!(!compare(&base, &fresh, 0.05).passed());
+    }
+
+    #[test]
+    fn improvements_report_but_do_not_fail() {
+        let base = vec![row("rtree", 400, 1000.0, 2000.0)];
+        let fresh = vec![row("rtree", 400, 400.0, 800.0)];
+        let report = compare(&base, &fresh, 0.25);
+        assert!(report.passed());
+        assert_eq!(report.improvements.len(), 2);
+        assert!(report.render().contains("refreshing the baseline"));
+    }
+
+    #[test]
+    fn lost_coverage_fails_and_new_rows_inform() {
+        let base = vec![
+            row("rtree", 400, 1000.0, 2000.0),
+            row("grid", 400, 1.0, 2.0),
+        ];
+        let fresh = vec![
+            row("rtree", 400, 1000.0, 2000.0),
+            row("rtree", 800, 1.0, 2.0),
+        ];
+        let report = compare(&base, &fresh, 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.missing.len(), 1);
+        assert_eq!(report.added.len(), 1);
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_summaries() {
+        assert!(parse_rows("{}").is_err());
+        assert!(parse_rows("[{\"suite\": \"x\"}]").is_err());
+        assert!(parse_rows("[{\"suite\": 3}]").is_err());
+        let ok = "[{\"suite\": \"s\", \"backend\": \"b\", \"window\": 10, \"stride\": 2, \
+                  \"slides\": 5, \"p50_slide_us\": 1.0, \"p99_slide_us\": 2.0, \
+                  \"max_slide_us\": 2.5, \"searches_per_slide\": 7.0}]";
+        let rows = parse_rows(ok).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key(), "s/b w=10 s=2");
+        assert_eq!(rows[0].max_us, 2.5);
+    }
+}

@@ -23,6 +23,7 @@
 //! are machine-dependent; the *shapes* (who wins, by what factor, where
 //! crossovers fall) are what reproduce the paper.
 
+pub mod compare;
 pub mod report;
 pub mod runner;
 pub mod suites;

@@ -18,6 +18,9 @@ pub struct Measurement {
     /// Means hide tail stalls — a slide that triggers a big merge costs
     /// orders of magnitude more than the median — so reports carry both.
     pub latency: HistSnapshot,
+    /// Exact worst slide, accumulated directly from the timer rather than
+    /// read back out of the histogram.
+    pub max_slide: Duration,
     /// Mean ε-range searches per slide.
     pub searches_per_slide: f64,
     /// Resident state estimate after the last slide.
@@ -40,6 +43,72 @@ impl Measurement {
     }
 }
 
+/// One measured pass: fill (unmeasured), then up to `max_slides` timed
+/// slides recorded into `hist`.
+struct Pass {
+    total: Duration,
+    max_slide: Duration,
+    slides: u32,
+    searches: u64,
+}
+
+fn drive_pass<const D: usize, M: WindowClusterer<D>>(
+    method: &mut M,
+    w: &mut SlidingWindow<D>,
+    max_slides: u32,
+    hist: &mut LogHistogram,
+) -> Pass {
+    method.apply(&w.fill());
+    let searches_before = method.range_searches();
+    let mut total = Duration::ZERO;
+    let mut max_slide = Duration::ZERO;
+    let mut slides = 0u32;
+    while slides < max_slides {
+        let Some(batch) = w.advance() else { break };
+        let t = Instant::now();
+        method.apply(&batch);
+        let dt = t.elapsed();
+        total += dt;
+        max_slide = max_slide.max(dt);
+        hist.record(dt.as_nanos() as u64);
+        slides += 1;
+    }
+    Pass {
+        total,
+        max_slide,
+        slides,
+        searches: method.range_searches() - searches_before,
+    }
+}
+
+fn finish<const D: usize, M: WindowClusterer<D>>(
+    method: &M,
+    pass: &Pass,
+    hist: &LogHistogram,
+    stride: usize,
+) -> Measurement {
+    let avg = if pass.slides > 0 {
+        pass.total / pass.slides
+    } else {
+        Duration::ZERO
+    };
+    Measurement {
+        name: method.name().to_string(),
+        avg_slide: avg,
+        per_point: avg / stride.max(1) as u32,
+        latency: hist.snapshot(),
+        max_slide: pass.max_slide,
+        searches_per_slide: if pass.slides > 0 {
+            pass.searches as f64 / pass.slides as f64
+        } else {
+            0.0
+        },
+        memory: method.memory_bytes(),
+        slides: pass.slides,
+        assignments: method.assignments(),
+    }
+}
+
 /// Drives `method` over `records` with the given window/stride, measuring
 /// up to `max_slides` slides (the fill is setup, not measured).
 pub fn measure<const D: usize, M: WindowClusterer<D>>(
@@ -50,41 +119,9 @@ pub fn measure<const D: usize, M: WindowClusterer<D>>(
     max_slides: u32,
 ) -> Measurement {
     let mut w = SlidingWindow::new(records.to_vec(), window, stride);
-    method.apply(&w.fill());
-
-    let searches_before = method.range_searches();
-    let mut total = Duration::ZERO;
     let mut hist = LogHistogram::new();
-    let mut slides = 0u32;
-    while slides < max_slides {
-        let Some(batch) = w.advance() else { break };
-        let t = Instant::now();
-        method.apply(&batch);
-        let dt = t.elapsed();
-        total += dt;
-        hist.record(dt.as_nanos() as u64);
-        slides += 1;
-    }
-    let avg = if slides > 0 {
-        total / slides
-    } else {
-        Duration::ZERO
-    };
-    let searches = method.range_searches() - searches_before;
-    Measurement {
-        name: method.name().to_string(),
-        avg_slide: avg,
-        per_point: avg / stride.max(1) as u32,
-        latency: hist.snapshot(),
-        searches_per_slide: if slides > 0 {
-            searches as f64 / slides as f64
-        } else {
-            0.0
-        },
-        memory: method.memory_bytes(),
-        slides,
-        assignments: method.assignments(),
-    }
+    let pass = drive_pass(&mut method, &mut w, max_slides, &mut hist);
+    finish(&method, &pass, &hist, stride)
 }
 
 /// Like [`measure`], also returning the driven window so callers can read
@@ -97,41 +134,56 @@ pub fn measure_with_window<const D: usize, M: WindowClusterer<D>>(
     max_slides: u32,
 ) -> (Measurement, SlidingWindow<D>) {
     let mut w = SlidingWindow::new(records.to_vec(), window, stride);
-    method.apply(&w.fill());
-    let searches_before = method.range_searches();
-    let mut total = Duration::ZERO;
     let mut hist = LogHistogram::new();
-    let mut slides = 0u32;
-    while slides < max_slides {
-        let Some(batch) = w.advance() else { break };
-        let t = Instant::now();
-        method.apply(&batch);
-        let dt = t.elapsed();
-        total += dt;
-        hist.record(dt.as_nanos() as u64);
-        slides += 1;
-    }
-    let avg = if slides > 0 {
-        total / slides
-    } else {
-        Duration::ZERO
-    };
-    let searches = method.range_searches() - searches_before;
-    let m = Measurement {
-        name: method.name().to_string(),
-        avg_slide: avg,
-        per_point: avg / stride.max(1) as u32,
-        latency: hist.snapshot(),
-        searches_per_slide: if slides > 0 {
-            searches as f64 / slides as f64
-        } else {
-            0.0
-        },
-        memory: method.memory_bytes(),
-        slides,
-        assignments: method.assignments(),
-    };
+    let pass = drive_pass(&mut method, &mut w, max_slides, &mut hist);
+    let m = finish(&method, &pass, &hist, stride);
     (m, w)
+}
+
+/// Runs [`measure`] `reps` times with a fresh method from `factory` each
+/// repetition and aggregates: the latency distribution is the merge of
+/// every repetition's histogram (one scratch histogram, cleared between
+/// reps — no per-rep allocation), `slides` counts all measured slides,
+/// and `max_slide` is the exact worst slide across all repetitions.
+/// Single-pass tail percentiles from five slides are noise; merged
+/// distributions over `reps x slides` samples are what the report rows
+/// deserve.
+pub fn measure_repeated<const D: usize, M, F>(
+    mut factory: F,
+    records: &[Record<D>],
+    window: usize,
+    stride: usize,
+    max_slides: u32,
+    reps: u32,
+) -> Measurement
+where
+    M: WindowClusterer<D>,
+    F: FnMut() -> M,
+{
+    assert!(reps > 0, "at least one repetition");
+    let mut agg = LogHistogram::new();
+    let mut scratch = LogHistogram::new();
+    let mut combined = Pass {
+        total: Duration::ZERO,
+        max_slide: Duration::ZERO,
+        slides: 0,
+        searches: 0,
+    };
+    let mut last: Option<M> = None;
+    for _ in 0..reps {
+        let mut method = factory();
+        let mut w = SlidingWindow::new(records.to_vec(), window, stride);
+        scratch.clear();
+        let pass = drive_pass(&mut method, &mut w, max_slides, &mut scratch);
+        agg.merge(&scratch);
+        combined.total += pass.total;
+        combined.max_slide = combined.max_slide.max(pass.max_slide);
+        combined.slides += pass.slides;
+        combined.searches += pass.searches;
+        last = Some(method);
+    }
+    let method = last.expect("reps > 0");
+    finish(&method, &combined, &agg, stride)
 }
 
 /// Rounds `window` so that `stride` tiles it (EXTRA-N requirement); keeps
@@ -183,6 +235,34 @@ mod tests {
         assert!(m.p50_slide() > Duration::ZERO);
         assert!(m.p50_slide() <= m.p99_slide());
         assert!(m.latency.p99 <= m.latency.max);
+        // The direct accumulator agrees with the histogram's exact max.
+        assert_eq!(m.max_slide.as_nanos() as u64, m.latency.max);
+    }
+
+    #[test]
+    fn repeated_measurement_merges_every_repetition() {
+        let recs = datasets::gaussian_blobs::<2>(2_000, 3, 0.5, 3);
+        let reps = 3u32;
+        let m = measure_repeated(
+            || Disc::new(DiscConfig::new(1.0, 5)),
+            &recs,
+            500,
+            100,
+            5,
+            reps,
+        );
+        assert_eq!(m.slides, 5 * reps, "slides accumulate across reps");
+        assert_eq!(
+            m.latency.count,
+            (5 * reps) as u64,
+            "one merged histogram sample per measured slide"
+        );
+        assert_eq!(m.assignments.len(), 500, "final window from the last rep");
+        assert!(m.max_slide.as_nanos() as u64 >= m.latency.p99);
+        assert_eq!(m.max_slide.as_nanos() as u64, m.latency.max);
+        // Same workload, same per-slide search count in every repetition.
+        let single = measure(Disc::new(DiscConfig::new(1.0, 5)), &recs, 500, 100, 5);
+        assert!((m.searches_per_slide - single.searches_per_slide).abs() < 1e-9);
     }
 
     #[test]

@@ -4,7 +4,10 @@ use crate::Opts;
 use disc_baselines::{Dbscan, ExtraN, IncDbscan, RhoDbscan, WindowClusterer};
 use disc_core::{kdistance, Disc, DiscConfig, IndexBackend};
 use disc_index::GridIndex;
-use disc_telemetry::{JsonlSink, PromServer, Registry};
+use disc_telemetry::{
+    chrome_trace_json, folded_stacks, JsonlProvenanceSink, JsonlSink, PromServer, ProvenanceEvent,
+    ProvenanceKind, Registry, SpanRecord,
+};
 use disc_window::{csv, datasets, Record, SlidingWindow};
 use std::path::Path;
 use std::sync::Arc;
@@ -67,15 +70,21 @@ impl DimCommand for ClusterCmd {
         };
 
         // Telemetry: one shared registry feeds the JSONL sink, the scrape
-        // endpoint and the periodic summary alike.
-        let registry: Arc<Registry> = match &opts.metrics_out {
+        // endpoint, the provenance stream and the periodic summary alike.
+        let mut registry = match &opts.metrics_out {
             Some(path) => {
                 let sink = JsonlSink::create(path)
                     .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
-                Arc::new(Registry::with_sink(Box::new(sink)))
+                Registry::with_sink(Box::new(sink))
             }
-            None => Arc::new(Registry::new()),
+            None => Registry::new(),
         };
+        if let Some(path) = &opts.provenance_out {
+            let sink = JsonlProvenanceSink::create(path)
+                .map_err(|e| format!("--provenance-out {}: {e}", path.display()))?;
+            registry = registry.with_provenance(Box::new(sink));
+        }
+        let registry: Arc<Registry> = Arc::new(registry);
         let prom = match &opts.prom_addr {
             Some(addr) => {
                 let server = PromServer::spawn(addr, registry.clone())
@@ -91,16 +100,30 @@ impl DimCommand for ClusterCmd {
             None => None,
         };
         method.set_recorder(registry.clone());
+        let tracing = opts.trace_out.is_some() || opts.folded_out.is_some();
+        if tracing {
+            method.enable_tracing();
+        }
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        // Drained per slide (ids stay unique across drains) so the span
+        // buffer never grows beyond one slide between collections.
+        let drain = |method: &mut Box<dyn WindowClusterer<D>>, spans: &mut Vec<SpanRecord>| {
+            if tracing {
+                spans.extend(method.drain_spans());
+            }
+        };
 
         let mut w = SlidingWindow::new(records, window, stride);
         let start = std::time::Instant::now();
         method.apply(&w.fill());
+        drain(&mut method, &mut spans);
         let mut slides = 0u64;
         if opts.stats_every == 1 {
             stats_summary(&registry, 1);
         }
         while let Some(batch) = w.advance() {
             method.apply(&batch);
+            drain(&mut method, &mut spans);
             slides += 1;
             // The fill counts as slide 1, so the human cadence is 1-based.
             if opts.stats_every > 0 && (slides + 1).is_multiple_of(opts.stats_every) {
@@ -151,7 +174,145 @@ impl DimCommand for ClusterCmd {
         if let Some(path) = &opts.metrics_out {
             println!("wrote per-slide metrics to {}", path.display());
         }
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, chrome_trace_json(&spans))
+                .map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+            println!(
+                "wrote {} spans to {} (load in chrome://tracing)",
+                spans.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &opts.folded_out {
+            std::fs::write(path, folded_stacks(&spans))
+                .map_err(|e| format!("--folded-out {}: {e}", path.display()))?;
+            println!("wrote folded stacks to {}", path.display());
+        }
+        if let Some(path) = &opts.provenance_out {
+            println!(
+                "wrote {} provenance events to {}",
+                registry.provenance_emitted(),
+                path.display()
+            );
+        }
         Ok(())
+    }
+}
+
+/// `disc explain` — reconstruct the causal narrative of a run (or one
+/// slide of it) from a `--provenance-out` JSONL stream.
+pub fn explain(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .trace
+        .as_ref()
+        .ok_or("--trace is required".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut events: Vec<ProvenanceEvent> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let ev = ProvenanceEvent::from_jsonl(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        events.push(ev);
+    }
+    if events.is_empty() {
+        return Err(format!("{}: no provenance events", path.display()));
+    }
+    match opts.slide {
+        Some(slide) => {
+            let picked: Vec<&ProvenanceEvent> =
+                events.iter().filter(|e| e.slide == slide).collect();
+            if picked.is_empty() {
+                let last = events.iter().map(|e| e.slide).max().unwrap_or(0);
+                return Err(format!(
+                    "slide {slide} not in {} (events cover slides 1..={last})",
+                    path.display()
+                ));
+            }
+            println!("slide {slide}: {} structural events", picked.len());
+            for ev in picked {
+                println!("  {}", narrate(&ev.kind));
+            }
+        }
+        None => {
+            let last = events.iter().map(|e| e.slide).max().unwrap();
+            for slide in 1..=last {
+                let n = events.iter().filter(|e| e.slide == slide).count();
+                if n == 0 {
+                    continue;
+                }
+                let c = |pred: &dyn Fn(&ProvenanceKind) -> bool| {
+                    events
+                        .iter()
+                        .filter(|e| e.slide == slide && pred(&e.kind))
+                        .count()
+                };
+                println!(
+                    "slide {slide}: {n} events ({} ex-cores, {} neo-cores, \
+                     {} splits, {} merges, {} emerged, {} died, {} adoptions)",
+                    c(&|k| matches!(k, ProvenanceKind::ExCoreDetected { .. })),
+                    c(&|k| matches!(k, ProvenanceKind::NeoCoreDetected { .. })),
+                    c(&|k| matches!(k, ProvenanceKind::ClusterSplit { .. })),
+                    c(&|k| matches!(k, ProvenanceKind::ClusterMerge { .. })),
+                    c(&|k| matches!(k, ProvenanceKind::ClusterEmerged { .. })),
+                    c(&|k| matches!(k, ProvenanceKind::ClusterDied { .. })),
+                    c(&|k| matches!(k, ProvenanceKind::Adoption { .. })),
+                );
+            }
+            println!("(re-run with --slide N for the per-event narrative)");
+        }
+    }
+    Ok(())
+}
+
+/// One narrative line per event, in the paper's vocabulary.
+fn narrate(kind: &ProvenanceKind) -> String {
+    match *kind {
+        ProvenanceKind::ExCoreDetected { id } => {
+            format!("point {id} lost core status (ex-core, Def. 1)")
+        }
+        ProvenanceKind::NeoCoreDetected { id } => {
+            format!("point {id} gained core status (neo-core, Def. 2)")
+        }
+        ProvenanceKind::RetroClassFormed { rep, size } => format!(
+            "retro-reachable class of {size} ex-core(s) formed around point {rep} \
+             (one connectivity check covers them all, Thm. 1)"
+        ),
+        ProvenanceKind::MsBfsStarted { rep, starters } => {
+            format!("MS-BFS launched over class of point {rep} with {starters} starter(s)")
+        }
+        ProvenanceKind::MsBfsTerminated {
+            rep,
+            reason,
+            rounds,
+        } => format!(
+            "MS-BFS over class of point {rep} stopped after {rounds} round(s): {}",
+            match reason {
+                disc_telemetry::MsBfsReason::AllMet => "all starters met — still one cluster",
+                disc_telemetry::MsBfsReason::Exhausted =>
+                    "a traversal exhausted its component — the cluster is disconnected",
+            }
+        ),
+        ProvenanceKind::ClusterSplit { old, parts, rep } => format!(
+            "cluster {old} split into {parts} parts; the component of point {rep} \
+             kept the label"
+        ),
+        ProvenanceKind::ClusterMerge {
+            winner,
+            merged,
+            rep,
+        } => format!(
+            "{merged} clusters merged into cluster {winner}, bonded by the \
+             neo-core class of point {rep}"
+        ),
+        ProvenanceKind::ClusterEmerged { cluster, rep, size } => {
+            format!("cluster {cluster} emerged from {size} neo-core(s) around point {rep}")
+        }
+        ProvenanceKind::ClusterDied { rep, size } => format!(
+            "the region of point {rep} dissipated ({size} ex-core(s), no bonding \
+             core survived)"
+        ),
+        ProvenanceKind::Adoption { border, core } => {
+            format!("border point {border} was adopted by core {core}")
+        }
     }
 }
 

@@ -34,6 +34,10 @@ usage:
                 [--index rtree|grid] [--out F] [--quiet]
                 [--metrics-out F.jsonl] [--prom-addr HOST:PORT]
                 [--stats-every N]
+                [--trace-out F.json] [--folded-out F.txt]
+                [--provenance-out F.jsonl]
+                (`disc run` is an alias for `disc cluster`)
+  disc explain  --trace F.jsonl [--slide N]
   disc estimate --input F --dim D [--sample N]
   disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
                 [--seed N]
@@ -45,7 +49,8 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let opts = Opts::parse(&args[1..])?;
     match command.as_str() {
-        "cluster" => dispatch_dim(&opts, cmd::ClusterCmd),
+        "cluster" | "run" => dispatch_dim(&opts, cmd::ClusterCmd),
+        "explain" => cmd::explain(&opts),
         "estimate" => dispatch_dim(&opts, cmd::EstimateCmd),
         "generate" => cmd::generate(&opts),
         "--help" | "-h" | "help" => {
@@ -79,6 +84,16 @@ pub struct Opts {
     pub prom_addr: Option<String>,
     /// Print a rolled-up summary every N slides (`--stats-every`, 0 = off).
     pub stats_every: u64,
+    /// Chrome `chrome://tracing` span export (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Folded-stack span export for flamegraph tooling (`--folded-out`).
+    pub folded_out: Option<PathBuf>,
+    /// Causal provenance JSONL export (`--provenance-out`).
+    pub provenance_out: Option<PathBuf>,
+    /// Provenance JSONL to read back (`disc explain --trace`).
+    pub trace: Option<PathBuf>,
+    /// Restrict `explain` to one slide (`--slide`).
+    pub slide: Option<u64>,
 }
 
 impl Opts {
@@ -102,6 +117,11 @@ impl Opts {
             metrics_out: None,
             prom_addr: None,
             stats_every: 0,
+            trace_out: None,
+            folded_out: None,
+            provenance_out: None,
+            trace: None,
+            slide: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -128,6 +148,11 @@ impl Opts {
                 "--metrics-out" => o.metrics_out = Some(PathBuf::from(value()?)),
                 "--prom-addr" => o.prom_addr = Some(value()?),
                 "--stats-every" => o.stats_every = parse_num(flag, &value()?)?,
+                "--trace-out" => o.trace_out = Some(PathBuf::from(value()?)),
+                "--folded-out" => o.folded_out = Some(PathBuf::from(value()?)),
+                "--provenance-out" => o.provenance_out = Some(PathBuf::from(value()?)),
+                "--trace" => o.trace = Some(PathBuf::from(value()?)),
+                "--slide" => o.slide = Some(parse_num(flag, &value()?)?),
                 "--quiet" => o.quiet = true,
                 other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
             }
@@ -391,6 +416,143 @@ mod tests {
             assert!(ev.total_ns > 0);
             assert!(ev.range_searches > 0);
         }
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = parse(&[
+            "--trace-out",
+            "t.json",
+            "--folded-out",
+            "f.txt",
+            "--provenance-out",
+            "p.jsonl",
+            "--trace",
+            "p.jsonl",
+            "--slide",
+            "17",
+        ])
+        .unwrap();
+        assert_eq!(o.trace_out.as_ref().unwrap().to_str(), Some("t.json"));
+        assert_eq!(o.folded_out.as_ref().unwrap().to_str(), Some("f.txt"));
+        assert_eq!(o.provenance_out.as_ref().unwrap().to_str(), Some("p.jsonl"));
+        assert_eq!(o.trace.as_ref().unwrap().to_str(), Some("p.jsonl"));
+        assert_eq!(o.slide, Some(17));
+        let o = parse(&[]).unwrap();
+        assert!(o.trace_out.is_none() && o.provenance_out.is_none());
+        assert!(o.slide.is_none());
+    }
+
+    /// End-to-end: `disc run --trace-out --folded-out --provenance-out`
+    /// produces a Chrome-loadable trace, a folded-stack profile, and a
+    /// schema-valid provenance stream that `disc explain` can narrate.
+    #[test]
+    fn run_traces_and_explain_narrates() {
+        let dir = std::env::temp_dir().join("disc_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("obs.csv");
+        let trace = dir.join("obs_trace.json");
+        let folded = dir.join("obs_folded.txt");
+        let prov = dir.join("obs_prov.jsonl");
+        let gen: Vec<String> = [
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&gen).unwrap();
+        // `run` is the documented alias for `cluster`.
+        let args: Vec<String> = [
+            "run",
+            "--input",
+            data.to_str().unwrap(),
+            "--dim",
+            "2",
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--folded-out",
+            folded.to_str().unwrap(),
+            "--provenance-out",
+            prov.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+
+        // The chrome trace validates and holds all four slides' hierarchies.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let n = disc_telemetry::validate_chrome_trace(&text).unwrap();
+        assert!(n > 0, "trace holds events");
+        assert_eq!(text.matches("\"name\": \"slide\"").count(), 4);
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        assert!(folded_text.contains("slide;collect"), "{folded_text}");
+        assert!(folded_text.contains("slide;cluster"), "{folded_text}");
+
+        // Every provenance line passes the schema validator.
+        let prov_text = std::fs::read_to_string(&prov).unwrap();
+        assert!(!prov_text.is_empty(), "blobs stream emits provenance");
+        for line in prov_text.lines() {
+            disc_telemetry::ProvenanceEvent::validate_jsonl(line).unwrap();
+        }
+
+        // `explain` summarises the run and narrates a single slide,
+        // naming the specific points behind it.
+        let args: Vec<String> = ["explain", "--trace", prov.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+        let first =
+            disc_telemetry::ProvenanceEvent::from_jsonl(prov_text.lines().next().unwrap()).unwrap();
+        let args: Vec<String> = [
+            "explain",
+            "--trace",
+            prov.to_str().unwrap(),
+            "--slide",
+            &first.slide.to_string(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+
+        // Asking for a slide past the stream's end is an error, not silence.
+        let args: Vec<String> = [
+            "explain",
+            "--trace",
+            prov.to_str().unwrap(),
+            "--slide",
+            "9999",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("9999"), "got: {err}");
+        // And a malformed stream is rejected with a line number.
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"slide\": 1}\n").unwrap();
+        let args: Vec<String> = ["explain", "--trace", bad.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_err());
     }
 
     #[test]

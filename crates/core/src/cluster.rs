@@ -121,6 +121,15 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             if let Some(&first) = m_minus.first() {
                 let root = self.clusters.find(self.points.at(first).cid.0);
                 classes.push((root, m_minus.clone()));
+                self.emit_prov(disc_telemetry::ProvenanceKind::RetroClassFormed {
+                    rep: seed.0,
+                    size: r_minus.len() as u64,
+                });
+            } else {
+                self.emit_prov(disc_telemetry::ProvenanceKind::ClusterDied {
+                    rep: seed.0,
+                    size: r_minus.len() as u64,
+                });
             }
         }
 
@@ -138,12 +147,14 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             if m_minus.len() < 2 {
                 continue; // a single bonding core is respliceable: shrink
             }
-            let conn = self.check_connectivity(m_minus);
-            stats.msbfs_instances += 1;
-            stats.msbfs_starters += m_minus.len();
-            stats.msbfs_rounds += conn.rounds;
+            let conn = self.instrumented_connectivity(m_minus, stats);
             if conn.ncc > 1 {
                 stats.splits += 1;
+                self.emit_prov(disc_telemetry::ProvenanceKind::ClusterSplit {
+                    old: *root as u64,
+                    parts: conn.ncc as u64,
+                    rep: conn.survivor_rep.0,
+                });
                 self.relabel_detached(&conn.detached, tau);
                 outcomes.push((*root, conn.survivor_rep));
             }
@@ -180,17 +191,60 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                     self.clusters.find(cid) == root
                 });
                 if reps.len() >= 2 {
-                    let conn = self.check_connectivity(&reps);
-                    stats.msbfs_instances += 1;
-                    stats.msbfs_starters += reps.len();
-                    stats.msbfs_rounds += conn.rounds;
+                    let conn = self.instrumented_connectivity(&reps, stats);
                     if conn.ncc > 1 {
+                        self.emit_prov(disc_telemetry::ProvenanceKind::ClusterSplit {
+                            old: root as u64,
+                            parts: conn.ncc as u64,
+                            rep: conn.survivor_rep.0,
+                        });
                         self.relabel_detached(&conn.detached, tau);
                     }
                 }
             }
             i = j;
         }
+    }
+
+    /// One connectivity check with its full observability envelope: the
+    /// per-slide MS-BFS counters, a `msbfs` span carrying the check's index
+    /// work, and the `msbfs_started` / `msbfs_terminated` provenance pair.
+    /// `AllMet` is Alg. 3's early termination (all starters met in one
+    /// component); `Exhausted` means some thread enumerated a detached
+    /// component to the end.
+    fn instrumented_connectivity(
+        &mut self,
+        starters: &[PointId],
+        stats: &mut SlideStats,
+    ) -> crate::msbfs::Connectivity {
+        let rep = starters[0].0;
+        self.emit_prov(disc_telemetry::ProvenanceKind::MsBfsStarted {
+            rep,
+            starters: starters.len() as u64,
+        });
+        let sp = self.tracer.begin("msbfs");
+        let before = self.tracer.enabled().then(|| *self.tree.stats());
+        let conn = self.check_connectivity(starters);
+        if let Some(b) = before {
+            let mut args = self.tree.stats().since(&b).span_args();
+            args.push(("starters", starters.len() as u64));
+            args.push(("rounds", conn.rounds as u64));
+            args.push(("ncc", conn.ncc as u64));
+            self.tracer.end_with_args(sp, &args);
+        }
+        stats.msbfs_instances += 1;
+        stats.msbfs_starters += starters.len();
+        stats.msbfs_rounds += conn.rounds;
+        self.emit_prov(disc_telemetry::ProvenanceKind::MsBfsTerminated {
+            rep,
+            reason: if conn.ncc == 1 {
+                disc_telemetry::MsBfsReason::AllMet
+            } else {
+                disc_telemetry::MsBfsReason::Exhausted
+            },
+            rounds: conn.rounds as u64,
+        });
+        conn
     }
 
     /// Assigns one fresh cluster id per detached component.
@@ -278,7 +332,13 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             let assigned = if m_cids.is_empty() {
                 // Emergence: a brand-new cluster of neo-cores only.
                 stats.emerged += 1;
-                ClusterId(self.clusters.alloc())
+                let fresh = ClusterId(self.clusters.alloc());
+                self.emit_prov(disc_telemetry::ProvenanceKind::ClusterEmerged {
+                    cluster: fresh.0 as u64,
+                    rep: seed.0,
+                    size: r_plus.len() as u64,
+                });
+                fresh
             } else {
                 let mut root = self.clusters.find(m_cids[0]);
                 let mut distinct = 1;
@@ -291,6 +351,11 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 }
                 if distinct > 1 {
                     stats.merges += 1;
+                    self.emit_prov(disc_telemetry::ProvenanceKind::ClusterMerge {
+                        winner: root as u64,
+                        merged: distinct as u64,
+                        rep: seed.0,
+                    });
                 }
                 ClusterId(root)
             };
@@ -334,6 +399,12 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 }
             });
             self.points.get_mut(id).expect("record vanished").adopter = adopter;
+            if let Some(core) = adopter {
+                self.emit_prov(disc_telemetry::ProvenanceKind::Adoption {
+                    border: id.0,
+                    core: core.0,
+                });
+            }
         }
     }
 }

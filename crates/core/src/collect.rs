@@ -38,12 +38,28 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let tau = self.cfg.tau;
         let mut out = CollectOutcome::default();
 
+        let sp = self.tracer.begin("delete");
+        let before = self.tracer.enabled().then(|| *self.tree.stats());
         if self.cfg.enable_bulk_slide {
             self.delete_batched(batch, &mut out);
-            self.insert_batched(batch);
         } else {
             self.delete_per_point(batch, &mut out);
+        }
+        if let Some(b) = before {
+            self.tracer
+                .end_with_args(sp, &self.tree.stats().since(&b).span_args());
+        }
+
+        let sp = self.tracer.begin("insert");
+        let before = self.tracer.enabled().then(|| *self.tree.stats());
+        if self.cfg.enable_bulk_slide {
+            self.insert_batched(batch);
+        } else {
             self.insert_per_point(batch);
+        }
+        if let Some(b) = before {
+            self.tracer
+                .end_with_args(sp, &self.tree.stats().since(&b).span_args());
         }
 
         // --- Classification (Alg. 1 line 13) -----------------------------
@@ -60,6 +76,14 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 // point that dropped out of core range: let the adoption
                 // pass decide between border and noise.
                 self.needs_adoption.insert(*id);
+            }
+        }
+        if self.prov_on {
+            for id in &out.ex_cores {
+                self.emit_prov(disc_telemetry::ProvenanceKind::ExCoreDetected { id: id.0 });
+            }
+            for id in &out.neo_cores {
+                self.emit_prov(disc_telemetry::ProvenanceKind::NeoCoreDetected { id: id.0 });
             }
         }
         out

@@ -87,6 +87,15 @@ pub struct Disc<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     recorder: disc_telemetry::SharedRecorder,
     /// Committed slides so far (1-based sequence number of the next event).
     slide_seq: u64,
+    /// Span tracer. Disabled by default; every span site costs one branch
+    /// when off (see [`Tracer::begin`](disc_telemetry::Tracer::begin)).
+    pub(crate) tracer: disc_telemetry::Tracer,
+    /// Provenance events buffered during the current slide; published to
+    /// the recorder only after the slide commits, so rejected batches leak
+    /// nothing into the causal stream.
+    pub(crate) prov: Vec<disc_telemetry::ProvenanceEvent>,
+    /// Whether the current slide buffers provenance (recorder enabled).
+    pub(crate) prov_on: bool,
 }
 
 impl<const D: usize> Disc<D> {
@@ -114,6 +123,9 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             last_stats: SlideStats::default(),
             recorder: disc_telemetry::noop(),
             slide_seq: 0,
+            tracer: disc_telemetry::Tracer::disabled(),
+            prov: Vec::new(),
+            prov_on: false,
         }
     }
 
@@ -131,6 +143,45 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     /// [`SlideEvent`]: disc_telemetry::SlideEvent
     pub fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {
         self.recorder = recorder;
+    }
+
+    /// Builder-style [`set_tracer`](Disc::set_tracer).
+    pub fn with_tracer(mut self, tracer: disc_telemetry::Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Installs a span tracer. An enabled tracer records one hierarchical
+    /// span tree per committed slide (`slide → collect/cluster/adoption →
+    /// msbfs / range-search groups`); collect via
+    /// [`drain_spans`](Disc::drain_spans) or [`tracer`](Disc::tracer).
+    /// Rejected batches record nothing.
+    pub fn set_tracer(&mut self, tracer: disc_telemetry::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (read access to recorded spans).
+    pub fn tracer(&self) -> &disc_telemetry::Tracer {
+        &self.tracer
+    }
+
+    /// Takes all spans recorded so far, leaving the tracer armed. Span ids
+    /// stay unique across drains, so per-slide drains can be concatenated
+    /// into one export batch.
+    pub fn drain_spans(&mut self) -> Vec<disc_telemetry::SpanRecord> {
+        self.tracer.drain()
+    }
+
+    /// Buffers one provenance event for the slide being applied. Published
+    /// to the recorder only when the slide commits.
+    #[inline]
+    pub(crate) fn emit_prov(&mut self, kind: disc_telemetry::ProvenanceKind) {
+        if self.prov_on {
+            self.prov.push(disc_telemetry::ProvenanceEvent {
+                slide: self.slide_seq + 1,
+                kind,
+            });
+        }
     }
 
     /// The configuration in force.
@@ -178,6 +229,8 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     pub fn try_apply(&mut self, batch: &SlideBatch<D>) -> Result<SlideStats, SlideError> {
         self.validate(batch)?;
         self.root_cache.borrow_mut().clear();
+        self.prov.clear();
+        self.prov_on = self.recorder.enabled();
 
         let start = std::time::Instant::now();
         let index_before = *self.tree.stats();
@@ -190,18 +243,40 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         self.touched.clear();
         self.needs_adoption.clear();
 
+        let sp_slide = self.tracer.begin("slide");
+
+        let sp = self.tracer.begin("collect");
         let outcome = self.collect(batch);
         stats.ex_cores = outcome.ex_cores.len();
         stats.neo_cores = outcome.neo_cores.len();
         stats.collect_time = start.elapsed();
+        self.tracer.end_with_args(
+            sp,
+            &[
+                ("ex_cores", stats.ex_cores as u64),
+                ("neo_cores", stats.neo_cores as u64),
+            ],
+        );
 
         let t_cluster = std::time::Instant::now();
+        let sp = self.tracer.begin("cluster");
         self.cluster(&outcome, &mut stats);
         stats.cluster_time = t_cluster.elapsed();
+        self.tracer.end_with_args(
+            sp,
+            &[
+                ("splits", stats.splits as u64),
+                ("merges", stats.merges as u64),
+                ("emerged", stats.emerged as u64),
+            ],
+        );
 
         let t_adoption = std::time::Instant::now();
+        let sp = self.tracer.begin("adoption");
         self.adoption_pass(&mut stats);
         stats.adoption_time = t_adoption.elapsed();
+        self.tracer
+            .end_with_args(sp, &[("searches", stats.adoption_searches as u64)]);
 
         // Freeze core status for the next slide and drop any remaining
         // bookkeeping. Ghost records were dropped by the cluster step.
@@ -216,6 +291,15 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         stats.elapsed = start.elapsed();
         self.last_stats = stats;
         self.slide_seq += 1;
+        self.tracer.end_with_args(
+            sp_slide,
+            &[
+                ("seq", self.slide_seq),
+                ("inserted", stats.inserted as u64),
+                ("removed", stats.removed as u64),
+                ("window", self.points.len() as u64),
+            ],
+        );
         stats.publish_to(
             self.recorder.as_ref(),
             self.slide_seq,
@@ -223,6 +307,10 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             B::NAME,
             self.points.len(),
         );
+        // The slide is committed: release the buffered causal narrative.
+        for ev in self.prov.drain(..) {
+            self.recorder.emit_provenance(&ev);
+        }
         Ok(stats)
     }
 
@@ -627,6 +715,156 @@ mod tests {
         disc.set_recorder(reg2);
         disc.apply(&batch(&[(2, [1.0, 0.0])], &[]));
         assert_eq!(sink.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn tracer_records_the_slide_hierarchy() {
+        use disc_telemetry::Tracer;
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2)).with_tracer(Tracer::new());
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        let spans = disc.drain_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"slide"));
+        assert!(names.contains(&"collect"));
+        assert!(names.contains(&"cluster"));
+        assert!(names.contains(&"adoption"));
+        assert!(names.contains(&"delete"));
+        assert!(names.contains(&"insert"));
+        // collect/cluster/adoption are children of slide; delete/insert of
+        // collect.
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let slide = by_name("slide");
+        assert_eq!(slide.parent, 0, "slide is a root span");
+        assert_eq!(by_name("collect").parent, slide.id);
+        assert_eq!(by_name("cluster").parent, slide.id);
+        assert_eq!(by_name("adoption").parent, slide.id);
+        assert_eq!(by_name("insert").parent, by_name("collect").id);
+        // The insert phase touched the index: its span carries the diff.
+        assert!(by_name("insert")
+            .args
+            .iter()
+            .any(|&(k, v)| k == "inserts" && v == 2));
+        // Slide args identify the slide.
+        assert!(slide.args.contains(&("seq", 1)));
+        assert!(slide.args.contains(&("inserted", 2)));
+        // The export pipeline accepts the batch.
+        disc_telemetry::validate_chrome_trace(&disc_telemetry::chrome_trace_json(&spans)).unwrap();
+
+        // Splitting slides nest an msbfs span under cluster.
+        let pts: Vec<(u64, [f64; 2])> = (0..9).map(|i| (i, [i as f64 * 0.5, 0.0])).collect();
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(0.6, 3)).with_tracer(Tracer::new());
+        disc.apply(&batch(&pts, &[]));
+        disc.drain_spans();
+        disc.apply(&batch(&[], &[(4, [2.0, 0.0])]));
+        let spans = disc.drain_spans();
+        let cluster = spans.iter().find(|s| s.name == "cluster").unwrap();
+        let msbfs = spans.iter().find(|s| s.name == "msbfs").unwrap();
+        assert_eq!(msbfs.parent, cluster.id);
+        assert!(msbfs.args.iter().any(|&(k, _)| k == "rounds"));
+        assert!(msbfs.args.iter().any(|&(k, v)| k == "ncc" && v == 2));
+    }
+
+    #[test]
+    fn disabled_tracer_records_no_spans() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        assert!(disc.tracer().is_empty());
+        assert!(disc.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn committed_slides_emit_the_causal_narrative() {
+        use disc_telemetry::{MemoryProvenanceSink, ProvenanceKind, ProvenanceSink, Registry};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemoryProvenanceSink::new());
+        struct Fwd(Arc<MemoryProvenanceSink>);
+        impl ProvenanceSink for Fwd {
+            fn emit(&self, ev: &disc_telemetry::ProvenanceEvent) {
+                self.0.emit(ev);
+            }
+        }
+        let reg = Arc::new(Registry::new().with_provenance(Box::new(Fwd(sink.clone()))));
+        let pts: Vec<(u64, [f64; 2])> = (0..9).map(|i| (i, [i as f64 * 0.5, 0.0])).collect();
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(0.6, 3)).with_recorder(reg.clone());
+        disc.apply(&batch(&pts, &[]));
+
+        // Slide 1: the line emerges — neo-cores detected, one emergence.
+        let evs = sink.events();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, ProvenanceKind::NeoCoreDetected { id: 4 })));
+        assert!(evs.iter().all(|e| e.slide == 1));
+        let emerged: Vec<_> = evs
+            .iter()
+            .filter(|e| matches!(e.kind, ProvenanceKind::ClusterEmerged { .. }))
+            .collect();
+        assert_eq!(emerged.len(), 1);
+
+        // Slide 2: cutting the bridge names the ex-core and the split.
+        disc.apply(&batch(&[], &[(4, [2.0, 0.0])]));
+        let evs = sink.events();
+        let slide2: Vec<_> = evs.iter().filter(|e| e.slide == 2).collect();
+        assert!(slide2
+            .iter()
+            .any(|e| matches!(e.kind, ProvenanceKind::ExCoreDetected { id: 4 })));
+        assert!(slide2
+            .iter()
+            .any(|e| matches!(e.kind, ProvenanceKind::RetroClassFormed { .. })));
+        assert!(slide2
+            .iter()
+            .any(|e| matches!(e.kind, ProvenanceKind::MsBfsStarted { .. })));
+        let split = slide2
+            .iter()
+            .find_map(|e| match e.kind {
+                ProvenanceKind::ClusterSplit { old, parts, rep } => Some((old, parts, rep)),
+                _ => None,
+            })
+            .expect("split event");
+        assert_eq!(split.1, 2, "the line breaks in two");
+        // The terminated event explains why the search stopped.
+        let term = slide2
+            .iter()
+            .find_map(|e| match e.kind {
+                ProvenanceKind::MsBfsTerminated { reason, rounds, .. } => Some((reason, rounds)),
+                _ => None,
+            })
+            .expect("terminated event");
+        assert_eq!(term.0, disc_telemetry::MsBfsReason::Exhausted);
+        assert!(term.1 >= 1);
+        // Every event round-trips through the JSONL schema.
+        for e in &evs {
+            disc_telemetry::ProvenanceEvent::validate_jsonl(&e.to_jsonl()).unwrap();
+        }
+        assert_eq!(reg.provenance_emitted(), evs.len() as u64);
+    }
+
+    #[test]
+    fn rejected_slides_leak_no_spans_or_provenance() {
+        use disc_telemetry::{Registry, Tracer};
+        use std::sync::Arc;
+
+        let reg = Arc::new(Registry::new());
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2))
+            .with_recorder(reg.clone())
+            .with_tracer(Tracer::new());
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        let spans_before = disc.tracer().len();
+        let prov_before = reg.provenance_emitted();
+
+        assert!(disc
+            .try_apply(&batch(&[(5, [1.0, 0.0])], &[(7, [0.0, 0.0])]))
+            .is_err());
+        assert!(disc.try_apply(&batch(&[(0, [1.0, 0.0])], &[])).is_err());
+
+        assert_eq!(disc.tracer().len(), spans_before, "no spans leaked");
+        assert_eq!(reg.provenance_emitted(), prov_before, "no events leaked");
+        // The next committed slide resumes cleanly: exactly one new slide
+        // span tree, still exporting a valid trace.
+        disc.apply(&batch(&[(2, [1.0, 0.0])], &[]));
+        let spans = disc.drain_spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "slide").count(), 2);
+        disc_telemetry::validate_chrome_trace(&disc_telemetry::chrome_trace_json(&spans)).unwrap();
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub struct GraphDisc<const D: usize, B: SpatialBackend<D> = RTree<D>> {
     /// [`set_recorder`]: GraphDisc::set_recorder
     recorder: disc_telemetry::SharedRecorder,
     slide_seq: u64,
+    /// Span tracer (disabled by default). Spans: `slide → departures /
+    /// arrivals / splits / merges` — coarser than [`Disc`](crate::Disc)'s
+    /// tree because there are no search phases to attribute.
+    tracer: disc_telemetry::Tracer,
+    /// Provenance buffered during `apply`, published once the slide is
+    /// done. GraphDisc resolves border labels lazily, so it emits no
+    /// `adoption` events; everything else matches `Disc`'s vocabulary.
+    prov: Vec<disc_telemetry::ProvenanceEvent>,
+    prov_on: bool,
 }
 
 impl<const D: usize> GraphDisc<D> {
@@ -78,6 +87,40 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             clusters: Dsu::new(),
             recorder: disc_telemetry::noop(),
             slide_seq: 0,
+            tracer: disc_telemetry::Tracer::disabled(),
+            prov: Vec::new(),
+            prov_on: false,
+        }
+    }
+
+    /// Builder-style [`set_tracer`](GraphDisc::set_tracer).
+    pub fn with_tracer(mut self, tracer: disc_telemetry::Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Installs a span tracer (see [`Disc::set_tracer`](crate::Disc::set_tracer)).
+    pub fn set_tracer(&mut self, tracer: disc_telemetry::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &disc_telemetry::Tracer {
+        &self.tracer
+    }
+
+    /// Takes all spans recorded so far; ids stay unique across drains.
+    pub fn drain_spans(&mut self) -> Vec<disc_telemetry::SpanRecord> {
+        self.tracer.drain()
+    }
+
+    #[inline]
+    fn emit_prov(&mut self, kind: disc_telemetry::ProvenanceKind) {
+        if self.prov_on {
+            self.prov.push(disc_telemetry::ProvenanceEvent {
+                slide: self.slide_seq + 1,
+                kind,
+            });
         }
     }
 
@@ -133,8 +176,12 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
         let eps = self.cfg.eps;
         let start = std::time::Instant::now();
         let index_before = *self.tree.stats();
+        self.prov.clear();
+        self.prov_on = self.recorder.enabled();
+        let sp_slide = self.tracer.begin("slide");
 
         // --- Departures: pure list surgery -------------------------------
+        let sp = self.tracer.begin("departures");
         let mut ex_cores: Vec<PointId> = Vec::new();
         let mut touched: FxHashSet<PointId> = FxHashSet::default();
         for (id, _) in &batch.outgoing {
@@ -157,7 +204,11 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             }
         }
 
+        self.tracer
+            .end_with_args(sp, &[("outgoing", batch.outgoing.len() as u64)]);
+
         // --- Arrivals: one range search each ------------------------------
+        let sp = self.tracer.begin("arrivals");
         for (id, point) in &batch.incoming {
             self.tree.insert(*id, *point);
             let mut neigh: Vec<PointId> = Vec::new();
@@ -187,6 +238,9 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             touched.insert(me);
         }
 
+        self.tracer
+            .end_with_args(sp, &[("incoming", batch.incoming.len() as u64)]);
+
         // --- Classification ------------------------------------------------
         // Ghost ex-cores are gone from the graph; in-window ex-cores and
         // neo-cores come from the touched set.
@@ -199,6 +253,16 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
                 ex_cores.push(*id);
             } else if !v.prev_core && core {
                 neo_cores.push(*id);
+            }
+        }
+        if self.prov_on {
+            for ex in &ex_cores {
+                let id = ex.0;
+                self.emit_prov(disc_telemetry::ProvenanceKind::ExCoreDetected { id });
+            }
+            for neo in &neo_cores {
+                let id = neo.0;
+                self.emit_prov(disc_telemetry::ProvenanceKind::NeoCoreDetected { id });
             }
         }
 
@@ -233,19 +297,22 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
         // Group the affected bonding cores by previous cluster and check
         // each group's connectedness with one multi-source BFS over the
         // materialised graph.
+        let sp = self.tracer.begin("splits");
         let mut by_root: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
         for id in affected {
             let root = self.clusters.find(self.vertices[&id].cid.0);
             by_root.entry(root).or_default().push(id);
         }
-        for (_, starters) in by_root {
+        for (root, starters) in by_root {
             if starters.len() < 2 {
                 continue;
             }
-            self.recheck_group(&starters);
+            self.recheck_group(root, &starters);
         }
+        self.tracer.end(sp);
 
         // --- Merges / emergence over neo-cores ----------------------------
+        let sp = self.tracer.begin("merges");
         let mut pending: FxHashSet<PointId> = neo_cores.iter().copied().collect();
         while let Some(&seed) = pending.iter().next() {
             pending.remove(&seed);
@@ -272,11 +339,29 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
                 }
             }
             let assigned = if m_roots.is_empty() {
-                ClusterId(self.clusters.alloc())
+                let fresh = ClusterId(self.clusters.alloc());
+                self.emit_prov(disc_telemetry::ProvenanceKind::ClusterEmerged {
+                    cluster: fresh.0 as u64,
+                    rep: seed.0,
+                    size: class.len() as u64,
+                });
+                fresh
             } else {
-                let mut root = m_roots[0];
+                let mut root = self.clusters.find(m_roots[0]);
+                let mut distinct = 1u64;
                 for &r in &m_roots[1..] {
-                    root = self.clusters.union(root, r);
+                    let rr = self.clusters.find(r);
+                    if rr != root {
+                        distinct += 1;
+                        root = self.clusters.union(root, rr);
+                    }
+                }
+                if distinct > 1 {
+                    self.emit_prov(disc_telemetry::ProvenanceKind::ClusterMerge {
+                        winner: root as u64,
+                        merged: distinct,
+                        rep: seed.0,
+                    });
                 }
                 ClusterId(root)
             };
@@ -284,6 +369,7 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
                 self.vertices.get_mut(&id).expect("neo vanished").cid = assigned;
             }
         }
+        self.tracer.end(sp);
 
         // --- Freeze core status -------------------------------------------
         for id in touched {
@@ -295,6 +381,8 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
         }
 
         self.slide_seq += 1;
+        self.tracer
+            .end_with_args(sp_slide, &[("seq", self.slide_seq)]);
         let rec = self.recorder.as_ref();
         if rec.enabled() {
             let elapsed = start.elapsed();
@@ -320,12 +408,16 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
                 subtrees_pruned: index.subtrees_pruned,
                 ..disc_telemetry::SlideEvent::default()
             });
+            for ev in self.prov.drain(..) {
+                rec.emit_provenance(&ev);
+            }
         }
     }
 
     /// Re-derives the components of a bonding-core group by multi-source
-    /// BFS over the graph; detached components get fresh ids.
-    fn recheck_group(&mut self, starters: &[PointId]) {
+    /// BFS over the graph; detached components get fresh ids. `root` is the
+    /// group's previous cluster, named in the split provenance.
+    fn recheck_group(&mut self, root: u32, starters: &[PointId]) {
         let mut comp_of: FxHashMap<PointId, usize> = FxHashMap::default();
         let mut comps: Vec<Vec<PointId>> = Vec::new();
         for &s in starters {
@@ -353,6 +445,13 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             comps.push(comp);
         }
         // First component keeps the old id, the rest get fresh ids.
+        if comps.len() > 1 {
+            self.emit_prov(disc_telemetry::ProvenanceKind::ClusterSplit {
+                old: root as u64,
+                parts: comps.len() as u64,
+                rep: comps[0][0].0,
+            });
+        }
         for comp in comps.iter().skip(1) {
             let fresh = ClusterId(self.clusters.alloc());
             for id in comp {
@@ -487,6 +586,59 @@ mod tests {
             1.0,
             5,
         );
+    }
+
+    #[test]
+    fn traces_and_provenance_mirror_disc_vocabulary() {
+        use disc_geom::Point;
+        use disc_telemetry::{
+            MemoryProvenanceSink, ProvenanceKind, ProvenanceSink, Registry, Tracer,
+        };
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemoryProvenanceSink::new());
+        struct Fwd(Arc<MemoryProvenanceSink>);
+        impl ProvenanceSink for Fwd {
+            fn emit(&self, ev: &disc_telemetry::ProvenanceEvent) {
+                self.0.emit(ev);
+            }
+        }
+        let reg = Arc::new(Registry::new().with_provenance(Box::new(Fwd(sink.clone()))));
+        let mut g: GraphDisc<2> = GraphDisc::new(DiscConfig::new(0.6, 3))
+            .with_recorder(reg.clone())
+            .with_tracer(Tracer::new());
+        let line = SlideBatch {
+            incoming: (0..9u64)
+                .map(|i| (PointId(i), Point::new([i as f64 * 0.5, 0.0])))
+                .collect(),
+            outgoing: vec![],
+        };
+        g.apply(&line);
+        let cut = SlideBatch {
+            incoming: vec![],
+            outgoing: vec![(PointId(4), Point::new([2.0, 0.0]))],
+        };
+        g.apply(&cut);
+
+        let spans = g.drain_spans();
+        for name in ["slide", "departures", "arrivals", "splits", "merges"] {
+            assert!(spans.iter().any(|s| s.name == name), "missing {name}");
+        }
+        disc_telemetry::validate_chrome_trace(&disc_telemetry::chrome_trace_json(&spans)).unwrap();
+
+        let evs = sink.events();
+        assert!(evs
+            .iter()
+            .any(|e| e.slide == 1 && matches!(e.kind, ProvenanceKind::ClusterEmerged { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| e.slide == 2 && matches!(e.kind, ProvenanceKind::ExCoreDetected { id: 4 })));
+        assert!(evs.iter().any(
+            |e| e.slide == 2 && matches!(e.kind, ProvenanceKind::ClusterSplit { parts: 2, .. })
+        ));
+        for e in &evs {
+            disc_telemetry::ProvenanceEvent::validate_jsonl(&e.to_jsonl()).unwrap();
+        }
     }
 
     #[test]

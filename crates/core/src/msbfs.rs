@@ -39,9 +39,14 @@ pub struct Connectivity {
     /// A representative core of the surviving component (used by the
     /// cross-class split fixup, see `cluster.rs`).
     pub survivor_rep: PointId,
-    /// Queue-advance rounds this check took: round-robin passes for MS-BFS
-    /// (Alg. 3's outer loop), BFS levels summed over components for the
-    /// sequential variant. The telemetry layer aggregates these per slide.
+    /// Queue expansions (vertex pops) this check performed, under the
+    /// *same* accounting for every strategy: each dequeued vertex counts
+    /// once, whether popped by a round-robin MS-BFS thread or a sequential
+    /// BFS. Identical inputs explored to completion therefore report
+    /// identical rounds across strategies (early termination is the only
+    /// legitimate source of divergence), which is what makes the Fig. 8
+    /// ablation numbers comparable. The telemetry layer aggregates these
+    /// per slide.
     pub rounds: usize,
 }
 
@@ -115,7 +120,6 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let mut rounds = 0usize;
 
         while active.len() > 1 {
-            rounds += 1;
             let mut made_progress = false;
             let mut slot_idx = 0;
             while slot_idx < active.len() {
@@ -136,6 +140,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                     active.swap_remove(slot_idx);
                     continue;
                 };
+                rounds += 1;
                 made_progress = true;
 
                 let center = self.points.at(r).point;
@@ -252,13 +257,20 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             let slot = threads.alloc();
             let mut comp = vec![s];
             seen.insert(s, ());
+            // Pre-mark the starter, exactly as `msbfs` does (Alg. 3
+            // line 4): without this its own first probe reports it fresh,
+            // re-enqueues it, and pays one extra pop plus one extra range
+            // search per component.
+            if let Some(probe) = probe {
+                let marked = self
+                    .tree
+                    .mark_visited(probe, &self.points.at(s).point, s, slot);
+                debug_assert!(marked, "starter {s} missing from the index");
+            }
             let mut queue: VecDeque<PointId> = VecDeque::new();
             queue.push_back(s);
-            // BFS-level accounting: `in_level` vertices remain in the
-            // current level, pushes accumulate into the next one.
-            let mut in_level = 1usize;
-            let mut next_level = 0usize;
             while let Some(r) = queue.pop_front() {
+                rounds += 1;
                 let center = self.points.at(r).point;
                 if let Some(probe) = probe {
                     out.clear();
@@ -283,7 +295,6 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                         seen.insert(id, ());
                         comp.push(id);
                         queue.push_back(id);
-                        next_level += 1;
                     }
                 } else {
                     plain_hits.clear();
@@ -297,15 +308,8 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                         if seen.insert(id, ()).is_none() {
                             comp.push(id);
                             queue.push_back(id);
-                            next_level += 1;
                         }
                     }
-                }
-                in_level -= 1;
-                if in_level == 0 {
-                    rounds += 1;
-                    in_level = next_level;
-                    next_level = 0;
                 }
             }
             components.push(comp);
@@ -423,6 +427,88 @@ mod tests {
         assert_eq!(conn.ncc, 1);
         assert_eq!(conn.survivor_rep, PointId(1));
         assert_eq!(disc.index_stats().range_searches, before);
+    }
+
+    /// The `rounds` counter uses the same accounting — one unit per
+    /// dequeued vertex — in every strategy. On fully-enumerated inputs
+    /// (disjoint singleton-core components: no early termination is
+    /// possible) all four config variants must therefore report the *same*
+    /// ncc, survivor and rounds, and rounds must equal the number of cores
+    /// expanded.
+    #[test]
+    fn rounds_agree_across_strategies_when_enumeration_is_exhaustive() {
+        // k components, each a lone core (center + 2 borders within ε):
+        // every BFS thread pops exactly its starter and finds no further
+        // core, so each strategy performs exactly k expansions.
+        let k = 4u64;
+        let pts: Vec<(u64, f64, f64)> = (0..k)
+            .flat_map(|i| {
+                let x = i as f64 * 100.0;
+                // Borders sit 2.0 apart (> ε), so only the center reaches
+                // n_ε = 3 ≥ τ; each component holds exactly one core.
+                [
+                    (10 * i, x, 0.0),
+                    (10 * i + 1, x + 1.0, 0.0),
+                    (10 * i + 2, x - 1.0, 0.0),
+                ]
+            })
+            .collect();
+        let starters: Vec<PointId> = (0..k).map(|i| PointId(10 * i)).collect();
+        let mut seen: Option<(usize, usize)> = None;
+        for cfg in configs() {
+            let mut disc = engine(cfg, &pts);
+            let conn = disc.check_connectivity(&starters);
+            assert_eq!(conn.ncc, k as usize, "config {cfg:?}");
+            assert_eq!(conn.rounds, k as usize, "one pop per core, {cfg:?}");
+            match seen {
+                None => seen = Some((conn.ncc, conn.rounds)),
+                Some(prev) => assert_eq!(prev, (conn.ncc, conn.rounds), "config {cfg:?}"),
+            }
+        }
+    }
+
+    /// Full streams driven through the round-robin and sequential variants
+    /// must agree on the per-slide instance and starter counts (the checks
+    /// run are determined by the classes, not the strategy). Rounds now
+    /// share one unit — vertex pops — so the round-robin count can only be
+    /// *lower* (early termination stops enumerating the surviving
+    /// component), never higher and never a different unit.
+    #[test]
+    fn stream_instances_and_starters_match_between_strategies() {
+        let pts: Vec<(u64, f64, f64)> = (0..9).map(|i| (i, i as f64 * 0.5, 0.0)).collect();
+        let mut fast = engine(DiscConfig::new(0.6, 3), &pts);
+        let mut slow = engine(DiscConfig::new(0.6, 3).without_msbfs(), &pts);
+        // Remove the bridge: one split, detected by both variants.
+        let cut = SlideBatch {
+            incoming: vec![],
+            outgoing: vec![(PointId(4), Point::new([2.0, 0.0]))],
+        };
+        let sf = fast.apply(&cut);
+        let ss = slow.apply(&cut);
+        assert_eq!(sf.splits, 1);
+        assert_eq!(sf.splits, ss.splits);
+        assert_eq!(sf.msbfs_instances, ss.msbfs_instances);
+        assert_eq!(sf.msbfs_starters, ss.msbfs_starters);
+        assert!(sf.msbfs_rounds >= 1);
+        assert!(
+            sf.msbfs_rounds <= ss.msbfs_rounds,
+            "round-robin may stop early but never pops more: {} vs {}",
+            sf.msbfs_rounds,
+            ss.msbfs_rounds
+        );
+        // The partitions must match; which fragment keeps the old label is
+        // a strategy-dependent (and semantically arbitrary) choice.
+        let partition = |a: Vec<(PointId, i64)>| {
+            let mut groups: std::collections::BTreeMap<i64, Vec<PointId>> =
+                std::collections::BTreeMap::new();
+            for (id, label) in a {
+                groups.entry(label).or_default().push(id);
+            }
+            let mut parts: Vec<Vec<PointId>> = groups.into_values().collect();
+            parts.sort();
+            parts
+        };
+        assert_eq!(partition(fast.assignments()), partition(slow.assignments()));
     }
 
     /// MS-BFS with epoch probing must issue far fewer searches than the

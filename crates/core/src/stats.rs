@@ -36,8 +36,9 @@ pub struct SlideStats {
     pub msbfs_instances: usize,
     /// Starters across all connectivity checks (one BFS thread each).
     pub msbfs_starters: usize,
-    /// Queue-advance rounds across all connectivity checks (the BFS depth
-    /// summed over instances; the work MS-BFS shares across starters).
+    /// Queue expansions (vertex pops) across all connectivity checks —
+    /// the same accounting for every search strategy, so ablation variants
+    /// are directly comparable. Early termination pops fewer vertices.
     pub msbfs_rounds: usize,
     /// Index counters accumulated during this slide.
     pub index: IndexStats,

@@ -89,6 +89,29 @@ impl Stats {
         rec.counter_add("disc_index_bulk_leaf_scans_total", self.bulk_leaf_scans);
     }
 
+    /// The *non-zero* counters as span attributes, for attaching a
+    /// windowed diff (see [`Stats::since`]) to a tracing span — the
+    /// range-search attribution both backends share. Names match the
+    /// exported metrics minus the `disc_index_` / `_total` decoration.
+    pub fn span_args(&self) -> Vec<(&'static str, u64)> {
+        let all: [(&'static str, u64); 13] = [
+            ("range_searches", self.range_searches),
+            ("epoch_probes", self.epoch_probes),
+            ("nodes_visited", self.nodes_visited),
+            ("distance_checks", self.distance_checks),
+            ("subtrees_pruned", self.subtrees_pruned),
+            ("inserts", self.inserts),
+            ("removes", self.removes),
+            ("bulk_insert_batches", self.bulk_insert_batches),
+            ("bulk_remove_batches", self.bulk_remove_batches),
+            ("multi_ball_queries", self.multi_ball_queries),
+            ("multi_ball_centers", self.multi_ball_centers),
+            ("bulk_nodes_visited", self.bulk_nodes_visited),
+            ("bulk_leaf_scans", self.bulk_leaf_scans),
+        ];
+        all.into_iter().filter(|&(_, v)| v > 0).collect()
+    }
+
     /// Difference `self - earlier`, for windowed measurements.
     pub fn since(&self, earlier: &Stats) -> Stats {
         Stats {
@@ -202,6 +225,18 @@ mod tests {
         // A disabled recorder records nothing.
         let noop = disc_telemetry::NoopRecorder;
         s.publish_to(&noop); // must be a no-op (nothing to observe, but must not panic)
+    }
+
+    #[test]
+    fn span_args_keep_only_touched_counters() {
+        assert!(Stats::default().span_args().is_empty());
+        let s = Stats {
+            range_searches: 3,
+            nodes_visited: 12,
+            ..Stats::default()
+        };
+        let args = s.span_args();
+        assert_eq!(args, vec![("range_searches", 3), ("nodes_visited", 12)]);
     }
 
     #[test]

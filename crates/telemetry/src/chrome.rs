@@ -1,0 +1,149 @@
+//! Chrome trace-event exporter for [`SpanRecord`]s.
+//!
+//! Renders a span batch as the `chrome://tracing` / Perfetto JSON object
+//! format: `{"traceEvents": [...]}` where each span becomes one complete
+//! (`"ph": "X"`) event with microsecond `ts`/`dur`. Span attributes land in
+//! `args`, along with the span/parent ids so the tree structure survives
+//! the flat encoding. [`validate_chrome_trace`] is the CI-side checker.
+
+use crate::json::{escape, Json};
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Renders spans as a Chrome trace-event JSON document.
+///
+/// Timestamps are the tracer-epoch offsets scaled to microseconds (the
+/// format's native unit) with nanosecond precision kept in the fraction.
+/// All events share `pid`/`tid` 1: engines are single-threaded and the
+/// viewer nests events on one track by time containment.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 128);
+    out.push_str("{\"traceEvents\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"name\": \"{}\", \"cat\": \"disc\", \"ph\": \"X\", \"ts\": {:.3}, \
+             \"dur\": {:.3}, \"pid\": 1, \"tid\": 1, \"args\": {{\"span\": {}, \"parent\": {}",
+            escape(s.name),
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            s.id,
+            s.parent,
+        );
+        for (k, v) in &s.args {
+            let _ = write!(out, ", \"{}\": {}", escape(k), v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Validates a Chrome trace document produced by [`chrome_trace_json`]
+/// (and, structurally, anything `chrome://tracing` would load): a root
+/// object with a `traceEvents` array of complete events carrying `name`,
+/// `ph == "X"`, numeric non-negative `ts`/`dur`, and numeric `pid`/`tid`.
+/// Returns the number of events.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| "missing traceEvents".to_string())?
+        .as_array()
+        .ok_or_else(|| "traceEvents is not an array".to_string())?;
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| Err(format!("event {i}: {msg}"));
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return fail("missing string name");
+        }
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            return fail("ph must be \"X\"");
+        }
+        for key in ["ts", "dur"] {
+            match ev.get(key).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => {}
+                _ => return fail(&format!("{key} must be a non-negative number")),
+            }
+        }
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Json::as_f64).is_none() {
+                return fail(&format!("{key} must be a number"));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let mut t = Tracer::new();
+        let slide = t.begin("slide");
+        let collect = t.begin("collect");
+        t.end_with_args(collect, &[("range_searches", 12)]);
+        t.end_with_args(slide, &[("seq", 1)]);
+        t.drain()
+    }
+
+    #[test]
+    fn export_validates_and_preserves_structure() {
+        let spans = sample_spans();
+        let text = chrome_trace_json(&spans);
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 2);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let collect = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("collect"))
+            .unwrap();
+        let slide = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("slide"))
+            .unwrap();
+        // Parent link and args survive the round trip.
+        assert_eq!(
+            collect.get("args").unwrap().get("parent").unwrap().as_u64(),
+            slide.get("args").unwrap().get("span").unwrap().as_u64(),
+        );
+        assert_eq!(
+            collect
+                .get("args")
+                .unwrap()
+                .get("range_searches")
+                .unwrap()
+                .as_u64(),
+            Some(12)
+        );
+        // The child is contained in the parent on the timeline.
+        let ts = |e: &Json| e.get("ts").unwrap().as_f64().unwrap();
+        let dur = |e: &Json| e.get("dur").unwrap().as_f64().unwrap();
+        assert!(ts(collect) >= ts(slide));
+        assert!(ts(collect) + dur(collect) <= ts(slide) + dur(slide) + 1e-3);
+    }
+
+    #[test]
+    fn empty_batch_is_still_a_valid_document() {
+        let text = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"B\"}]}").is_err()
+        );
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"ts\": -1, \"dur\": 0, \
+             \"pid\": 1, \"tid\": 1}]}"
+        )
+        .is_err());
+    }
+}

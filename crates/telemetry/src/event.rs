@@ -47,7 +47,7 @@ pub struct SlideEvent {
     pub msbfs_instances: usize,
     /// Starters across all connectivity checks.
     pub msbfs_starters: usize,
-    /// Queue-advance rounds across all connectivity checks.
+    /// Queue expansions (vertex pops) across all connectivity checks.
     pub msbfs_rounds: usize,
     /// COLLECT phase duration (ns).
     pub collect_ns: u64,

@@ -1,0 +1,99 @@
+//! Folded-stack exporter for [`SpanRecord`]s.
+//!
+//! The folded format — one `root;child;leaf <count>` line per distinct
+//! stack — is what `inferno-flamegraph` and Brendan Gregg's original
+//! `flamegraph.pl` consume. Each span contributes its **self time**
+//! (duration minus the duration of its direct children) under its full
+//! name path, and identical paths are aggregated, so the flame graph's
+//! widths are exclusive times exactly as profiler users expect.
+
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders spans as folded stacks with nanosecond self-time counts.
+///
+/// Lines are sorted by stack path (deterministic output). Spans whose
+/// children fully cover them contribute no line.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    // id → index, then each span's self time and name path via parents.
+    let index: BTreeMap<u32, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut child_ns = vec![0u64; spans.len()];
+    for s in spans {
+        if let Some(&pi) = index.get(&s.parent) {
+            child_ns[pi] = child_ns[pi].saturating_add(s.dur_ns);
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let self_ns = s.dur_ns.saturating_sub(child_ns[i]);
+        if self_ns == 0 {
+            continue;
+        }
+        let mut path = vec![s.name];
+        let mut cur = s.parent;
+        while let Some(&pi) = index.get(&cur) {
+            path.push(spans[pi].name);
+            cur = spans[pi].parent;
+        }
+        path.reverse();
+        *stacks.entry(path.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in stacks {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u32, parent: u32, name: &'static str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children_and_paths_aggregate() {
+        // slide(100) { collect(30), cluster(50) { msbfs(20), msbfs(10) } }
+        let spans = vec![
+            span(1, 0, "slide", 0, 100),
+            span(2, 1, "collect", 0, 30),
+            span(3, 1, "cluster", 30, 50),
+            span(4, 3, "msbfs", 30, 20),
+            span(5, 3, "msbfs", 50, 10),
+        ];
+        let text = folded_stacks(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "slide 20",
+                "slide;cluster 20",
+                "slide;cluster;msbfs 30",
+                "slide;collect 30",
+            ]
+        );
+    }
+
+    #[test]
+    fn fully_covered_spans_emit_no_line() {
+        let spans = vec![span(1, 0, "slide", 0, 40), span(2, 1, "collect", 0, 40)];
+        let text = folded_stacks(&spans);
+        assert_eq!(text, "slide;collect 40\n");
+    }
+
+    #[test]
+    fn multiple_roots_across_drained_slides_coexist() {
+        let spans = vec![span(1, 0, "slide", 0, 10), span(2, 0, "slide", 20, 30)];
+        assert_eq!(folded_stacks(&spans), "slide 40\n");
+    }
+}

@@ -44,25 +44,36 @@
 //! assert!(text.contains("disc_slides_total 1"));
 //! ```
 
+pub mod chrome;
 pub mod event;
+pub mod folded;
 pub mod hist;
 #[cfg(feature = "http")]
 pub mod http;
 pub mod json;
 pub mod prom;
+pub mod provenance;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
+pub mod span;
 
+pub use chrome::{chrome_trace_json, validate_chrome_trace};
 pub use event::SlideEvent;
+pub use folded::folded_stacks;
 pub use hist::{HistSnapshot, LogHistogram};
 #[cfg(feature = "http")]
 pub use http::PromServer;
 pub use json::Json;
 pub use prom::{parse_prometheus, Sample};
+pub use provenance::{
+    JsonlProvenanceSink, MemoryProvenanceSink, MsBfsReason, ProvenanceEvent, ProvenanceKind,
+    ProvenanceSink,
+};
 pub use recorder::{noop, NoopRecorder, Recorder};
 pub use registry::Registry;
 pub use sink::{EventSink, JsonlSink, MemorySink};
+pub use span::{SpanId, SpanRecord, Tracer};
 
 /// The trait-object handle engines store: cheap to clone, shareable with
 /// exporter threads.

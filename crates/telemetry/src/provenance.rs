@@ -1,0 +1,526 @@
+//! Causal slide provenance in the paper's vocabulary.
+//!
+//! Aggregate counters say *how many* splits happened; provenance says
+//! *which* ex-core caused *which* cluster to split into *how many* parts.
+//! Engines emit one [`ProvenanceEvent`] per structural decision — ex-/
+//! neo-core detection, retro-reachable class formation (Theorem 1's unit
+//! of work), MS-BFS start/termination, cluster split/merge/emergence/
+//! dissipation, and border adoption — tagged with the slide they belong
+//! to. Events ride the existing [`Recorder`](crate::Recorder) plumbing
+//! (`emit_provenance`) as a second JSONL schema with its own validator,
+//! and the CLI's `explain` subcommand reconstructs a causal narrative
+//! from the stream.
+//!
+//! # JSONL schema
+//!
+//! Every line is a flat object with exactly six keys so downstream
+//! tooling never needs schema-per-kind dispatch:
+//!
+//! | key      | type   | meaning                                          |
+//! |----------|--------|--------------------------------------------------|
+//! | `slide`  | number | 1-based slide sequence number                    |
+//! | `kind`   | string | one of [`KINDS`]                                 |
+//! | `id`     | number | primary subject (point or cluster id; 0 if n/a)  |
+//! | `rep`    | number | secondary subject / class representative         |
+//! | `n`      | number | cardinality (size, starters, rounds, parts, …)   |
+//! | `reason` | string | MS-BFS termination reason (`""` otherwise)       |
+
+use crate::json::Json;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// The closed set of `kind` strings the schema admits.
+pub const KINDS: [&str; 10] = [
+    "ex_core_detected",
+    "neo_core_detected",
+    "retro_class_formed",
+    "msbfs_started",
+    "msbfs_terminated",
+    "cluster_split",
+    "cluster_merge",
+    "cluster_emerged",
+    "cluster_died",
+    "adoption",
+];
+
+/// Why an MS-BFS instance stopped (Alg. 3's two exits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsBfsReason {
+    /// Every starter met every other one — the class is connected and the
+    /// search quit early (the common, cheap case).
+    AllMet,
+    /// Some traversal exhausted its component without meeting the rest —
+    /// the class is disconnected (a split follows).
+    Exhausted,
+}
+
+impl MsBfsReason {
+    /// The schema string (`"all_met"` / `"exhausted"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MsBfsReason::AllMet => "all_met",
+            MsBfsReason::Exhausted => "exhausted",
+        }
+    }
+}
+
+/// What happened (one structural decision), in the paper's vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProvenanceKind {
+    /// Point `id` was a core in the previous window but is not one now.
+    ExCoreDetected {
+        /// The demoted point.
+        id: u64,
+    },
+    /// Point `id` became a core this slide.
+    NeoCoreDetected {
+        /// The promoted point.
+        id: u64,
+    },
+    /// A retro-reachable class `R⁻` was assembled around representative
+    /// `rep`; Theorem 1 lets CLUSTER run one connectivity check for all
+    /// `size` ex-cores in it instead of one each.
+    RetroClassFormed {
+        /// The class representative (its first discovered ex-core).
+        rep: u64,
+        /// Number of ex-cores in the class.
+        size: u64,
+    },
+    /// An MS-BFS instance launched over class `rep`'s minimal bonding
+    /// cores `M⁻`.
+    MsBfsStarted {
+        /// The class representative.
+        rep: u64,
+        /// Number of simultaneous BFS starters (`|M⁻|`).
+        starters: u64,
+    },
+    /// The MS-BFS instance over class `rep` stopped after `rounds`
+    /// queue expansions.
+    MsBfsTerminated {
+        /// The class representative.
+        rep: u64,
+        /// Why it stopped.
+        reason: MsBfsReason,
+        /// Queue expansions performed (see `Connectivity::rounds`).
+        rounds: u64,
+    },
+    /// Cluster `old` split into `parts` connected components; the
+    /// component containing core `rep` kept the old label.
+    ClusterSplit {
+        /// The pre-slide cluster id.
+        old: u64,
+        /// Number of resulting components.
+        parts: u64,
+        /// A core in the surviving (label-keeping) component.
+        rep: u64,
+    },
+    /// Neo-core `rep` bonded `merged` distinct clusters; `winner` is the
+    /// cluster id that absorbed the rest.
+    ClusterMerge {
+        /// The absorbing cluster id.
+        winner: u64,
+        /// How many distinct clusters were united (≥ 2).
+        merged: u64,
+        /// The neo-core class representative that caused the merge.
+        rep: u64,
+    },
+    /// Neo-core class `rep` touched no existing cluster; a fresh cluster
+    /// `cluster` of `size` cores emerged.
+    ClusterEmerged {
+        /// The newly allocated cluster id.
+        cluster: u64,
+        /// The neo-core class representative.
+        rep: u64,
+        /// Number of cores in the emerging class.
+        size: u64,
+    },
+    /// Retro class `rep` kept no bonding core (`M⁻ = ∅`): its region
+    /// dissipated (the paper's dissipation condition).
+    ClusterDied {
+        /// The class representative (an ex-core of the dead region).
+        rep: u64,
+        /// Number of ex-cores that went down with it.
+        size: u64,
+    },
+    /// Border point `border` was (re-)attached to core `core` by the
+    /// adoption pass (§V).
+    Adoption {
+        /// The adopted border point.
+        border: u64,
+        /// The adopting core.
+        core: u64,
+    },
+}
+
+impl ProvenanceKind {
+    /// The schema `kind` string for this event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProvenanceKind::ExCoreDetected { .. } => "ex_core_detected",
+            ProvenanceKind::NeoCoreDetected { .. } => "neo_core_detected",
+            ProvenanceKind::RetroClassFormed { .. } => "retro_class_formed",
+            ProvenanceKind::MsBfsStarted { .. } => "msbfs_started",
+            ProvenanceKind::MsBfsTerminated { .. } => "msbfs_terminated",
+            ProvenanceKind::ClusterSplit { .. } => "cluster_split",
+            ProvenanceKind::ClusterMerge { .. } => "cluster_merge",
+            ProvenanceKind::ClusterEmerged { .. } => "cluster_emerged",
+            ProvenanceKind::ClusterDied { .. } => "cluster_died",
+            ProvenanceKind::Adoption { .. } => "adoption",
+        }
+    }
+
+    /// The flat `(id, rep, n, reason)` field encoding for the schema.
+    fn fields(&self) -> (u64, u64, u64, &'static str) {
+        match *self {
+            ProvenanceKind::ExCoreDetected { id } => (id, 0, 0, ""),
+            ProvenanceKind::NeoCoreDetected { id } => (id, 0, 0, ""),
+            ProvenanceKind::RetroClassFormed { rep, size } => (0, rep, size, ""),
+            ProvenanceKind::MsBfsStarted { rep, starters } => (0, rep, starters, ""),
+            ProvenanceKind::MsBfsTerminated {
+                rep,
+                reason,
+                rounds,
+            } => (0, rep, rounds, reason.as_str()),
+            ProvenanceKind::ClusterSplit { old, parts, rep } => (old, rep, parts, ""),
+            ProvenanceKind::ClusterMerge {
+                winner,
+                merged,
+                rep,
+            } => (winner, rep, merged, ""),
+            ProvenanceKind::ClusterEmerged { cluster, rep, size } => (cluster, rep, size, ""),
+            ProvenanceKind::ClusterDied { rep, size } => (0, rep, size, ""),
+            ProvenanceKind::Adoption { border, core } => (border, core, 0, ""),
+        }
+    }
+}
+
+/// One structural decision, tagged with the slide it happened in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceEvent {
+    /// 1-based slide sequence number (matches `SlideEvent::seq`).
+    pub slide: u64,
+    /// The decision.
+    pub kind: ProvenanceKind,
+}
+
+impl ProvenanceEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let (id, rep, n, reason) = self.kind.fields();
+        format!(
+            "{{\"slide\": {}, \"kind\": \"{}\", \"id\": {}, \"rep\": {}, \"n\": {}, \
+             \"reason\": \"{}\"}}",
+            self.slide,
+            self.kind.name(),
+            id,
+            rep,
+            n,
+            reason,
+        )
+    }
+
+    /// Validates one JSONL line against the provenance schema: exactly the
+    /// six keys, correct types, `kind` in [`KINDS`], `reason` one of
+    /// `""`/`"all_met"`/`"exhausted"` (non-empty only on
+    /// `msbfs_terminated`).
+    pub fn validate_jsonl(line: &str) -> Result<(), String> {
+        let doc = Json::parse(line)?;
+        let Json::Obj(members) = &doc else {
+            return Err("provenance line is not an object".to_string());
+        };
+        let expect: [&str; 6] = ["slide", "kind", "id", "rep", "n", "reason"];
+        for key in expect {
+            if doc.get(key).is_none() {
+                return Err(format!("missing key {key:?}"));
+            }
+        }
+        for (key, _) in members {
+            if !expect.contains(&key.as_str()) {
+                return Err(format!("unknown key {key:?}"));
+            }
+        }
+        if members.len() != expect.len() {
+            return Err("duplicate keys".to_string());
+        }
+        for key in ["slide", "id", "rep", "n"] {
+            if doc.get(key).unwrap().as_u64().is_none() {
+                return Err(format!("{key} must be a non-negative integer"));
+            }
+        }
+        let kind = doc
+            .get("kind")
+            .unwrap()
+            .as_str()
+            .ok_or_else(|| "kind must be a string".to_string())?;
+        if !KINDS.contains(&kind) {
+            return Err(format!("unknown kind {kind:?}"));
+        }
+        let reason = doc
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .ok_or_else(|| "reason must be a string".to_string())?;
+        match (kind, reason) {
+            ("msbfs_terminated", "all_met") | ("msbfs_terminated", "exhausted") => Ok(()),
+            ("msbfs_terminated", other) => Err(format!("bad termination reason {other:?}")),
+            (_, "") => Ok(()),
+            (_, other) => Err(format!("reason {other:?} on non-termination kind {kind:?}")),
+        }
+    }
+
+    /// Parses one JSONL line back into an event (validating as it goes).
+    pub fn from_jsonl(line: &str) -> Result<ProvenanceEvent, String> {
+        ProvenanceEvent::validate_jsonl(line)?;
+        let doc = Json::parse(line)?;
+        let num = |key: &str| doc.get(key).unwrap().as_u64().unwrap();
+        let (slide, id, rep, n) = (num("slide"), num("id"), num("rep"), num("n"));
+        let kind = match doc.get("kind").unwrap().as_str().unwrap() {
+            "ex_core_detected" => ProvenanceKind::ExCoreDetected { id },
+            "neo_core_detected" => ProvenanceKind::NeoCoreDetected { id },
+            "retro_class_formed" => ProvenanceKind::RetroClassFormed { rep, size: n },
+            "msbfs_started" => ProvenanceKind::MsBfsStarted { rep, starters: n },
+            "msbfs_terminated" => ProvenanceKind::MsBfsTerminated {
+                rep,
+                reason: match doc.get("reason").unwrap().as_str().unwrap() {
+                    "all_met" => MsBfsReason::AllMet,
+                    _ => MsBfsReason::Exhausted,
+                },
+                rounds: n,
+            },
+            "cluster_split" => ProvenanceKind::ClusterSplit {
+                old: id,
+                parts: n,
+                rep,
+            },
+            "cluster_merge" => ProvenanceKind::ClusterMerge {
+                winner: id,
+                merged: n,
+                rep,
+            },
+            "cluster_emerged" => ProvenanceKind::ClusterEmerged {
+                cluster: id,
+                rep,
+                size: n,
+            },
+            "cluster_died" => ProvenanceKind::ClusterDied { rep, size: n },
+            _ => ProvenanceKind::Adoption {
+                border: id,
+                core: rep,
+            },
+        };
+        Ok(ProvenanceEvent { slide, kind })
+    }
+}
+
+/// Receives every [`ProvenanceEvent`] a recorder is asked to emit — the
+/// provenance twin of [`EventSink`](crate::EventSink).
+pub trait ProvenanceSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &ProvenanceEvent);
+
+    /// Flushes any buffering.
+    fn flush(&self) {}
+}
+
+/// Writes one provenance JSON line per event — the `--provenance-out`
+/// sink.
+pub struct JsonlProvenanceSink<W: Write + Send> {
+    out: Mutex<std::io::BufWriter<W>>,
+}
+
+impl JsonlProvenanceSink<std::fs::File> {
+    /// Creates (truncating) `path` and writes events to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlProvenanceSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlProvenanceSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlProvenanceSink {
+            out: Mutex::new(std::io::BufWriter::new(out)),
+        }
+    }
+}
+
+impl<W: Write + Send> ProvenanceSink for JsonlProvenanceSink<W> {
+    fn emit(&self, event: &ProvenanceEvent) {
+        let mut out = self.out.lock().expect("provenance sink poisoned");
+        // Telemetry must never take the engine down; drop on I/O error.
+        let _ = writeln!(out, "{}", event.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("provenance sink poisoned").flush();
+    }
+}
+
+/// Buffers provenance events in memory — the test sink.
+#[derive(Default)]
+pub struct MemoryProvenanceSink {
+    events: Mutex<Vec<ProvenanceEvent>>,
+}
+
+impl MemoryProvenanceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemoryProvenanceSink::default()
+    }
+
+    /// A copy of everything emitted so far.
+    pub fn events(&self) -> Vec<ProvenanceEvent> {
+        self.events
+            .lock()
+            .expect("provenance sink poisoned")
+            .clone()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("provenance sink poisoned").len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ProvenanceSink for MemoryProvenanceSink {
+    fn emit(&self, event: &ProvenanceEvent) {
+        self.events
+            .lock()
+            .expect("provenance sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ProvenanceEvent> {
+        use ProvenanceKind::*;
+        let kinds = vec![
+            ExCoreDetected { id: 4 },
+            NeoCoreDetected { id: 33 },
+            RetroClassFormed { rep: 4, size: 3 },
+            MsBfsStarted {
+                rep: 4,
+                starters: 3,
+            },
+            MsBfsTerminated {
+                rep: 4,
+                reason: MsBfsReason::Exhausted,
+                rounds: 14,
+            },
+            MsBfsTerminated {
+                rep: 9,
+                reason: MsBfsReason::AllMet,
+                rounds: 2,
+            },
+            ClusterSplit {
+                old: 5,
+                parts: 2,
+                rep: 7,
+            },
+            ClusterMerge {
+                winner: 3,
+                merged: 2,
+                rep: 33,
+            },
+            ClusterEmerged {
+                cluster: 11,
+                rep: 40,
+                size: 5,
+            },
+            ClusterDied { rep: 8, size: 1 },
+            Adoption {
+                border: 40,
+                core: 7,
+            },
+        ];
+        kinds
+            .into_iter()
+            .map(|kind| ProvenanceEvent { slide: 17, kind })
+            .collect()
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_jsonl() {
+        for ev in samples() {
+            let line = ev.to_jsonl();
+            ProvenanceEvent::validate_jsonl(&line).unwrap_or_else(|e| {
+                panic!("invalid line for {:?}: {e}\n{line}", ev.kind.name());
+            });
+            assert_eq!(ProvenanceEvent::from_jsonl(&line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        let good = ProvenanceEvent {
+            slide: 1,
+            kind: ProvenanceKind::ExCoreDetected { id: 2 },
+        }
+        .to_jsonl();
+        ProvenanceEvent::validate_jsonl(&good).unwrap();
+        for bad in [
+            // wrong kind
+            good.replace("ex_core_detected", "excore"),
+            // missing key
+            good.replace("\"reason\": \"\"", "\"reason\": \"\", \"extra\": 1"),
+            // negative number
+            good.replace("\"id\": 2", "\"id\": -2"),
+            // string where number expected
+            good.replace("\"id\": 2", "\"id\": \"2\""),
+            // reason on non-termination kind
+            good.replace("\"reason\": \"\"", "\"reason\": \"all_met\""),
+            // not an object
+            "[1, 2]".to_string(),
+        ] {
+            assert!(
+                ProvenanceEvent::validate_jsonl(&bad).is_err(),
+                "accepted {bad}"
+            );
+        }
+        // termination must carry a recognised reason
+        let term = ProvenanceEvent {
+            slide: 1,
+            kind: ProvenanceKind::MsBfsTerminated {
+                rep: 1,
+                reason: MsBfsReason::AllMet,
+                rounds: 1,
+            },
+        }
+        .to_jsonl();
+        assert!(ProvenanceEvent::validate_jsonl(&term.replace("all_met", "done")).is_err());
+        assert!(ProvenanceEvent::validate_jsonl(&term.replace("all_met", "")).is_err());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let sink = JsonlProvenanceSink::new(Vec::new());
+        for ev in samples() {
+            sink.emit(&ev);
+        }
+        let out = sink.out.into_inner().unwrap().into_inner().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), samples().len());
+        for line in text.lines() {
+            ProvenanceEvent::validate_jsonl(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let sink = MemoryProvenanceSink::new();
+        assert!(sink.is_empty());
+        for ev in samples() {
+            sink.emit(&ev);
+        }
+        assert_eq!(sink.len(), samples().len());
+        assert_eq!(sink.events(), samples());
+    }
+}

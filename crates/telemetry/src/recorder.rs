@@ -6,6 +6,7 @@
 //! per slide is one virtual call and a branch.
 
 use crate::event::SlideEvent;
+use crate::provenance::ProvenanceEvent;
 use std::sync::Arc;
 
 /// A telemetry backend: monotone counters, gauges, duration histograms,
@@ -39,6 +40,13 @@ pub trait Recorder: Send + Sync {
 
     /// Emits one structured slide event.
     fn emit(&self, event: &SlideEvent);
+
+    /// Emits one causal provenance event (see
+    /// [`provenance`](crate::provenance)). Default: dropped, so recorders
+    /// that only care about metrics need not opt in.
+    fn emit_provenance(&self, event: &ProvenanceEvent) {
+        let _ = event;
+    }
 }
 
 /// The zero-cost default recorder: drops everything, reports disabled.
@@ -77,5 +85,9 @@ mod tests {
         r.record_nanos("h_seconds", 100);
         r.record_duration("h_seconds", std::time::Duration::from_micros(3));
         r.emit(&SlideEvent::default());
+        r.emit_provenance(&ProvenanceEvent {
+            slide: 1,
+            kind: crate::provenance::ProvenanceKind::ExCoreDetected { id: 1 },
+        });
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::event::SlideEvent;
 use crate::hist::{HistSnapshot, LogHistogram};
+use crate::provenance::{ProvenanceEvent, ProvenanceSink};
 use crate::recorder::Recorder;
 use crate::sink::EventSink;
 use std::collections::BTreeMap;
@@ -13,6 +14,7 @@ struct Inner {
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, LogHistogram>,
     events_emitted: u64,
+    provenance_emitted: u64,
 }
 
 /// A thread-safe metric registry plus an optional event sink.
@@ -25,6 +27,7 @@ struct Inner {
 pub struct Registry {
     inner: Mutex<Inner>,
     sink: Option<Box<dyn EventSink>>,
+    prov_sink: Option<Box<dyn ProvenanceSink>>,
 }
 
 impl Registry {
@@ -38,7 +41,15 @@ impl Registry {
         Registry {
             inner: Mutex::new(Inner::default()),
             sink: Some(sink),
+            prov_sink: None,
         }
+    }
+
+    /// Builder: forwards provenance events to `sink` (call before sharing
+    /// the registry behind an `Arc`).
+    pub fn with_provenance(mut self, sink: Box<dyn ProvenanceSink>) -> Self {
+        self.prov_sink = Some(sink);
+        self
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -63,6 +74,11 @@ impl Registry {
     /// Events emitted through this registry so far.
     pub fn events_emitted(&self) -> u64 {
         self.lock().events_emitted
+    }
+
+    /// Provenance events emitted through this registry so far.
+    pub fn provenance_emitted(&self) -> u64 {
+        self.lock().provenance_emitted
     }
 
     /// Names of all counters touched so far.
@@ -102,9 +118,12 @@ impl Registry {
         out
     }
 
-    /// Flushes the attached sink, if any.
+    /// Flushes the attached sinks, if any.
     pub fn flush(&self) {
         if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+        if let Some(sink) = &self.prov_sink {
             sink.flush();
         }
     }
@@ -136,6 +155,13 @@ impl Recorder for Registry {
     fn emit(&self, event: &SlideEvent) {
         self.lock().events_emitted += 1;
         if let Some(sink) = &self.sink {
+            sink.emit(event);
+        }
+    }
+
+    fn emit_provenance(&self, event: &ProvenanceEvent) {
+        self.lock().provenance_emitted += 1;
+        if let Some(sink) = &self.prov_sink {
             sink.emit(event);
         }
     }
@@ -181,6 +207,28 @@ mod tests {
         r.emit(&SlideEvent::default());
         assert_eq!(r.events_emitted(), 1);
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn provenance_counts_and_forwards_to_its_sink() {
+        use crate::provenance::{MemoryProvenanceSink, ProvenanceKind};
+        let sink = Arc::new(MemoryProvenanceSink::new());
+        struct Fwd(Arc<MemoryProvenanceSink>);
+        impl ProvenanceSink for Fwd {
+            fn emit(&self, ev: &ProvenanceEvent) {
+                self.0.emit(ev);
+            }
+        }
+        let r = Registry::new().with_provenance(Box::new(Fwd(sink.clone())));
+        assert_eq!(r.provenance_emitted(), 0);
+        r.emit_provenance(&ProvenanceEvent {
+            slide: 3,
+            kind: ProvenanceKind::NeoCoreDetected { id: 9 },
+        });
+        assert_eq!(r.provenance_emitted(), 1);
+        assert_eq!(r.events_emitted(), 0, "slide-event channel untouched");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].slide, 3);
     }
 
     #[test]
