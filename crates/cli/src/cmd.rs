@@ -18,7 +18,7 @@ pub trait DimCommand {
     fn run<const D: usize>(&self, opts: &Opts) -> Result<(), String>;
 }
 
-fn load<const D: usize>(opts: &Opts) -> Result<Vec<Record<D>>, String> {
+pub(crate) fn load<const D: usize>(opts: &Opts) -> Result<Vec<Record<D>>, String> {
     let input = opts
         .input
         .as_ref()
@@ -35,6 +35,17 @@ pub struct ClusterCmd;
 
 impl DimCommand for ClusterCmd {
     fn run<const D: usize>(&self, opts: &Opts) -> Result<(), String> {
+        // Durability flags switch to the concrete-engine loop in `durable`:
+        // checkpoints and WAL replay need `Disc`'s state export, which the
+        // `dyn WindowClusterer` facade deliberately hides.
+        if opts.checkpoint_dir.is_some() || opts.wal.is_some() {
+            let backend = IndexBackend::parse(&opts.index)
+                .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
+            return match backend {
+                IndexBackend::RTree => crate::durable::run_durable::<D, disc_index::RTree<D>>(opts),
+                IndexBackend::Grid => crate::durable::run_durable::<D, GridIndex<D>>(opts),
+            };
+        }
         let records = load::<D>(opts)?;
         let eps = opts.eps.ok_or("--eps is required")?;
         let tau = opts.tau.ok_or("--tau is required")?;

@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod cmd;
+mod durable;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +37,12 @@ usage:
                 [--stats-every N]
                 [--trace-out F.json] [--folded-out F.txt]
                 [--provenance-out F.jsonl]
+                [--checkpoint-dir DIR] [--checkpoint-every N]
+                [--wal F] [--fsync always|never|every=N]
                 (`disc run` is an alias for `disc cluster`)
+  disc resume   --checkpoint-dir DIR --input F [--dim D] [--wal F]
+                [--out F] [--quiet]
+  disc diffsnap --a F --b F [--dim D]
   disc explain  --trace F.jsonl [--slide N]
   disc estimate --input F --dim D [--sample N]
   disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
@@ -50,6 +56,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(&args[1..])?;
     match command.as_str() {
         "cluster" | "run" => dispatch_dim(&opts, cmd::ClusterCmd),
+        "resume" => dispatch_dim(&opts, durable::ResumeCmd),
+        "diffsnap" => dispatch_dim(&opts, durable::DiffsnapCmd),
         "explain" => cmd::explain(&opts),
         "estimate" => dispatch_dim(&opts, cmd::EstimateCmd),
         "generate" => cmd::generate(&opts),
@@ -94,6 +102,18 @@ pub struct Opts {
     pub trace: Option<PathBuf>,
     /// Restrict `explain` to one slide (`--slide`).
     pub slide: Option<u64>,
+    /// Directory for durable checkpoints (`--checkpoint-dir`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in slides (`--checkpoint-every`, default 1).
+    pub checkpoint_every: u64,
+    /// Slide write-ahead log file (`--wal`).
+    pub wal: Option<PathBuf>,
+    /// WAL fsync policy: `always`, `never`, or `every=N` (`--fsync`).
+    pub fsync: String,
+    /// First snapshot for `disc diffsnap` (`--a`).
+    pub snap_a: Option<PathBuf>,
+    /// Second snapshot for `disc diffsnap` (`--b`).
+    pub snap_b: Option<PathBuf>,
 }
 
 impl Opts {
@@ -122,6 +142,12 @@ impl Opts {
             provenance_out: None,
             trace: None,
             slide: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            wal: None,
+            fsync: "always".to_string(),
+            snap_a: None,
+            snap_b: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -153,6 +179,12 @@ impl Opts {
                 "--provenance-out" => o.provenance_out = Some(PathBuf::from(value()?)),
                 "--trace" => o.trace = Some(PathBuf::from(value()?)),
                 "--slide" => o.slide = Some(parse_num(flag, &value()?)?),
+                "--checkpoint-dir" => o.checkpoint_dir = Some(PathBuf::from(value()?)),
+                "--checkpoint-every" => o.checkpoint_every = parse_num(flag, &value()?)?,
+                "--wal" => o.wal = Some(PathBuf::from(value()?)),
+                "--fsync" => o.fsync = value()?,
+                "--a" => o.snap_a = Some(PathBuf::from(value()?)),
+                "--b" => o.snap_b = Some(PathBuf::from(value()?)),
                 "--quiet" => o.quiet = true,
                 other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
             }
@@ -582,6 +614,301 @@ mod tests {
         .collect();
         let err = run(&args).unwrap_err();
         assert!(err.contains("--prom-addr"), "got: {err}");
+    }
+
+    #[test]
+    fn durability_flags_parse() {
+        let o = parse(&[
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "5",
+            "--wal",
+            "slides.wal",
+            "--fsync",
+            "every=8",
+            "--a",
+            "a.csv",
+            "--b",
+            "b.csv",
+        ])
+        .unwrap();
+        assert_eq!(o.checkpoint_dir.as_ref().unwrap().to_str(), Some("ckpts"));
+        assert_eq!(o.checkpoint_every, 5);
+        assert_eq!(o.wal.as_ref().unwrap().to_str(), Some("slides.wal"));
+        assert_eq!(o.fsync, "every=8");
+        assert_eq!(o.snap_a.as_ref().unwrap().to_str(), Some("a.csv"));
+        assert_eq!(o.snap_b.as_ref().unwrap().to_str(), Some("b.csv"));
+        let o = parse(&[]).unwrap();
+        assert!(o.checkpoint_dir.is_none() && o.wal.is_none());
+        assert_eq!(o.checkpoint_every, 1);
+        assert_eq!(o.fsync, "always");
+    }
+
+    fn run_strs(args: &[&str]) -> Result<(), String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    /// End-to-end crash walkthrough, in-process: a durable run on a prefix
+    /// of the stream stands in for a run killed mid-stream (its final
+    /// checkpoint + WAL survive on disk exactly as a kill would leave
+    /// them); `disc resume` picks up against the full stream, and
+    /// `disc diffsnap` certifies the result against an uninterrupted run.
+    /// The CI `recovery` job repeats this with a real `kill -9`.
+    #[test]
+    fn durable_run_resume_and_diffsnap_roundtrip() {
+        let dir = std::env::temp_dir().join("disc_cli_durable_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("stream.csv");
+        let prefix = dir.join("prefix.csv");
+        let ckpts = dir.join("ckpts");
+        let wal = dir.join("slides.wal");
+        let snap_full = dir.join("full.csv");
+        let snap_resumed = dir.join("resumed.csv");
+
+        run_strs(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The reference: one uninterrupted durable run over the whole
+        // stream (durable, so the label-allocation history matches the
+        // crashed-and-resumed engine's).
+        let ref_ckpts = dir.join("ref_ckpts");
+        run_strs(&[
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--checkpoint-dir",
+            ref_ckpts.to_str().unwrap(),
+            "--out",
+            snap_full.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // The "crashed" run only ever saw the first 400 records.
+        let text = std::fs::read_to_string(&data).unwrap();
+        let head: String = text.lines().take(400).fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        });
+        std::fs::write(&prefix, head).unwrap();
+        run_strs(&[
+            "run",
+            "--input",
+            prefix.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+            "--wal",
+            wal.to_str().unwrap(),
+            "--fsync",
+            "every=2",
+        ])
+        .unwrap();
+        assert!(wal.exists());
+        assert!(
+            std::fs::read_dir(&ckpts).unwrap().count() >= 1,
+            "durable run left checkpoints behind"
+        );
+
+        // Resume against the full stream and finish the remaining slides.
+        run_strs(&[
+            "resume",
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+            "--wal",
+            wal.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--quiet",
+            "--out",
+            snap_resumed.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // The resumed run must induce the identical partition.
+        run_strs(&[
+            "diffsnap",
+            "--a",
+            snap_full.to_str().unwrap(),
+            "--b",
+            snap_resumed.to_str().unwrap(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_fails_resume_loudly() {
+        let dir = std::env::temp_dir().join("disc_cli_corrupt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("stream.csv");
+        let ckpts = dir.join("ckpts");
+        run_strs(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "500",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_strs(&[
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--tau",
+            "4",
+            "--window",
+            "300",
+            "--stride",
+            "100",
+            "--quiet",
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Flip one byte in the middle of the newest checkpoint.
+        let newest = std::fs::read_dir(&ckpts)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .max()
+            .unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, bytes).unwrap();
+        let err = run_strs(&[
+            "resume",
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+            "--input",
+            data.to_str().unwrap(),
+            "--quiet",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("corrupt") || err.contains("truncated"),
+            "expected a typed corruption error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn diffsnap_reports_divergence_and_tolerates_relabeling() {
+        let dir = std::env::temp_dir().join("disc_cli_diffsnap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        let c = dir.join("c.csv");
+        // b is a with clusters renamed (7↔3): canonically identical.
+        std::fs::write(&a, "x0,x1,cluster\n0,0,3\n1,0,3\n5,5,7\n9,9,-1\n").unwrap();
+        std::fs::write(&b, "x0,x1,cluster\n0,0,7\n1,0,7\n5,5,3\n9,9,-1\n").unwrap();
+        // c moves a point between clusters: a real divergence.
+        std::fs::write(&c, "x0,x1,cluster\n0,0,3\n1,0,7\n5,5,7\n9,9,-1\n").unwrap();
+        run_strs(&[
+            "diffsnap",
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_strs(&[
+            "diffsnap",
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            c.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("diverge"), "got: {err}");
+        // Length mismatch is reported as such.
+        std::fs::write(&c, "x0,x1,cluster\n0,0,3\n").unwrap();
+        let err = run_strs(&[
+            "diffsnap",
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            c.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("points"), "got: {err}");
+    }
+
+    #[test]
+    fn durable_flags_reject_non_disc_methods() {
+        let dir = std::env::temp_dir().join("disc_cli_durable_method_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        std::fs::write(&data, "0.0,0.0,\n1.0,0.0,\n0.5,0.5,\n").unwrap();
+        let err = run_strs(&[
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--tau",
+            "2",
+            "--window",
+            "2",
+            "--stride",
+            "1",
+            "--method",
+            "incdbscan",
+            "--checkpoint-dir",
+            dir.join("ckpts").to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--method disc"), "got: {err}");
+        // A WAL without a checkpoint dir cannot be recovered from; reject it.
+        let err = run_strs(&[
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--tau",
+            "2",
+            "--window",
+            "2",
+            "--stride",
+            "1",
+            "--wal",
+            dir.join("slides.wal").to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "got: {err}");
     }
 
     #[test]

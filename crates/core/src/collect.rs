@@ -149,7 +149,10 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 !self.points.contains(*id),
                 "incoming point {id} already in the window"
             );
-            assert!(
+            // Finiteness is enforced up front by `Disc::validate`, before
+            // any deletion mutated state; by the time COLLECT runs this can
+            // only fire on an engine-internal bug.
+            debug_assert!(
                 point.is_finite(),
                 "incoming point {id} has non-finite coordinates"
             );
@@ -285,7 +288,10 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 !self.points.contains(*id),
                 "incoming point {id} already in the window"
             );
-            assert!(
+            // Finiteness is enforced up front by `Disc::validate`, before
+            // any deletion mutated state; by the time COLLECT runs this can
+            // only fire on an engine-internal bug.
+            debug_assert!(
                 point.is_finite(),
                 "incoming point {id} has non-finite coordinates"
             );

@@ -102,6 +102,64 @@ impl Dsu {
     pub fn same(&mut self, a: u32, b: u32) -> bool {
         self.find(a) == self.find(b)
     }
+
+    /// The raw parent vector (checkpoint serialization).
+    pub fn parent_slice(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// The raw size vector (checkpoint serialization).
+    pub fn size_slice(&self) -> &[u32] {
+        &self.size
+    }
+
+    /// Rebuilds a structure from serialized parent/size vectors, validating
+    /// that every parent pointer is in bounds and every chain terminates at
+    /// a root (no cycles) — the two properties `find` relies on for
+    /// termination. Sizes are not trusted for correctness (they only bias
+    /// union order), but their length must match.
+    pub fn from_parts(parent: Vec<u32>, size: Vec<u32>) -> Result<Self, String> {
+        if parent.len() != size.len() {
+            return Err(format!(
+                "parent/size length mismatch: {} vs {}",
+                parent.len(),
+                size.len()
+            ));
+        }
+        for (i, &p) in parent.iter().enumerate() {
+            if (p as usize) >= parent.len() {
+                return Err(format!("slot {i} has out-of-bounds parent {p}"));
+            }
+        }
+        // Cycle check in O(n): walk each chain once, marking resolved slots.
+        // 0 = unvisited, 1 = on the current path, 2 = known-terminating.
+        let mut state = vec![0u8; parent.len()];
+        let mut path = Vec::new();
+        for start in 0..parent.len() {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut cur = start;
+            loop {
+                match state[cur] {
+                    1 => return Err(format!("parent chain of slot {start} cycles at {cur}")),
+                    2 => break,
+                    _ => {}
+                }
+                state[cur] = 1;
+                path.push(cur);
+                let next = parent[cur] as usize;
+                if next == cur {
+                    break;
+                }
+                cur = next;
+            }
+            for slot in path.drain(..) {
+                state[slot] = 2;
+            }
+        }
+        Ok(Dsu { parent, size })
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +228,27 @@ mod tests {
                 assert_eq!(cache.get(&i), Some(&root));
             }
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut d = Dsu::new();
+        let ids: Vec<u32> = (0..8).map(|_| d.alloc()).collect();
+        d.union(ids[0], ids[1]);
+        d.union(ids[2], ids[3]);
+        d.union(ids[1], ids[3]);
+        let mut back = Dsu::from_parts(d.parent_slice().to_vec(), d.size_slice().to_vec()).unwrap();
+        for &i in &ids {
+            assert_eq!(back.find(i), d.find(i));
+        }
+
+        // Length mismatch, out-of-bounds parent, and cycles are rejected.
+        assert!(Dsu::from_parts(vec![0, 1], vec![1]).is_err());
+        assert!(Dsu::from_parts(vec![0, 9], vec![1, 1]).is_err());
+        let err = Dsu::from_parts(vec![1, 0], vec![1, 1]).unwrap_err();
+        assert!(err.contains("cycles"), "got: {err}");
+        assert!(Dsu::from_parts(vec![1, 2, 0], vec![1, 1, 1]).is_err());
+        assert!(Dsu::from_parts(Vec::new(), Vec::new()).is_ok());
     }
 
     #[test]

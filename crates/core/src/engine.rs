@@ -22,6 +22,10 @@ pub enum SlideError {
     /// An incoming id is already in the window (or appears twice in the
     /// batch).
     DuplicateIncoming(PointId),
+    /// An incoming point has a NaN or infinite coordinate. Such points have
+    /// no meaningful ε-neighbourhood and would poison every index they
+    /// touch, so they are rejected before any state changes.
+    NonFinite(PointId),
 }
 
 impl std::fmt::Display for SlideError {
@@ -32,6 +36,9 @@ impl std::fmt::Display for SlideError {
             }
             SlideError::DuplicateIncoming(id) => {
                 write!(f, "incoming point {id} already in the window")
+            }
+            SlideError::NonFinite(id) => {
+                write!(f, "incoming point {id} has non-finite coordinates")
             }
         }
     }
@@ -325,13 +332,28 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         }
         let outgoing: FxHashSet<PointId> = batch.outgoing.iter().map(|(id, _)| *id).collect();
         let mut fresh: FxHashSet<PointId> = FxHashSet::default();
-        for (id, _) in &batch.incoming {
+        for (id, point) in &batch.incoming {
+            if !point.is_finite() {
+                return Err(SlideError::NonFinite(*id));
+            }
             let present = self.points.get(*id).map(|r| r.in_window).unwrap_or(false);
             if (present && !outgoing.contains(id)) || !fresh.insert(*id) {
                 return Err(SlideError::DuplicateIncoming(*id));
             }
         }
         Ok(())
+    }
+
+    /// Committed slides so far. The initial window fill counts as slide 1,
+    /// so this equals the 1-based sequence number carried by the last
+    /// published [`SlideEvent`](disc_telemetry::SlideEvent).
+    pub fn slide_seq(&self) -> u64 {
+        self.slide_seq
+    }
+
+    /// Restores the slide counter (checkpoint restore path).
+    pub(crate) fn set_slide_seq(&mut self, seq: u64) {
+        self.slide_seq = seq;
     }
 
     // ------------------------------------------------------------------
@@ -618,6 +640,43 @@ mod tests {
             .try_apply(&batch(&[(0, [3.0, 0.0])], &[(0, [0.0, 0.0])]))
             .is_ok());
         assert_eq!(disc.window_len(), 1);
+    }
+
+    #[test]
+    fn try_apply_rejects_non_finite_points_untouched() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(0, [0.0, 0.0]), (1, [0.5, 0.0])], &[]));
+        let before = disc.assignments();
+        for coords in [
+            [f64::NAN, 0.0],
+            [0.0, f64::INFINITY],
+            [f64::NEG_INFINITY, 0.0],
+        ] {
+            let err = disc.try_apply(&batch(&[(9, coords)], &[])).unwrap_err();
+            assert_eq!(err, SlideError::NonFinite(PointId(9)));
+            assert_eq!(
+                err.to_string(),
+                "incoming point p9 has non-finite coordinates"
+            );
+        }
+        // Rejection happens before any deletion: a batch that also retires
+        // a point leaves the outgoing point in place.
+        let err = disc
+            .try_apply(&batch(&[(9, [f64::NAN, 0.0])], &[(0, [0.0, 0.0])]))
+            .unwrap_err();
+        assert_eq!(err, SlideError::NonFinite(PointId(9)));
+        assert_eq!(disc.assignments(), before);
+        assert_eq!(disc.window_len(), 2);
+        disc.check_invariants();
+        // The engine stays usable.
+        assert!(disc.try_apply(&batch(&[(2, [1.0, 0.0])], &[])).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "incoming point p13 has non-finite coordinates")]
+    fn apply_panic_names_the_non_finite_point() {
+        let mut disc: Disc<2> = Disc::new(DiscConfig::new(1.0, 2));
+        disc.apply(&batch(&[(13, [f64::NAN, 1.0])], &[]));
     }
 
     #[test]

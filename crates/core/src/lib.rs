@@ -52,6 +52,7 @@ pub mod label;
 pub mod materialized;
 pub mod msbfs;
 pub mod record;
+pub mod state;
 pub mod stats;
 pub mod store;
 pub mod tracker;
@@ -60,5 +61,6 @@ pub use config::{DiscConfig, IndexBackend};
 pub use engine::{Disc, SlideError};
 pub use label::{ClusterId, PointLabel};
 pub use materialized::GraphDisc;
+pub use state::{backend_of, EngineState, PointState, StateError};
 pub use stats::SlideStats;
 pub use tracker::{ClusterTracker, Evolution};

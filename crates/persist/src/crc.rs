@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3), the per-section / per-record integrity check.
+//!
+//! Table-driven, computed once at first use. The polynomial and bit order
+//! match zlib's `crc32`, so checkpoints can be verified with standard
+//! tooling (`python3 -c 'import zlib, sys; ...'`).
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE polynomial, reflected, init/xorout `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The universal CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the window holds the most recent points".to_vec();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The typed error surface of the durability layer.
+//!
+//! Every way a checkpoint or WAL can be unusable maps to a distinct
+//! [`PersistError`] variant, so callers (and the crash-injection tests) can
+//! distinguish "the file was torn mid-write" from "a bit flipped at rest"
+//! from "the image decoded but fails engine validation". Nothing in this
+//! crate ever panics on hostile bytes, and nothing ever returns a
+//! partially-restored state.
+
+use disc_core::StateError;
+use std::io;
+
+/// Why a checkpoint or WAL operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes — it is not a
+    /// DISC checkpoint / WAL at all (or its first sector was destroyed).
+    BadMagic {
+        /// Which artifact was being read (`"checkpoint"`, `"wal"`).
+        kind: &'static str,
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Which artifact was being read.
+        kind: &'static str,
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file was written for a different point dimension.
+    DimensionMismatch {
+        /// Dimension this reader was instantiated for.
+        expected: usize,
+        /// Dimension recorded in the header.
+        found: usize,
+    },
+    /// The file ends before the named section is complete.
+    Truncated {
+        /// Section (or header field) that was cut short.
+        section: String,
+    },
+    /// A section's payload does not match its stored CRC — bytes were
+    /// flipped at rest or the write was torn mid-section.
+    ChecksumMismatch {
+        /// Section whose checksum failed.
+        section: String,
+    },
+    /// The bytes decoded but violate the format's structural rules.
+    Corrupt {
+        /// Section where the violation was found.
+        section: String,
+        /// What rule was violated.
+        detail: String,
+    },
+    /// The checkpoint decoded cleanly but the engine refused the image
+    /// (see [`StateError`]).
+    State(StateError),
+    /// A complete WAL record failed its CRC — unlike a torn tail, this is
+    /// mid-log damage and recovery must not proceed past it silently.
+    WalCorrupt {
+        /// Byte offset of the broken record.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// WAL replay found a sequence gap: the log does not continue the
+    /// checkpoint it was paired with.
+    WalGap {
+        /// The slide sequence the engine needed next.
+        expected: u64,
+        /// The sequence the next WAL record carried.
+        found: u64,
+    },
+    /// No checkpoint exists in the directory being recovered from.
+    NoCheckpoint,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic { kind } => write!(f, "not a DISC {kind}: bad magic"),
+            PersistError::UnsupportedVersion { kind, found } => {
+                write!(f, "unsupported {kind} format version {found}")
+            }
+            PersistError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "dimension mismatch: file is {found}-d, reader is {expected}-d"
+                )
+            }
+            PersistError::Truncated { section } => {
+                write!(f, "truncated file: section {section:?} is incomplete")
+            }
+            PersistError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section:?}")
+            }
+            PersistError::Corrupt { section, detail } => {
+                write!(f, "corrupt section {section:?}: {detail}")
+            }
+            PersistError::State(e) => write!(f, "checkpoint rejected by the engine: {e}"),
+            PersistError::WalCorrupt { offset, detail } => {
+                write!(f, "corrupt WAL record at byte {offset}: {detail}")
+            }
+            PersistError::WalGap { expected, found } => {
+                write!(
+                    f,
+                    "WAL does not continue the checkpoint: needed slide {expected}, found {found}"
+                )
+            }
+            PersistError::NoCheckpoint => write!(f, "no checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<StateError> for PersistError {
+    fn from(e: StateError) -> Self {
+        PersistError::State(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let cases: Vec<(PersistError, &str)> = vec![
+            (PersistError::BadMagic { kind: "checkpoint" }, "bad magic"),
+            (
+                PersistError::UnsupportedVersion {
+                    kind: "wal",
+                    found: 9,
+                },
+                "version 9",
+            ),
+            (
+                PersistError::DimensionMismatch {
+                    expected: 2,
+                    found: 3,
+                },
+                "3-d",
+            ),
+            (
+                PersistError::Truncated {
+                    section: "points".into(),
+                },
+                "points",
+            ),
+            (
+                PersistError::ChecksumMismatch {
+                    section: "dsu".into(),
+                },
+                "dsu",
+            ),
+            (
+                PersistError::WalCorrupt {
+                    offset: 17,
+                    detail: "crc".into(),
+                },
+                "byte 17",
+            ),
+            (
+                PersistError::WalGap {
+                    expected: 4,
+                    found: 7,
+                },
+                "needed slide 4",
+            ),
+            (PersistError::NoCheckpoint, "no checkpoint"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The slide write-ahead log.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! header := magic "DISCWAL\0" (8 bytes) | version u32 | dim u32
+//! record := len u32 | payload | crc32(payload) u32
+//! payload := seq u64 | n_in u32 | n_out u32
+//!          | n_in × (id u64, D × f64)      incoming
+//!          | n_out × (id u64, D × f64)     outgoing
+//! ```
+//!
+//! A slide batch is appended (and optionally fsynced, per
+//! [`FsyncPolicy`]) **before** it is applied to the engine, so every
+//! committed slide is either in the log or was never applied. On read,
+//! an incomplete final record — the process died mid-append — is a *torn
+//! tail*: it is reported, tolerated, and truncated away on the next
+//! [`WalWriter::open_append`]. A *complete* record whose CRC fails is
+//! mid-log damage and surfaces as [`PersistError::WalCorrupt`]; recovery
+//! must not skip over it silently.
+
+use crate::codec::{Dec, Enc};
+use crate::crc::crc32;
+use crate::error::PersistError;
+use disc_geom::{Point, PointId};
+use disc_window::SlideBatch;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// WAL file magic.
+pub const MAGIC: &[u8; 8] = b"DISCWAL\0";
+/// Current WAL format version.
+pub const VERSION: u32 = 1;
+
+/// When the WAL writer calls `fsync` after an append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every record: no committed slide can be lost, at the
+    /// cost of one disk flush per slide.
+    Always,
+    /// Fsync after every `k`-th record: bounds loss to at most `k` slides.
+    EveryN(u64),
+    /// Never fsync explicitly; the OS flushes on its own schedule.
+    /// Fastest, loses up to the page-cache window on power failure.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always`, `never`, or `every=N`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            _ => {
+                let n: u64 = s.strip_prefix("every=")?.parse().ok()?;
+                if n == 0 {
+                    None
+                } else {
+                    Some(FsyncPolicy::EveryN(n))
+                }
+            }
+        }
+    }
+}
+
+fn encode_record<const D: usize>(seq: u64, batch: &SlideBatch<D>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(seq);
+    e.u32(batch.incoming.len() as u32);
+    e.u32(batch.outgoing.len() as u32);
+    for (id, p) in batch.incoming.iter().chain(&batch.outgoing) {
+        e.u64(id.raw());
+        for i in 0..D {
+            e.f64(p[i]);
+        }
+    }
+    e.into_bytes()
+}
+
+fn decode_record<const D: usize>(
+    payload: &[u8],
+    offset: u64,
+) -> Result<(u64, SlideBatch<D>), PersistError> {
+    let corrupt = |detail: String| PersistError::WalCorrupt { offset, detail };
+    let mut d = Dec::new(payload, "wal record");
+    let seq = d.u64().map_err(|_| corrupt("payload too short".into()))?;
+    let n_in = d.u32().map_err(|_| corrupt("payload too short".into()))? as usize;
+    let n_out = d.u32().map_err(|_| corrupt("payload too short".into()))? as usize;
+    let entry_bytes = 8 + 8 * D;
+    if payload.len() != 16 + (n_in + n_out) * entry_bytes {
+        return Err(corrupt(format!(
+            "payload of {} bytes does not fit {n_in}+{n_out} entries",
+            payload.len()
+        )));
+    }
+    let mut read_entries = |n: usize| -> Result<Vec<(PointId, Point<D>)>, PersistError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = PointId(d.u64().map_err(|_| corrupt("entry cut short".into()))?);
+            let mut coords = [0.0f64; D];
+            for c in coords.iter_mut() {
+                *c = d.f64().map_err(|_| corrupt("entry cut short".into()))?;
+            }
+            out.push((id, Point::new(coords)));
+        }
+        Ok(out)
+    };
+    let incoming = read_entries(n_in)?;
+    let outgoing = read_entries(n_out)?;
+    Ok((seq, SlideBatch { incoming, outgoing }))
+}
+
+/// Appends slide records to a WAL file.
+pub struct WalWriter<const D: usize> {
+    file: BufWriter<File>,
+    policy: FsyncPolicy,
+    appended_since_sync: u64,
+    /// Total records appended through this writer.
+    appended: u64,
+}
+
+impl<const D: usize> WalWriter<D> {
+    /// Creates a fresh WAL at `path` (truncating any existing file) and
+    /// writes the header.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<Self, PersistError> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&(D as u32).to_le_bytes())?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file: BufWriter::new(file),
+            policy,
+            appended_since_sync: 0,
+            appended: 0,
+        })
+    }
+
+    /// Opens an existing WAL for appending, validating its header and
+    /// truncating a torn tail left by a crash mid-append. Returns the
+    /// writer plus the records that survive (for replay).
+    pub fn open_append(
+        path: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, WalScan<D>), PersistError> {
+        let scan = read_wal::<D>(path)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        if let Some(offset) = scan.torn_tail_at {
+            file.set_len(offset)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok((
+            WalWriter {
+                file: BufWriter::new(file),
+                policy,
+                appended_since_sync: 0,
+                appended: 0,
+            },
+            scan,
+        ))
+    }
+
+    /// Appends one committed slide. Call **before** applying the batch to
+    /// the engine. Returns the record's size in bytes.
+    pub fn append(&mut self, seq: u64, batch: &SlideBatch<D>) -> Result<u64, PersistError> {
+        let payload = encode_record(seq, batch);
+        self.file.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.file.write_all(&payload)?;
+        self.file.write_all(&crc32(&payload).to_le_bytes())?;
+        self.file.flush()?;
+        self.appended += 1;
+        self.appended_since_sync += 1;
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(k) => self.appended_since_sync >= k,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(payload.len() as u64 + 8)
+    }
+
+    /// Forces an fsync regardless of policy.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Records appended through this writer (excludes pre-existing ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+/// The result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan<const D: usize> {
+    /// Complete, checksum-verified records in file order.
+    pub records: Vec<(u64, SlideBatch<D>)>,
+    /// Byte offset of an incomplete final record, if the file ends
+    /// mid-append. `None` means the file ends cleanly on a record
+    /// boundary.
+    pub torn_tail_at: Option<u64>,
+}
+
+/// Reads and verifies an entire WAL file.
+///
+/// A torn tail (EOF before the last record is complete) is tolerated and
+/// reported via [`WalScan::torn_tail_at`]; any *complete* record with a
+/// bad CRC, or a header problem, is an error.
+pub fn read_wal<const D: usize>(path: &Path) -> Result<WalScan<D>, PersistError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let header_len = MAGIC.len() + 8;
+    if bytes.len() < header_len {
+        return Err(PersistError::Truncated {
+            section: "wal header".into(),
+        });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic { kind: "wal" });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            kind: "wal",
+            found: version,
+        });
+    }
+    let dim = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    if dim != D {
+        return Err(PersistError::DimensionMismatch {
+            expected: D,
+            found: dim,
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut pos = header_len;
+    loop {
+        if pos == bytes.len() {
+            return Ok(WalScan {
+                records,
+                torn_tail_at: None,
+            });
+        }
+        if bytes.len() - pos < 4 {
+            return Ok(WalScan {
+                records,
+                torn_tail_at: Some(pos as u64),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if bytes.len() - pos - 4 < len + 4 {
+            return Ok(WalScan {
+                records,
+                torn_tail_at: Some(pos as u64),
+            });
+        }
+        let payload = &bytes[pos + 4..pos + 4 + len];
+        let stored = u32::from_le_bytes(bytes[pos + 4 + len..pos + 8 + len].try_into().unwrap());
+        if crc32(payload) != stored {
+            return Err(PersistError::WalCorrupt {
+                offset: pos as u64,
+                detail: "checksum mismatch on a complete record".into(),
+            });
+        }
+        records.push(decode_record::<D>(payload, pos as u64)?);
+        pos += 8 + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("disc_persist_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn batch(seq: u64) -> SlideBatch<2> {
+        SlideBatch {
+            incoming: vec![
+                (PointId(seq * 10), Point::new([seq as f64, 0.5])),
+                (PointId(seq * 10 + 1), Point::new([seq as f64, 1.5])),
+            ],
+            outgoing: vec![(PointId(seq * 10 - 5), Point::new([-1.0, -2.0]))],
+        }
+    }
+
+    fn batches_eq(a: &SlideBatch<2>, b: &SlideBatch<2>) -> bool {
+        a.incoming == b.incoming && a.outgoing == b.outgoing
+    }
+
+    #[test]
+    fn append_and_read_roundtrips() {
+        let path = tmp("roundtrip.wal");
+        let mut w = WalWriter::<2>::create(&path, FsyncPolicy::Always).unwrap();
+        for seq in 1..=5 {
+            w.append(seq, &batch(seq)).unwrap();
+        }
+        assert_eq!(w.appended(), 5);
+        drop(w);
+        let scan = read_wal::<2>(&path).unwrap();
+        assert_eq!(scan.torn_tail_at, None);
+        assert_eq!(scan.records.len(), 5);
+        for (i, (seq, b)) in scan.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert!(batches_eq(b, &batch(*seq)));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_at_every_cut() {
+        let path = tmp("torn.wal");
+        let mut w = WalWriter::<2>::create(&path, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            w.append(seq, &batch(seq)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        let header_len = MAGIC.len() + 8;
+        // Find where record 3 starts: re-scan record lengths.
+        let mut starts = vec![header_len];
+        let mut pos = header_len;
+        while pos < full.len() {
+            let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+            starts.push(pos);
+        }
+        let last_start = starts[starts.len() - 2];
+        for cut in last_start + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = read_wal::<2>(&path).unwrap();
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert_eq!(scan.torn_tail_at, Some(last_start as u64), "cut at {cut}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_loud() {
+        let path = tmp("corrupt.wal");
+        let mut w = WalWriter::<2>::create(&path, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            w.append(seq, &batch(seq)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the *first* record's payload: a complete record
+        // with a bad CRC, not a torn tail.
+        let target = MAGIC.len() + 8 + 4 + 3;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_wal::<2>(&path) {
+            Err(PersistError::WalCorrupt { offset, .. }) => {
+                assert_eq!(offset, (MAGIC.len() + 8) as u64)
+            }
+            other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_append_truncates_the_torn_tail_and_continues() {
+        let path = tmp("reopen.wal");
+        let mut w = WalWriter::<2>::create(&path, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            w.append(seq, &batch(seq)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the last record: drop its final 5 bytes.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let (mut w, scan) = WalWriter::<2>::open_append(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.torn_tail_at.is_some());
+        w.append(3, &batch(3)).unwrap();
+        w.append(4, &batch(4)).unwrap();
+        drop(w);
+
+        let scan = read_wal::<2>(&path).unwrap();
+        assert_eq!(scan.torn_tail_at, None);
+        let seqs: Vec<u64> = scan.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_guards_fire() {
+        let path = tmp("badheader.wal");
+        std::fs::write(&path, b"NOTAWAL!").unwrap();
+        assert!(matches!(
+            read_wal::<2>(&path),
+            Err(PersistError::Truncated { .. })
+        ));
+        std::fs::write(&path, b"NOTAWAL!\x01\0\0\0\x02\0\0\0").unwrap();
+        assert!(matches!(
+            read_wal::<2>(&path),
+            Err(PersistError::BadMagic { kind: "wal" })
+        ));
+        let mut good = MAGIC.to_vec();
+        good.extend_from_slice(&9u32.to_le_bytes());
+        good.extend_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &good).unwrap();
+        assert!(matches!(
+            read_wal::<2>(&path),
+            Err(PersistError::UnsupportedVersion {
+                kind: "wal",
+                found: 9
+            })
+        ));
+        let mut wrongdim = MAGIC.to_vec();
+        wrongdim.extend_from_slice(&VERSION.to_le_bytes());
+        wrongdim.extend_from_slice(&3u32.to_le_bytes());
+        std::fs::write(&path, &wrongdim).unwrap();
+        assert!(matches!(
+            read_wal::<2>(&path),
+            Err(PersistError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_policies_parse() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every=8"), Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(FsyncPolicy::parse("every=0"), None);
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

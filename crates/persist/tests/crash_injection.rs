@@ -1,0 +1,309 @@
+//! Crash injection: kill the durability layer at adversarial points and
+//! prove that recovery either restores the exact surviving prefix of the
+//! stream or fails loudly with the right typed error — never garbage
+//! state, never a panic.
+//!
+//! Injection points:
+//! - **mid-checkpoint**: a writer that errors or silently truncates after
+//!   K bytes, plus on-disk images truncated at every prefix length and
+//!   single-bit-flipped at random offsets;
+//! - **torn WAL tail**: the log cut at an arbitrary byte offset, as a
+//!   `SIGKILL` mid-append would leave it;
+//! - **mid-log damage**: bit flips inside committed WAL records;
+//! - **interrupted checkpoint save**: a leftover `.tmp` from a crash
+//!   mid-save must be invisible to recovery.
+
+use disc_core::{Disc, DiscConfig};
+use disc_geom::PointId;
+use disc_index::{GridIndex, RTree, SpatialBackend};
+use disc_persist::{
+    checkpoint_path, decode_checkpoint, encode_checkpoint, read_wal, recover_engine,
+    save_checkpoint, write_checkpoint_to, Checkpoint, FsyncPolicy, PersistError, WalWriter,
+};
+use disc_window::{datasets, SlidingWindow};
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("disc_persist_crash").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn canonical(assignments: &[(PointId, i64)]) -> Vec<(PointId, i64)> {
+    let mut rename: std::collections::BTreeMap<i64, i64> = Default::default();
+    assignments
+        .iter()
+        .map(|&(id, l)| {
+            if l < 0 {
+                (id, -1)
+            } else {
+                let next = rename.len() as i64;
+                (id, *rename.entry(l).or_insert(next))
+            }
+        })
+        .collect()
+}
+
+/// A writer that fails after `limit` bytes — either with an I/O error
+/// (`fail_loud`) or by silently swallowing the rest, emulating a torn
+/// write that `close()` never reported.
+struct FailingWriter {
+    written: Vec<u8>,
+    limit: usize,
+    fail_loud: bool,
+}
+
+impl Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let room = self.limit.saturating_sub(self.written.len());
+        if room == 0 {
+            return if self.fail_loud {
+                Err(std::io::Error::other("injected: device error"))
+            } else {
+                Ok(buf.len()) // swallowed: bytes never reach the disk
+            };
+        }
+        let n = buf.len().min(room);
+        self.written.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A small durable run shared by the injection tests: fill + `slides`
+/// slides, checkpoint at `ckpt_at`, WAL of everything. Returns the
+/// directory, the WAL path, and the reference canonical partition after
+/// each slide seq (index k-1 = after slide k).
+fn durable_run<const D: usize, B: SpatialBackend<D>>(
+    name: &str,
+    seed: u64,
+    slides: u64,
+    ckpt_at: u64,
+) -> (PathBuf, PathBuf, Vec<Vec<(PointId, i64)>>) {
+    let dir = tmpdir(name);
+    let wal_path = dir.join("slides.wal");
+    let n = 120 + 20 * slides as usize;
+    let recs = datasets::gaussian_blobs::<D>(n, 3, 0.8, seed);
+    let mut w = SlidingWindow::new(recs, 120, 20);
+    let mut disc: Disc<D, B> = Disc::with_index(DiscConfig::new(1.0, 4));
+    let mut wal = WalWriter::<D>::create(&wal_path, FsyncPolicy::EveryN(2)).unwrap();
+    let mut per_slide = Vec::new();
+
+    let fill = w.fill();
+    wal.append(1, &fill).unwrap();
+    disc.apply(&fill);
+    per_slide.push(canonical(&disc.assignments()));
+    if ckpt_at == 1 {
+        save_checkpoint(
+            &checkpoint_path(&dir, 1),
+            &Checkpoint {
+                state: disc.export_state(),
+                driver: None,
+            },
+        )
+        .unwrap();
+    }
+    for _ in 1..slides {
+        let batch = w.advance().expect("stream long enough");
+        wal.append(disc.slide_seq() + 1, &batch).unwrap();
+        disc.apply(&batch);
+        per_slide.push(canonical(&disc.assignments()));
+        if disc.slide_seq() == ckpt_at {
+            save_checkpoint(
+                &checkpoint_path(&dir, ckpt_at),
+                &Checkpoint {
+                    state: disc.export_state(),
+                    driver: None,
+                },
+            )
+            .unwrap();
+        }
+    }
+    wal.sync().unwrap();
+    (dir, wal_path, per_slide)
+}
+
+#[test]
+fn failing_writer_never_yields_a_loadable_partial_checkpoint() {
+    let mut disc = Disc::<2>::new(DiscConfig::new(1.0, 4));
+    let recs = datasets::gaussian_blobs::<2>(200, 3, 0.8, 5);
+    let mut w = SlidingWindow::new(recs, 120, 20);
+    disc.apply(&w.fill());
+    let ckpt = Checkpoint {
+        state: disc.export_state(),
+        driver: None,
+    };
+    let full = encode_checkpoint(&ckpt);
+
+    for limit in (0..full.len()).step_by(7).chain([full.len() - 1]) {
+        // Loud failure: the save reports the error.
+        let mut loud = FailingWriter {
+            written: Vec::new(),
+            limit,
+            fail_loud: true,
+        };
+        match write_checkpoint_to(&mut loud, &ckpt) {
+            Err(PersistError::Io(_)) => {}
+            other => panic!("limit {limit}: expected Io error, got {other:?}"),
+        }
+        // Silent truncation: whatever reached the disk must not decode.
+        let mut quiet = FailingWriter {
+            written: Vec::new(),
+            limit,
+            fail_loud: false,
+        };
+        let _ = write_checkpoint_to(&mut quiet, &ckpt);
+        assert!(
+            decode_checkpoint::<2>(&quiet.written).is_err(),
+            "limit {limit}: truncated image decoded"
+        );
+    }
+}
+
+#[test]
+fn leftover_tmp_from_a_crashed_save_is_invisible_to_recovery() {
+    let (dir, wal_path, per_slide) = durable_run::<2, RTree<2>>("tmp-leftover", 5, 8, 5);
+    // A crash mid-save leaves `ckpt-....tmp`, never the final name.
+    std::fs::write(dir.join("ckpt-000000000007.tmp"), b"partial garbage").unwrap();
+    let (rec, _, report) = recover_engine::<2, RTree<2>>(&dir, Some(&wal_path)).unwrap();
+    assert_eq!(report.checkpoint_seq, 5);
+    assert_eq!(report.replayed, 3);
+    assert_eq!(canonical(&rec.assignments()), per_slide[7]);
+}
+
+#[test]
+fn corrupted_named_checkpoint_fails_loudly_not_silently() {
+    let (dir, wal_path, _) = durable_run::<2, RTree<2>>("named-corrupt", 9, 6, 4);
+    let path = checkpoint_path(&dir, 4);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    match recover_engine::<2, RTree<2>>(&dir, Some(&wal_path)) {
+        Err(
+            PersistError::ChecksumMismatch { .. }
+            | PersistError::Corrupt { .. }
+            | PersistError::Truncated { .. },
+        ) => {}
+        Err(other) => panic!("wrong error: {other:?}"),
+        Ok(_) => panic!("corrupted checkpoint recovered silently"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SIGKILL mid-append: the WAL cut at an arbitrary byte offset. The
+    /// complete-record prefix must replay to the exact canonical state the
+    /// stream had after that many slides; the cut itself must never panic
+    /// or mis-parse.
+    #[test]
+    fn wal_cut_anywhere_recovers_the_exact_prefix(
+        seed in 0u64..500,
+        ckpt_at in 1u64..4,
+        cut_frac in 0.0f64..1.0,
+        grid in prop::bool::ANY,
+    ) {
+        let name = format!("wal-cut-{seed}-{ckpt_at}-{grid}");
+        let (dir, wal_path, per_slide) = if grid {
+            durable_run::<2, GridIndex<2>>(&name, seed, 8, ckpt_at)
+        } else {
+            durable_run::<2, RTree<2>>(&name, seed, 8, ckpt_at)
+        };
+        let full = std::fs::read(&wal_path).unwrap();
+        let header = 16;
+        let cut = header + ((full.len() - header) as f64 * cut_frac) as usize;
+        std::fs::write(&wal_path, &full[..cut]).unwrap();
+
+        let scan = read_wal::<2>(&wal_path).unwrap();
+        let survived = scan.records.len() as u64;
+        // Only cuts that keep the checkpoint's tail contiguous are
+        // recoverable; a cut before the checkpoint seq means the WAL lost
+        // records the checkpoint already covers, which is still fine.
+        let (rec, _, report) = if grid {
+            let (r, d, rep) = recover_engine::<2, GridIndex<2>>(&dir, Some(&wal_path)).unwrap();
+            (canonical(&r.assignments()), d, rep)
+        } else {
+            let (r, d, rep) = recover_engine::<2, RTree<2>>(&dir, Some(&wal_path)).unwrap();
+            (canonical(&r.assignments()), d, rep)
+        };
+        let end = survived.max(ckpt_at);
+        prop_assert_eq!(report.checkpoint_seq, ckpt_at);
+        prop_assert_eq!(report.replayed, end - ckpt_at);
+        prop_assert_eq!(&rec, &per_slide[(end - 1) as usize],
+            "cut at byte {} (survived {} records)", cut, survived);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpoint image truncated at any prefix length, or with any
+    /// single bit flipped, must be rejected with a typed error — decoding
+    /// must never panic and never silently return different state.
+    #[test]
+    fn checkpoint_corruption_is_always_detected(
+        seed in 0u64..500,
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let recs = datasets::gaussian_blobs::<2>(240, 3, 0.8, seed);
+        let mut w = SlidingWindow::new(recs, 120, 20);
+        let mut disc = Disc::<2>::new(DiscConfig::new(1.0, 4));
+        disc.apply(&w.fill());
+        disc.apply(&w.advance().unwrap());
+        let ckpt = Checkpoint { state: disc.export_state(), driver: None };
+        let bytes = encode_checkpoint(&ckpt);
+
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        prop_assert!(decode_checkpoint::<2>(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+
+        let mut flipped = bytes.clone();
+        let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        flipped[at] ^= 1 << bit;
+        match decode_checkpoint::<2>(&flipped) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, ckpt, "flip at {}:{} silently changed state", at, bit),
+        }
+    }
+
+    /// Bit flips inside the WAL: recovery must either succeed on an exact
+    /// prefix (flip landed in the already-truncated tail region) or fail
+    /// with a typed WAL error — never panic, never replay wrong slides.
+    #[test]
+    fn wal_bit_flips_never_corrupt_recovery(
+        seed in 0u64..500,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let name = format!("wal-flip-{seed}");
+        let (dir, wal_path, per_slide) = durable_run::<2, RTree<2>>(&name, seed, 6, 2);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let at = 16 + (((bytes.len() - 17) as f64) * flip_frac) as usize;
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        match recover_engine::<2, RTree<2>>(&dir, Some(&wal_path)) {
+            Ok((rec, _, report)) => {
+                // A flip in a length field can manufacture a torn tail; the
+                // replayed prefix must still be exact.
+                let end = report.checkpoint_seq + report.replayed;
+                prop_assert_eq!(
+                    canonical(&rec.assignments()),
+                    per_slide[(end - 1) as usize].clone(),
+                    "flip at {}:{}", at, bit
+                );
+            }
+            Err(
+                PersistError::WalCorrupt { .. }
+                | PersistError::WalGap { .. }
+                | PersistError::State(_),
+            ) => {}
+            Err(other) => panic!("untyped failure: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

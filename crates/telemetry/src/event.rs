@@ -172,6 +172,15 @@ impl SlideEvent {
         Ok(())
     }
 
+    /// Panicking form of [`validate_jsonl`](Self::validate_jsonl) for
+    /// tests and CI checkers, where an invalid line should abort with the
+    /// offending content in the message rather than thread a `Result`.
+    pub fn assert_valid_jsonl(line: &str) {
+        if let Err(e) = Self::validate_jsonl(line) {
+            panic!("invalid slide-event JSONL line {line:?}: {e}");
+        }
+    }
+
     /// Parses a previously-emitted JSONL line back into an event
     /// (round-trip helper for offline analysis and tests).
     pub fn from_jsonl(line: &str) -> Result<SlideEvent, String> {

@@ -268,6 +268,15 @@ impl ProvenanceEvent {
         }
     }
 
+    /// Panicking form of [`validate_jsonl`](Self::validate_jsonl) for
+    /// tests and CI checkers, where an invalid line should abort with the
+    /// offending content in the message rather than thread a `Result`.
+    pub fn assert_valid_jsonl(line: &str) {
+        if let Err(e) = Self::validate_jsonl(line) {
+            panic!("invalid provenance JSONL line {line:?}: {e}");
+        }
+    }
+
     /// Parses one JSONL line back into an event (validating as it goes).
     pub fn from_jsonl(line: &str) -> Result<ProvenanceEvent, String> {
         ProvenanceEvent::validate_jsonl(line)?;

@@ -1,0 +1,103 @@
+//! The JSONL validators are run against operator-supplied files (CI smoke
+//! checks, offline analysis), so they must *reject*, never *crash*: for
+//! arbitrary input — binary garbage, truncated JSON, deeply nested
+//! structures, near-miss schema lines — `Json::parse`, `validate_jsonl`,
+//! and `from_jsonl` must return an `Err`, not panic.
+
+use disc_telemetry::{Json, ProvenanceEvent, SlideEvent};
+use proptest::prelude::*;
+
+/// Near-miss corpus: lines adjacent to the real schemas, plus classic
+/// parser-killers. None may panic; the schema validators must reject all.
+#[test]
+fn corpus_of_hostile_lines_is_rejected_without_panicking() {
+    let corpus = [
+        "",
+        "}",
+        "{",
+        "[",
+        "[[[[[[[[[[[[[[[[[[[[[[[[[[[[",
+        "{\"slide\":}",
+        "{\"slide\": 1e309}",
+        "{\"slide\": -1, \"kind\": \"ex_core_detected\", \"id\": 0, \"rep\": 0, \"n\": 0, \"reason\": \"\"}",
+        "{\"slide\": 1, \"kind\": \"no_such_kind\", \"id\": 0, \"rep\": 0, \"n\": 0, \"reason\": \"\"}",
+        "{\"slide\": 1, \"kind\": \"ex_core_detected\", \"id\": 0, \"rep\": 0, \"n\": 0, \"reason\": \"\", \"extra\": 1}",
+        "{\"slide\": 1, \"slide\": 1, \"kind\": \"ex_core_detected\", \"id\": 0, \"rep\": 0, \"n\": 0, \"reason\": \"\"}",
+        "null",
+        "true",
+        "\"just a string\"",
+        "{\"seq\": \"not a number\"}",
+        "{\"engine\": 7}",
+        "\u{0}\u{0}\u{0}",
+        "{\"slide\": 18446744073709551616}",
+        "{\"a\": \"\\udead\"}",
+        "{\"a\": \"unterminated",
+    ];
+    for line in corpus {
+        assert!(
+            SlideEvent::validate_jsonl(line).is_err(),
+            "accepted {line:?}"
+        );
+        assert!(SlideEvent::from_jsonl(line).is_err());
+        assert!(ProvenanceEvent::validate_jsonl(line).is_err());
+        assert!(ProvenanceEvent::from_jsonl(line).is_err());
+    }
+}
+
+/// The panicking wrappers accept what the engines actually emit.
+#[test]
+fn wrappers_accept_emitted_lines() {
+    SlideEvent::assert_valid_jsonl(&SlideEvent::default().to_jsonl());
+    let ev = ProvenanceEvent {
+        slide: 3,
+        kind: disc_telemetry::ProvenanceKind::ExCoreDetected { id: 17 },
+    };
+    ProvenanceEvent::assert_valid_jsonl(&ev.to_jsonl());
+}
+
+#[test]
+#[should_panic(expected = "invalid slide-event JSONL line")]
+fn slide_wrapper_panics_with_the_line_in_the_message() {
+    SlideEvent::assert_valid_jsonl("{\"seq\": 1}");
+}
+
+#[test]
+#[should_panic(expected = "invalid provenance JSONL line")]
+fn provenance_wrapper_panics_with_the_line_in_the_message() {
+    ProvenanceEvent::assert_valid_jsonl("not json");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw byte fuzz (lossily decoded to text, as an operator's shell
+    /// pipeline would): parse and both validators must return, not panic.
+    #[test]
+    fn validators_never_panic_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..120),
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&line);
+        let _ = SlideEvent::validate_jsonl(&line);
+        let _ = SlideEvent::from_jsonl(&line);
+        let _ = ProvenanceEvent::validate_jsonl(&line);
+        let _ = ProvenanceEvent::from_jsonl(&line);
+    }
+
+    /// Structured fuzz: mutate one byte of a *valid* line. The result must
+    /// either still validate (the flip hit insignificant whitespace or a
+    /// digit) or be rejected — never a panic.
+    #[test]
+    fn validators_never_panic_on_mutated_valid_lines(
+        at_frac in 0.0f64..1.0,
+        byte in 0u8..=255,
+    ) {
+        let valid = SlideEvent::default().to_jsonl();
+        let mut bytes = valid.into_bytes();
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        bytes[at] = byte;
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = SlideEvent::validate_jsonl(&line);
+        let _ = SlideEvent::from_jsonl(&line);
+    }
+}

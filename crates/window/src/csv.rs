@@ -51,8 +51,31 @@ pub fn write_snapshot<const D: usize>(path: &Path, rows: &[(Point<D>, i64)]) -> 
     out.flush()
 }
 
+/// Parses one coordinate cell, rejecting anything the engine itself would
+/// reject: `f64::parse` happily accepts `NaN`, `inf`, and overflow
+/// spellings like `1e999`, none of which are valid point coordinates.
+fn parse_finite(field: &str, lineno: usize) -> io::Result<f64> {
+    let v = field.trim().parse::<f64>().map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {}: bad coordinate {field:?}: {e}", lineno + 1),
+        )
+    })?;
+    if !v.is_finite() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {}: non-finite coordinate {field:?}", lineno + 1),
+        ));
+    }
+    Ok(v)
+}
+
 /// Reads records written by [`write_records`]. Rows with a trailing label
 /// column become labelled records.
+///
+/// Every malformed input — wrong arity, non-numeric or non-finite cells,
+/// binary garbage — yields an [`io::Error`] naming the offending line;
+/// this function never panics on hostile bytes.
 pub fn read_records<const D: usize>(path: &Path) -> io::Result<Vec<Record<D>>> {
     let file = std::fs::File::open(path)?;
     let reader = io::BufReader::new(file);
@@ -63,20 +86,20 @@ pub fn read_records<const D: usize>(path: &Path) -> io::Result<Vec<Record<D>>> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() < D {
+        if fields.len() < D || fields.len() > D + 1 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected {} coordinates", lineno + 1, D),
+                format!(
+                    "line {}: expected {} coordinates plus an optional label, found {} fields",
+                    lineno + 1,
+                    D,
+                    fields.len()
+                ),
             ));
         }
         let mut coords = [0.0; D];
         for (i, c) in coords.iter_mut().enumerate() {
-            *c = fields[i].trim().parse::<f64>().map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: bad coordinate {:?}: {e}", lineno + 1, fields[i]),
-                )
-            })?;
+            *c = parse_finite(fields[i], lineno)?;
         }
         let truth = fields
             .get(D)
@@ -169,12 +192,7 @@ pub fn read_snapshot<const D: usize>(path: &Path) -> io::Result<Vec<(Point<D>, i
         }
         let mut coords = [0.0; D];
         for (i, c) in coords.iter_mut().enumerate() {
-            *c = fields[i].trim().parse::<f64>().map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: bad coordinate: {e}", lineno + 1),
-                )
-            })?;
+            *c = parse_finite(fields[i], lineno)?;
         }
         let label = fields[D].trim().parse::<i64>().map_err(|e| {
             io::Error::new(
@@ -214,5 +232,114 @@ mod snapshot_tests {
         std::fs::write(&path, "x0,x1,cluster\n1.0,2.0\n").unwrap();
         assert!(read_snapshot::<2>(&path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod hardening_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn write_corpus(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("disc_csv_hardening");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    /// Curated hostile inputs: every one must come back as `io::Error`
+    /// with `InvalidData`, never a panic and never a silently-accepted
+    /// record.
+    #[test]
+    fn corpus_of_malformed_streams_is_rejected() {
+        let corpus: &[(&str, &[u8])] = &[
+            ("overlong_row.csv", b"1.0,2.0,3,junk\n"),
+            ("way_too_many.csv", b"1,2,3,4,5,6,7,8,9\n"),
+            ("non_numeric.csv", b"1.0,two\n"),
+            ("nan_coord.csv", b"NaN,2.0\n"),
+            ("inf_coord.csv", b"1.0,inf\n"),
+            ("neg_inf_coord.csv", b"-inf,2.0\n"),
+            ("overflow_coord.csv", b"1e999,2.0\n"),
+            ("embedded_nul.csv", b"1.0,2.\x000\n"),
+            ("nul_field.csv", b"\0,\0\n"),
+            ("bad_label.csv", b"1.0,2.0,minus-one\n"),
+            ("short_row.csv", b"1.0\n"),
+            ("invalid_utf8.csv", &[0x31, 0x2c, 0xff, 0xfe, 0x0a]),
+        ];
+        for (name, bytes) in corpus {
+            let path = write_corpus(name, bytes);
+            match read_records::<2>(&path) {
+                Err(e) => assert!(
+                    e.kind() == io::ErrorKind::InvalidData,
+                    "{name}: wrong error kind {:?}",
+                    e.kind()
+                ),
+                Ok(recs) => panic!("{name}: accepted as {recs:?}"),
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn corpus_of_malformed_snapshots_is_rejected() {
+        let corpus: &[(&str, &[u8])] = &[
+            ("s_overlong.csv", b"x0,x1,cluster\n1.0,2.0,3,extra\n"),
+            ("s_nan.csv", b"x0,x1,cluster\nNaN,2.0,3\n"),
+            ("s_inf.csv", b"x0,x1,cluster\n1.0,1e999,3\n"),
+            ("s_nul.csv", b"x0,x1,cluster\n1.0,\0,3\n"),
+            ("s_float_label.csv", b"x0,x1,cluster\n1.0,2.0,3.5\n"),
+            ("s_short.csv", b"x0,x1,cluster\n1.0\n"),
+        ];
+        for (name, bytes) in corpus {
+            let path = write_corpus(name, bytes);
+            assert!(read_snapshot::<2>(&path).is_err(), "{name}: accepted");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Round-trip: any finite stream survives write → read unchanged.
+        #[test]
+        fn record_roundtrip_is_lossless(
+            xs in prop::collection::vec(-1.0e9..1.0e9f64, 2..40),
+            labelled in prop::bool::ANY,
+            case in 0u64..u64::MAX,
+        ) {
+            let recs: Vec<Record<2>> = xs
+                .chunks_exact(2)
+                .enumerate()
+                .map(|(i, c)| {
+                    let p = Point::new([c[0], c[1]]);
+                    if labelled {
+                        Record::labelled(p, i as u32)
+                    } else {
+                        Record::unlabelled(p)
+                    }
+                })
+                .collect();
+            let path = write_corpus(&format!("rt_{case}.csv"), b"");
+            write_records(&path, &recs).unwrap();
+            let back: Vec<Record<2>> = read_records(&path).unwrap();
+            prop_assert_eq!(back, recs);
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        /// Arbitrary bytes fed to the readers must return — Ok or Err —
+        /// without panicking.
+        #[test]
+        fn readers_never_panic_on_arbitrary_bytes(
+            bytes in prop::collection::vec(0u8..=255, 0..200),
+            case in 0u64..u64::MAX,
+        ) {
+            let path = write_corpus(&format!("fuzz_{case}.csv"), &bytes);
+            let _ = read_records::<2>(&path);
+            let _ = read_records::<4>(&path);
+            let _ = read_snapshot::<2>(&path);
+            let _ = read_snapshot::<3>(&path);
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 }

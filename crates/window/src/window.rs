@@ -66,6 +66,34 @@ impl<const D: usize> SlidingWindow<D> {
         }
     }
 
+    /// Re-creates a driver mid-stream, as if `fill` and enough `advance`
+    /// calls had already consumed the stream up to window start `start`
+    /// (an arrival index, as persisted in a checkpoint's driver section).
+    /// The next [`advance`](Self::advance) emits the slide that moves the
+    /// window from `start` to `start + stride`.
+    ///
+    /// Panics under the same conditions as [`new`](Self::new), plus when
+    /// `start` is not a stride multiple or lies beyond the stream.
+    pub fn resume_at(records: Vec<Record<D>>, window: usize, stride: usize, start: usize) -> Self {
+        let mut w = SlidingWindow::new(records, window, stride);
+        assert!(
+            start.is_multiple_of(stride),
+            "resume start must be a stride multiple"
+        );
+        assert!(
+            start + window <= w.records.len().max(window),
+            "resume start lies beyond the stream"
+        );
+        w.start = Some(start);
+        w
+    }
+
+    /// Index of the first record of the current window (`None` before
+    /// `fill`).
+    pub fn start(&self) -> Option<usize> {
+        self.start
+    }
+
     /// Window size in points.
     pub fn window_size(&self) -> usize {
         self.window
@@ -230,6 +258,39 @@ mod tests {
     #[should_panic(expected = "stride must not exceed")]
     fn oversized_stride_is_rejected() {
         let _ = SlidingWindow::new(recs(10), 4, 5);
+    }
+
+    #[test]
+    fn resume_at_continues_exactly_where_a_fresh_run_would_be() {
+        // Reference: fill + 2 slides.
+        let mut fresh = SlidingWindow::new(recs(20), 8, 4);
+        fresh.fill();
+        fresh.advance().unwrap();
+        fresh.advance().unwrap();
+
+        let mut resumed = SlidingWindow::resume_at(recs(20), 8, 4, 8);
+        assert_eq!(resumed.start(), Some(8));
+        assert_eq!(
+            resumed.current().collect::<Vec<_>>(),
+            fresh.current().collect::<Vec<_>>()
+        );
+        assert_eq!(resumed.remaining_slides(), fresh.remaining_slides());
+        let (a, b) = (fresh.advance().unwrap(), resumed.advance().unwrap());
+        assert_eq!(a.incoming, b.incoming);
+        assert_eq!(a.outgoing, b.outgoing);
+        assert!(fresh.advance().is_none() && resumed.advance().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride multiple")]
+    fn resume_off_stride_is_rejected() {
+        let _ = SlidingWindow::resume_at(recs(20), 8, 4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the stream")]
+    fn resume_past_the_stream_is_rejected() {
+        let _ = SlidingWindow::resume_at(recs(20), 8, 4, 16);
     }
 
     #[test]
