@@ -2,13 +2,20 @@
 //! committed baseline.
 //!
 //! `BENCH_disc.json` (repo root) is the committed headline summary — one
-//! record per `(suite, backend, window, stride)` with per-slide tail
-//! latencies. `experiments compare` re-measures (or reads `--fresh`),
-//! matches rows by key, and fails when either `p50_slide_us` or
-//! `p99_slide_us` grew beyond the tolerance (default 25%). Rows present
-//! in the baseline but missing from the fresh run also fail — a gate
-//! that silently loses coverage is no gate. Improvements beyond the
-//! tolerance are reported (the baseline is stale) but do not fail.
+//! record per `(suite, backend, window, stride, threads)` with per-slide
+//! tail latencies. `experiments compare` re-measures (or reads `--fresh`),
+//! matches rows by key, and fails when `p50_slide_us` grew beyond the
+//! tolerance (default 25%). Rows present in the baseline but missing from
+//! the fresh run also fail — a gate that silently loses coverage is no
+//! gate. Improvements beyond the tolerance are reported (the baseline is
+//! stale) but do not fail.
+//!
+//! Only the **median** is gated. `p99_slide_us` over a handful of merged
+//! repetitions is close to a max statistic: on a single-core shared host
+//! it swings 2x run to run from scheduler noise alone, while the median
+//! stays within a few percent. Tail movement beyond the tolerance is
+//! still reported, as advisory `tail p99` lines, so genuine tail
+//! regressions remain visible without making the gate flaky.
 
 use disc_telemetry::Json;
 
@@ -23,6 +30,8 @@ pub struct BenchRow {
     pub window: u64,
     /// Stride size.
     pub stride: u64,
+    /// Worker threads the engine ran with (1 = sequential).
+    pub threads: u64,
     /// Slides measured.
     pub slides: u64,
     /// Median per-slide latency (µs).
@@ -33,14 +42,20 @@ pub struct BenchRow {
     pub max_us: f64,
     /// Mean ε-range searches per slide.
     pub searches_per_slide: f64,
+    /// Mean CPU utilization over the measurement (cores busy; 1.0 means
+    /// one core fully used). 0.0 when the platform could not report it.
+    /// Informational — latency is what the gate judges.
+    pub cpu_util: f64,
 }
 
 impl BenchRow {
-    /// The identity a row is matched on across runs.
+    /// The identity a row is matched on across runs. `threads` is part of
+    /// the key: a width-4 row regressing against a width-1 baseline would
+    /// be noise, not signal.
     pub fn key(&self) -> String {
         format!(
-            "{}/{} w={} s={}",
-            self.suite, self.backend, self.window, self.stride
+            "{}/{} w={} s={} t={}",
+            self.suite, self.backend, self.window, self.stride, self.threads
         )
     }
 }
@@ -64,16 +79,32 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("row {i}: missing number {key:?}"))
         };
+        // `threads` became part of the row identity with the parallel
+        // slide engine; a summary without it cannot be matched against
+        // one that has it, so refuse it with a pointer at the fix rather
+        // than guessing a width.
+        let threads = item.get("threads").and_then(Json::as_f64).ok_or_else(|| {
+            format!(
+                "row {i}: missing number \"threads\" — this summary predates the \
+                 parallel slide engine and its rows cannot be keyed; regenerate the \
+                 baseline with `cargo run --release -p disc-bench --bin experiments \
+                 -- backend`"
+            )
+        })?;
         rows.push(BenchRow {
             suite: str_field("suite")?,
             backend: str_field("backend")?,
             window: num("window")? as u64,
             stride: num("stride")? as u64,
+            threads: threads as u64,
             slides: num("slides")? as u64,
             p50_us: num("p50_slide_us")?,
             p99_us: num("p99_slide_us")?,
             max_us: num("max_slide_us")?,
             searches_per_slide: num("searches_per_slide")?,
+            // Older summaries lack the utilization column; it is
+            // informational, so default rather than reject.
+            cpu_util: item.get("cpu_util").and_then(Json::as_f64).unwrap_or(0.0),
         });
     }
     Ok(rows)
@@ -110,6 +141,9 @@ pub struct CompareReport {
     pub regressions: Vec<Delta>,
     /// Metrics that got faster than the tolerance — the baseline is stale.
     pub improvements: Vec<Delta>,
+    /// Tail (p99) moves beyond the tolerance, either direction. Advisory:
+    /// the tail of a small sample is too noisy to gate, but worth eyes.
+    pub tail_drift: Vec<Delta>,
     /// Baseline keys with no fresh counterpart (gate failures).
     pub missing: Vec<String>,
     /// Fresh keys with no baseline counterpart (informational).
@@ -161,6 +195,16 @@ impl CompareReport {
                 d.ratio()
             );
         }
+        for d in &self.tail_drift {
+            let _ = writeln!(
+                out,
+                "  tail p99   {}: {:.1}us -> {:.1}us ({:.2}x) — advisory, tails are not gated",
+                d.key,
+                d.baseline_us,
+                d.fresh_us,
+                d.ratio()
+            );
+        }
         for key in &self.added {
             let _ = writeln!(out, "  new row    {key}: not in the baseline");
         }
@@ -173,8 +217,9 @@ impl CompareReport {
     }
 }
 
-/// Diffs `fresh` against `baseline` with a fractional `tolerance` on
-/// `p50_slide_us` and `p99_slide_us` per matched row.
+/// Diffs `fresh` against `baseline` with a fractional `tolerance`:
+/// `p50_slide_us` is gated per matched row; `p99_slide_us` movement is
+/// collected as advisory tail drift.
 pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> CompareReport {
     let mut report = CompareReport {
         tolerance,
@@ -188,20 +233,24 @@ pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> Com
             continue;
         };
         report.checked += 1;
-        for (metric, base_us, fresh_us) in
-            [("p50", b.p50_us, f.p50_us), ("p99", b.p99_us, f.p99_us)]
-        {
-            let delta = Delta {
-                key: key.clone(),
-                metric,
-                baseline_us: base_us,
-                fresh_us,
-            };
-            if fresh_us > base_us * (1.0 + tolerance) {
-                report.regressions.push(delta);
-            } else if fresh_us < base_us * (1.0 - tolerance) {
-                report.improvements.push(delta);
-            }
+        let p50 = Delta {
+            key: key.clone(),
+            metric: "p50",
+            baseline_us: b.p50_us,
+            fresh_us: f.p50_us,
+        };
+        if f.p50_us > b.p50_us * (1.0 + tolerance) {
+            report.regressions.push(p50);
+        } else if f.p50_us < b.p50_us * (1.0 - tolerance) {
+            report.improvements.push(p50);
+        }
+        if f.p99_us > b.p99_us * (1.0 + tolerance) || f.p99_us < b.p99_us * (1.0 - tolerance) {
+            report.tail_drift.push(Delta {
+                key,
+                metric: "p99",
+                baseline_us: b.p99_us,
+                fresh_us: f.p99_us,
+            });
         }
     }
     for f in fresh {
@@ -222,11 +271,13 @@ mod tests {
             backend: backend.to_string(),
             window: 8000,
             stride,
+            threads: 1,
             slides: 5,
             p50_us: p50,
             p99_us: p99,
             max_us: p99,
             searches_per_slide: 100.0,
+            cpu_util: 1.0,
         }
     }
 
@@ -271,11 +322,30 @@ mod tests {
         let doctored = vec![row("rtree", 400, 500.0, 1000.0)];
         let report = compare(&doctored, &fresh, 0.25);
         assert!(!report.passed());
-        assert_eq!(report.regressions.len(), 2, "both p50 and p99 doubled");
+        assert_eq!(report.regressions.len(), 1, "p50 doubled");
         assert!((report.regressions[0].ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(report.tail_drift.len(), 1, "p99 doubling is advisory");
         let text = report.render();
         assert!(text.contains("REGRESSION"), "{text}");
         assert!(text.contains("FAIL"), "{text}");
+    }
+
+    /// A tail-only spike must not fail the gate — p99 over a few merged
+    /// repetitions is a max statistic and swings 2x from host noise — but
+    /// it must be surfaced as advisory drift.
+    #[test]
+    fn tail_only_spike_reports_but_does_not_fail() {
+        let base = vec![row("rtree", 400, 1000.0, 2000.0)];
+        let fresh = vec![row("rtree", 400, 1050.0, 6000.0)];
+        let report = compare(&base, &fresh, 0.25);
+        assert!(report.passed());
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.tail_drift.len(), 1);
+        assert!((report.tail_drift[0].ratio() - 3.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("tail p99"), "{text}");
+        assert!(text.contains("advisory"), "{text}");
+        assert!(text.contains("PASS"), "{text}");
     }
 
     #[test]
@@ -293,7 +363,8 @@ mod tests {
         let fresh = vec![row("rtree", 400, 400.0, 800.0)];
         let report = compare(&base, &fresh, 0.25);
         assert!(report.passed());
-        assert_eq!(report.improvements.len(), 2);
+        assert_eq!(report.improvements.len(), 1, "p50 improvement");
+        assert_eq!(report.tail_drift.len(), 1, "p99 move is advisory");
         assert!(report.render().contains("refreshing the baseline"));
     }
 
@@ -320,11 +391,30 @@ mod tests {
         assert!(parse_rows("[{\"suite\": \"x\"}]").is_err());
         assert!(parse_rows("[{\"suite\": 3}]").is_err());
         let ok = "[{\"suite\": \"s\", \"backend\": \"b\", \"window\": 10, \"stride\": 2, \
-                  \"slides\": 5, \"p50_slide_us\": 1.0, \"p99_slide_us\": 2.0, \
-                  \"max_slide_us\": 2.5, \"searches_per_slide\": 7.0}]";
+                  \"threads\": 4, \"slides\": 5, \"p50_slide_us\": 1.0, \"p99_slide_us\": 2.0, \
+                  \"max_slide_us\": 2.5, \"searches_per_slide\": 7.0, \"cpu_util\": 2.5}]";
         let rows = parse_rows(ok).unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].key(), "s/b w=10 s=2");
+        assert_eq!(rows[0].key(), "s/b w=10 s=2 t=4");
         assert_eq!(rows[0].max_us, 2.5);
+        assert_eq!(rows[0].cpu_util, 2.5);
+    }
+
+    /// A baseline written before the parallel slide engine has no
+    /// `threads` column; the gate must refuse it with a regeneration
+    /// hint, not silently match rows across different widths.
+    #[test]
+    fn threadless_baseline_fails_loudly_with_a_hint() {
+        let stale = "[{\"suite\": \"s\", \"backend\": \"b\", \"window\": 10, \"stride\": 2, \
+                     \"slides\": 5, \"p50_slide_us\": 1.0, \"p99_slide_us\": 2.0, \
+                     \"max_slide_us\": 2.5, \"searches_per_slide\": 7.0}]";
+        let err = parse_rows(stale).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        // `cpu_util`, by contrast, is informational and may be absent.
+        let ok = "[{\"suite\": \"s\", \"backend\": \"b\", \"window\": 10, \"stride\": 2, \
+                  \"threads\": 1, \"slides\": 5, \"p50_slide_us\": 1.0, \"p99_slide_us\": 2.0, \
+                  \"max_slide_us\": 2.5, \"searches_per_slide\": 7.0}]";
+        assert_eq!(parse_rows(ok).unwrap()[0].cpu_util, 0.0);
     }
 }

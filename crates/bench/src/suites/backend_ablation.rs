@@ -26,6 +26,15 @@ struct Run {
     backend: &'static str,
     window: usize,
     stride: usize,
+    /// Worker threads the engine ran with (1 = sequential).
+    threads: usize,
+    /// Mean CPU utilization over the measurement: process CPU time /
+    /// wall time, so 1.0 = one core fully busy and a perfectly scaling
+    /// width-4 run reads ~4.0. 0.0 when the platform cannot report it
+    /// (no procfs).
+    cpu_util: f64,
+    /// Total measured slides — `REPS` fresh passes merged, so this is the
+    /// sample count behind the percentiles, not the stream length.
     slides: u32,
     avg_slide: Duration,
     /// Exact worst slide, accumulated directly — the headline summary must
@@ -40,17 +49,38 @@ struct Run {
     visits_per_slide: f64,
 }
 
+/// Process CPU time (user + system) from procfs; `None` where there is no
+/// `/proc` (the suite then reports utilization 0.0 instead of guessing).
+fn proc_cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field (2) may contain spaces; fields are reliable only
+    // after its closing paren. utime/stime are fields 14/15 (1-based),
+    // i.e. 11 and 12 tokens past the state field, in USER_HZ ticks
+    // (100 on every Linux ABI this can run on).
+    let rest = stat.rsplit_once(')')?.1;
+    let mut it = rest.split_whitespace();
+    let utime: u64 = it.nth(11)?.parse().ok()?;
+    let stime: u64 = it.next()?.parse().ok()?;
+    Some(Duration::from_millis((utime + stime) * 10))
+}
+
+/// Repetitions per configuration: tail percentiles from one 5-slide pass
+/// are noise (cf. `measure_repeated`), and the committed `BENCH_disc.json`
+/// feeds a regression gate, so each row merges the latency distributions
+/// of this many fresh passes over the same stream.
+const REPS: u32 = 3;
+
 fn drive<const D: usize, B: SpatialBackend<D>>(
     recs: &[Record<D>],
     eps: f64,
     tau: usize,
     window: usize,
     stride: usize,
+    threads: usize,
     max_slides: u32,
 ) -> Run {
-    let mut w = SlidingWindow::new(recs.to_vec(), window, stride);
-    let mut disc: Disc<D, B> = Disc::with_index(DiscConfig::new(eps, tau));
-    disc.apply(&w.fill());
+    let cpu_before = proc_cpu_time();
+    let wall = std::time::Instant::now();
 
     let mut slides = 0u32;
     let mut total = Duration::ZERO;
@@ -61,24 +91,41 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
     let mut adoption = Duration::ZERO;
     let mut searches = 0u64;
     let mut visits = 0u64;
-    while slides < max_slides {
-        let Some(batch) = w.advance() else { break };
-        let s: SlideStats = disc.apply(&batch);
-        total += s.elapsed;
-        max_slide = max_slide.max(s.elapsed);
-        hist.record(s.elapsed.as_nanos() as u64);
-        collect += s.collect_time;
-        cluster += s.cluster_time;
-        adoption += s.adoption_time;
-        searches += s.index.range_searches;
-        visits += s.index.nodes_visited + s.index.bulk_nodes_visited;
-        slides += 1;
+    for _ in 0..REPS {
+        let mut w = SlidingWindow::new(recs.to_vec(), window, stride);
+        let mut disc: Disc<D, B> =
+            Disc::with_index(DiscConfig::new(eps, tau).with_threads(threads));
+        disc.apply(&w.fill());
+        let mut rep_slides = 0u32;
+        while rep_slides < max_slides {
+            let Some(batch) = w.advance() else { break };
+            let s: SlideStats = disc.apply(&batch);
+            total += s.elapsed;
+            max_slide = max_slide.max(s.elapsed);
+            hist.record(s.elapsed.as_nanos() as u64);
+            collect += s.collect_time;
+            cluster += s.cluster_time;
+            adoption += s.adoption_time;
+            searches += s.index.range_searches;
+            visits += s.index.nodes_visited + s.index.bulk_nodes_visited;
+            rep_slides += 1;
+        }
+        slides += rep_slides;
     }
+    let wall = wall.elapsed();
+    let cpu_util = match (cpu_before, proc_cpu_time()) {
+        (Some(a), Some(b)) if wall > Duration::ZERO => {
+            b.saturating_sub(a).as_secs_f64() / wall.as_secs_f64()
+        }
+        _ => 0.0,
+    };
     let n = slides.max(1);
     Run {
         backend: B::NAME,
         window,
         stride,
+        threads,
+        cpu_util,
         slides,
         avg_slide: total / n,
         max_slide,
@@ -91,7 +138,13 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
     }
 }
 
-/// Drives both backends over the five window/stride configurations.
+/// The worker widths every configuration is measured at. Width 1 is the
+/// sequential engine (the regression gate's anchor); the wide rows show
+/// what the parallel slide engine buys on this host.
+const THREAD_WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// Drives both backends over the five window/stride configurations at
+/// each worker width.
 fn measure_configs(scale: Scale) -> Vec<Run> {
     let prof = datasets::DTG_PROFILE;
     let base = scale.apply(prof.window);
@@ -102,12 +155,14 @@ fn measure_configs(scale: Scale) -> Vec<Run> {
         let slides = slides_for(stride).min(40);
         let n = records_needed(window, stride, slides);
         let recs = datasets::dtg_like(n, SEED);
-        runs.push(drive::<2, disc_index::RTree<2>>(
-            &recs, prof.eps, prof.tau, window, stride, slides,
-        ));
-        runs.push(drive::<2, GridIndex<2>>(
-            &recs, prof.eps, prof.tau, window, stride, slides,
-        ));
+        for threads in THREAD_WIDTHS {
+            runs.push(drive::<2, disc_index::RTree<2>>(
+                &recs, prof.eps, prof.tau, window, stride, threads, slides,
+            ));
+            runs.push(drive::<2, GridIndex<2>>(
+                &recs, prof.eps, prof.tau, window, stride, threads, slides,
+            ));
+        }
     }
     runs
 }
@@ -123,8 +178,8 @@ pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "Extension: R-tree vs uniform-grid backend (DTG)",
         &[
-            "backend", "window", "stride", "slide", "p50", "p99", "collect", "cluster", "adoption",
-            "searches", "visits",
+            "backend", "window", "stride", "thr", "cpu", "slide", "p50", "p99", "collect",
+            "cluster", "adoption", "searches", "visits",
         ],
     );
     let runs = measure_configs(scale);
@@ -134,6 +189,8 @@ pub fn run(scale: Scale) -> Table {
             r.backend.to_string(),
             r.window.to_string(),
             r.stride.to_string(),
+            r.threads.to_string(),
+            format!("{:.2}", r.cpu_util),
             fmt_duration(r.avg_slide),
             fmt_duration(Duration::from_nanos(r.latency.p50)),
             fmt_duration(Duration::from_nanos(r.latency.p99)),
@@ -167,13 +224,16 @@ fn write_json(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
         let sep = if i + 1 == runs.len() { "" } else { "," };
         writeln!(
             f,
-            "  {{\"backend\": \"{}\", \"window\": {}, \"stride\": {}, \"slides\": {}, \
+            "  {{\"backend\": \"{}\", \"window\": {}, \"stride\": {}, \"threads\": {}, \
+             \"cpu_util\": {:.2}, \"slides\": {}, \
              \"avg_slide_us\": {:.3}, \"avg_collect_us\": {:.3}, \"avg_cluster_us\": {:.3}, \
              \"avg_adoption_us\": {:.3}, \"searches_per_slide\": {:.1}, \
              \"visits_per_slide\": {:.1}}}{}",
             r.backend,
             r.window,
             r.stride,
+            r.threads,
+            r.cpu_util,
             r.slides,
             r.avg_slide.as_secs_f64() * 1e6,
             r.avg_collect.as_secs_f64() * 1e6,
@@ -190,7 +250,8 @@ fn write_json(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
 }
 
 /// Machine-readable headline summary at the repo root (`BENCH_disc.json`),
-/// one record per (suite, backend, window, stride) with the tail latencies.
+/// one record per (suite, backend, window, stride, threads) with the tail
+/// latencies.
 /// CI and regression tooling diff this file across commits; it deliberately
 /// lives next to the sources rather than under `out/` with the bulky
 /// per-suite reports.
@@ -222,16 +283,19 @@ fn summary_string(runs: &[Run]) -> String {
         let _ = writeln!(
             out,
             "  {{\"suite\": \"backend_ablation\", \"backend\": \"{}\", \"window\": {}, \
-             \"stride\": {}, \"slides\": {}, \"p50_slide_us\": {:.3}, \"p99_slide_us\": {:.3}, \
-             \"max_slide_us\": {:.3}, \"searches_per_slide\": {:.1}}}{}",
+             \"stride\": {}, \"threads\": {}, \"slides\": {}, \"p50_slide_us\": {:.3}, \
+             \"p99_slide_us\": {:.3}, \"max_slide_us\": {:.3}, \"searches_per_slide\": {:.1}, \
+             \"cpu_util\": {:.2}}}{}",
             r.backend,
             r.window,
             r.stride,
+            r.threads,
             r.slides,
             r.latency.p50 as f64 / 1e3,
             r.latency.p99 as f64 / 1e3,
             r.max_slide.as_secs_f64() * 1e6,
             r.searches_per_slide,
+            r.cpu_util,
             sep,
         );
     }
@@ -246,11 +310,14 @@ mod tests {
     #[test]
     fn small_scale_run_measures_both_backends() {
         let t = run(Scale(0.1));
-        assert_eq!(t.rows.len(), 10, "5 configs x 2 backends");
+        assert_eq!(t.rows.len(), 30, "5 configs x 2 backends x 3 widths");
         let backends: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
         assert!(backends.contains(&"rtree") && backends.contains(&"grid"));
+        let widths: Vec<&str> = t.rows.iter().map(|r| r[3].as_str()).collect();
+        assert!(widths.contains(&"1") && widths.contains(&"2") && widths.contains(&"4"));
         let json = std::fs::read_to_string("out/backend_ablation.json").unwrap();
         assert!(json.contains("\"avg_collect_us\""));
+        assert!(json.contains("\"threads\""));
         assert!(json.trim_start().starts_with('['));
     }
 
@@ -258,8 +325,8 @@ mod tests {
     fn bench_summary_has_the_headline_schema() {
         let recs = datasets::dtg_like(900, SEED);
         let runs = vec![
-            drive::<2, disc_index::RTree<2>>(&recs, 0.5, 4, 500, 100, 4),
-            drive::<2, GridIndex<2>>(&recs, 0.5, 4, 500, 100, 4),
+            drive::<2, disc_index::RTree<2>>(&recs, 0.5, 4, 500, 100, 1, 4),
+            drive::<2, GridIndex<2>>(&recs, 0.5, 4, 500, 100, 2, 4),
         ];
         let path = std::env::temp_dir().join("disc_bench_summary_test.json");
         write_bench_summary_to(&runs, &path).unwrap();
@@ -271,13 +338,36 @@ mod tests {
         );
         assert_eq!(summary.matches("\"backend\": \"rtree\"").count(), 1);
         assert_eq!(summary.matches("\"backend\": \"grid\"").count(), 1);
+        assert_eq!(summary.matches("\"threads\": 1").count(), 1);
+        assert_eq!(summary.matches("\"threads\": 2").count(), 1);
         for key in [
             "p50_slide_us",
             "p99_slide_us",
             "max_slide_us",
             "searches_per_slide",
+            "cpu_util",
         ] {
             assert!(summary.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    /// On Linux the CPU clock is available and a busy measurement reads a
+    /// plausible utilization; elsewhere the suite reports exactly 0.0.
+    #[test]
+    fn cpu_utilization_is_measured_or_cleanly_absent() {
+        let recs = datasets::dtg_like(1500, SEED);
+        let r = drive::<2, GridIndex<2>>(&recs, 0.5, 4, 800, 200, 1, 3);
+        if proc_cpu_time().is_some() {
+            // USER_HZ ticks are 10ms; a short run can round to 0, but it
+            // can never exceed the machine (with slack for tick rounding).
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            assert!(
+                r.cpu_util >= 0.0 && r.cpu_util <= cores as f64 + 1.0,
+                "implausible utilization {}",
+                r.cpu_util
+            );
+        } else {
+            assert_eq!(r.cpu_util, 0.0);
         }
     }
 
@@ -288,7 +378,7 @@ mod tests {
     fn fresh_summary_round_trips_through_the_compare_parser() {
         let text = fresh_summary(Scale(0.05));
         let rows = crate::compare::parse_rows(&text).unwrap();
-        assert_eq!(rows.len(), 10, "5 configs x 2 backends");
+        assert_eq!(rows.len(), 30, "5 configs x 2 backends x 3 widths");
         for r in &rows {
             assert!(r.p50_us > 0.0);
             assert!(r.p50_us <= r.p99_us + 1e-6);
@@ -297,6 +387,7 @@ mod tests {
                 "{}: p99 exceeds exact max",
                 r.key()
             );
+            assert!(THREAD_WIDTHS.contains(&(r.threads as usize)), "{}", r.key());
         }
         // Identical measurements always pass their own gate.
         assert!(crate::compare::compare(&rows, &rows, 0.25).passed());

@@ -18,6 +18,24 @@ pub trait DimCommand {
     fn run<const D: usize>(&self, opts: &Opts) -> Result<(), String>;
 }
 
+/// Resolves `--threads` to the worker count the engine will actually run
+/// (0 = auto = the host's available parallelism), warning once — unless
+/// `--quiet` — when the request oversubscribes the machine. Oversubscribing
+/// is allowed (it is how the exactness tests exercise real interleavings on
+/// small hosts), it just should not happen silently.
+pub(crate) fn effective_workers(opts: &Opts) -> usize {
+    let requested = opts.threads.unwrap_or_else(DiscConfig::default_threads);
+    let avail = disc_par::available_parallelism();
+    let effective = if requested == 0 { avail } else { requested };
+    if effective > avail && !opts.quiet {
+        eprintln!(
+            "note: --threads {effective} oversubscribes the host \
+             ({avail} available); output is identical, throughput may suffer"
+        );
+    }
+    effective
+}
+
 pub(crate) fn load<const D: usize>(opts: &Opts) -> Result<Vec<Record<D>>, String> {
     let input = opts
         .input
@@ -60,12 +78,17 @@ impl DimCommand for ClusterCmd {
 
         let backend = IndexBackend::parse(&opts.index)
             .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
+        let workers = effective_workers(opts);
         let mut method: Box<dyn WindowClusterer<D>> = match (opts.method.as_str(), backend) {
-            ("disc", IndexBackend::RTree) => {
-                Box::new(Disc::new(DiscConfig::new(eps, tau).with_backend(backend)))
-            }
+            ("disc", IndexBackend::RTree) => Box::new(Disc::new(
+                DiscConfig::new(eps, tau)
+                    .with_backend(backend)
+                    .with_threads(workers),
+            )),
             ("disc", IndexBackend::Grid) => Box::new(Disc::<D, GridIndex<D>>::with_index(
-                DiscConfig::new(eps, tau).with_backend(backend),
+                DiscConfig::new(eps, tau)
+                    .with_backend(backend)
+                    .with_threads(workers),
             )),
             ("incdbscan", _) => Box::new(IncDbscan::new(eps, tau)),
             ("extran", IndexBackend::RTree) => Box::new(ExtraN::new(eps, tau, window, stride)),
@@ -130,7 +153,7 @@ impl DimCommand for ClusterCmd {
         drain(&mut method, &mut spans);
         let mut slides = 0u64;
         if opts.stats_every == 1 {
-            stats_summary(&registry, 1);
+            stats_summary(&registry, 1, workers);
         }
         while let Some(batch) = w.advance() {
             method.apply(&batch);
@@ -138,7 +161,7 @@ impl DimCommand for ClusterCmd {
             slides += 1;
             // The fill counts as slide 1, so the human cadence is 1-based.
             if opts.stats_every > 0 && (slides + 1).is_multiple_of(opts.stats_every) {
-                stats_summary(&registry, slides + 1);
+                stats_summary(&registry, slides + 1, workers);
             }
             if !opts.quiet {
                 let clusters: std::collections::HashSet<i64> = method
@@ -334,7 +357,7 @@ fn narrate(kind: &ProvenanceKind) -> String {
 /// rather than per ex-core (`ex_classes / ex_cores`, lower is better), and
 /// epoch-based probing (Alg. 4) skips index subtrees whole (`pruned /
 /// (visited + pruned)`, higher is better).
-fn stats_summary(registry: &Registry, slide: u64) {
+fn stats_summary(registry: &Registry, slide: u64, workers: usize) {
     let lat = registry
         .histogram_snapshot("disc_slide_seconds")
         .unwrap_or_default();
@@ -343,7 +366,8 @@ fn stats_summary(registry: &Registry, slide: u64) {
     let pruned = registry.counter_value("disc_index_subtrees_pruned_total");
     let visited = registry.counter_value("disc_index_nodes_visited_total");
     eprintln!(
-        "stats @ slide {slide}: latency p50 {:?} p99 {:?} max {:?} | \
+        "stats @ slide {slide}: workers {workers} | \
+         latency p50 {:?} p99 {:?} max {:?} | \
          range searches {} (epoch probes {}) | \
          theorem-1 savings {ex_classes}/{ex_cores} = {} | epoch-prune ratio {}",
         std::time::Duration::from_nanos(lat.p50),

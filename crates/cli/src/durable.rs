@@ -171,7 +171,11 @@ pub fn run_durable<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<
         .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
 
     let registry = registry_from(opts)?;
-    let mut disc: Disc<D, B> = Disc::with_index(DiscConfig::new(eps, tau).with_backend(backend));
+    let mut disc: Disc<D, B> = Disc::with_index(
+        DiscConfig::new(eps, tau)
+            .with_backend(backend)
+            .with_threads(crate::cmd::effective_workers(opts)),
+    );
     disc.set_recorder(registry.clone());
     let mut wal = match &opts.wal {
         Some(path) => Some(
@@ -218,6 +222,9 @@ fn resume_with<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<(), 
     let started = std::time::Instant::now();
     let (mut disc, driver, report) = recover_engine::<D, B>(dir, opts.wal.as_deref())
         .map_err(|e| format!("recovery failed: {e}"))?;
+    // Worker width is deliberately not part of the checkpoint image, so a
+    // run checkpointed on one machine can resume at another's width.
+    disc.set_threads(crate::cmd::effective_workers(opts));
     disc.set_recorder(registry.clone());
     metrics::publish_recovery(&*registry, &report);
     println!(

@@ -32,7 +32,7 @@ const USAGE: &str = "\
 usage:
   disc cluster  --input F --dim D --eps X --tau N --window W --stride S
                 [--method disc|incdbscan|extran|dbscan|rho2] [--rho X]
-                [--index rtree|grid] [--out F] [--quiet]
+                [--index rtree|grid] [--threads N] [--out F] [--quiet]
                 [--metrics-out F.jsonl] [--prom-addr HOST:PORT]
                 [--stats-every N]
                 [--trace-out F.json] [--folded-out F.txt]
@@ -41,7 +41,7 @@ usage:
                 [--wal F] [--fsync always|never|every=N]
                 (`disc run` is an alias for `disc cluster`)
   disc resume   --checkpoint-dir DIR --input F [--dim D] [--wal F]
-                [--out F] [--quiet]
+                [--threads N] [--out F] [--quiet]
   disc diffsnap --a F --b F [--dim D]
   disc explain  --trace F.jsonl [--slide N]
   disc estimate --input F --dim D [--sample N]
@@ -80,6 +80,10 @@ pub struct Opts {
     pub stride: Option<usize>,
     pub method: String,
     pub index: String,
+    /// Worker threads for the DISC slide engine (`--threads`, 0 = auto).
+    /// `None` leaves the engine on its default (the `DISC_THREADS` env
+    /// var, else sequential). Output is bit-identical at every width.
+    pub threads: Option<usize>,
     pub rho: f64,
     pub dataset: Option<String>,
     pub n: usize,
@@ -128,6 +132,7 @@ impl Opts {
             stride: None,
             method: "disc".to_string(),
             index: "rtree".to_string(),
+            threads: None,
             rho: 0.001,
             dataset: None,
             n: 10_000,
@@ -166,6 +171,7 @@ impl Opts {
                 "--stride" => o.stride = Some(parse_num(flag, &value()?)?),
                 "--method" => o.method = value()?,
                 "--index" => o.index = value()?,
+                "--threads" => o.threads = Some(parse_num(flag, &value()?)?),
                 "--rho" => o.rho = parse_num(flag, &value()?)?,
                 "--dataset" => o.dataset = Some(value()?),
                 "--n" => o.n = parse_num(flag, &value()?)?,
@@ -266,6 +272,67 @@ mod tests {
         assert!(o.metrics_out.is_none());
         assert!(o.prom_addr.is_none());
         assert_eq!(o.stats_every, 0);
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().threads, None);
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, Some(4));
+        // 0 is the documented "auto" sentinel, not an error.
+        assert_eq!(parse(&["--threads", "0"]).unwrap().threads, Some(0));
+        assert!(parse(&["--threads", "-1"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+    }
+
+    /// The tentpole's user-facing guarantee: the same stream clustered at
+    /// width 1 and width 4 produces the identical partition. `diffsnap`
+    /// is the certifier, as in the crash-recovery walkthrough.
+    #[test]
+    fn threads_do_not_change_the_partition() {
+        let dir = std::env::temp_dir().join("disc_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("stream.csv");
+        let seq = dir.join("seq.csv");
+        let wide = dir.join("wide.csv");
+        run_strs(&[
+            "generate",
+            "--dataset",
+            "blobs",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        for (threads, out) in [("1", &seq), ("4", &wide)] {
+            run_strs(&[
+                "cluster",
+                "--input",
+                data.to_str().unwrap(),
+                "--eps",
+                "1.0",
+                "--tau",
+                "4",
+                "--window",
+                "300",
+                "--stride",
+                "100",
+                "--quiet",
+                "--threads",
+                threads,
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        run_strs(&[
+            "diffsnap",
+            "--a",
+            seq.to_str().unwrap(),
+            "--b",
+            wide.to_str().unwrap(),
+        ])
+        .unwrap();
     }
 
     #[test]

@@ -33,17 +33,40 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let eps = self.cfg.eps;
         let tau = self.cfg.tau;
 
+        // Every member this phase ever scans is an ex-core, and Theorem 1
+        // guarantees each is scanned exactly once — so the phase's entire
+        // ball workload is known up front. When the engine is wide,
+        // prefetch all of it in parallel over the frozen index (ghosts
+        // included; they leave only after this phase). `scan_ball` runs the
+        // same traversal as `for_each_in_ball`, so each prefetched ball
+        // preserves the exact hit order the sequential path sees — which
+        // the M⁻ ordering (and with it MS-BFS slot assignment) depends on.
+        let mut prefetched: disc_geom::FxHashMap<PointId, Vec<PointId>> =
+            if self.pool.width() > 1 && !ex_cores.is_empty() {
+                self.par_prefetch_balls(ex_cores)
+            } else {
+                disc_geom::FxHashMap::default()
+            };
+
         let mut remaining: FxHashSet<PointId> = ex_cores.iter().copied().collect();
         // Buffers reused across classes.
         let mut r_minus: Vec<PointId> = Vec::new();
         let mut m_minus: Vec<PointId> = Vec::new();
         let mut m_seen: FxHashSet<PointId> = FxHashSet::default();
+        let mut ball_buf: Vec<PointId> = Vec::new();
+        let mut discovered_ex: Vec<PointId> = Vec::new();
         // Classes gathered in pass 1: `(previous cluster root, M⁻)`. The
         // roots must be read *before* any relabelling, so the connectivity
         // checks are deferred to pass 2.
         let mut classes: Vec<(u32, Vec<PointId>)> = Vec::new();
 
-        while let Some(&seed) = remaining.iter().next() {
+        // Seeds in slice order (ghosts first, then ids ascending — see
+        // COLLECT's canonical classification): deterministic regardless of
+        // the hash set's iteration order.
+        for &seed in ex_cores {
+            if !remaining.remove(&seed) {
+                continue; // already absorbed into an earlier class
+            }
             stats.ex_classes += 1;
             r_minus.clear();
             m_minus.clear();
@@ -54,26 +77,34 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             // ex-core of the class will ever be searched again), collecting
             // the minimal bonding cores M⁻ on the way.
             r_minus.push(seed);
-            remaining.remove(&seed);
             let mut i = 0;
             while i < r_minus.len() {
                 let r = r_minus[i];
                 i += 1;
                 let center = self.points.at(r).point;
 
+                let owned: Vec<PointId>;
+                let ball: &[PointId] = if let Some(b) = prefetched.remove(&r) {
+                    owned = b;
+                    &owned
+                } else {
+                    ball_buf.clear();
+                    let buf = &mut ball_buf;
+                    self.tree
+                        .for_each_in_ball(&center, eps, |qid, _| buf.push(qid));
+                    &ball_buf
+                };
+
                 // The scan doubles as label maintenance for the ex-core
                 // itself: any current core in range can adopt it.
                 let mut my_adopter: Option<PointId> = None;
-
-                let points = &mut self.points;
-                let needs_adoption = &mut self.needs_adoption;
-                let mut discovered_ex: Vec<PointId> = Vec::new();
-                self.tree.for_each_in_ball(&center, eps, |qid, _| {
+                discovered_ex.clear();
+                for &qid in ball {
                     if qid == r {
-                        return;
+                        continue;
                     }
-                    let Some(q) = points.get_mut(qid) else {
-                        return;
+                    let Some(q) = self.points.get_mut(qid) else {
+                        continue;
                     };
                     if q.is_ex_core(tau) {
                         discovered_ex.push(qid);
@@ -95,10 +126,10 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                     } else if q.in_window && q.adopter == Some(r) {
                         // A border that leaned on this ex-core.
                         q.adopter = None;
-                        needs_adoption.insert(qid);
+                        self.needs_adoption.insert(qid);
                     }
-                });
-                for qid in discovered_ex {
+                }
+                for &qid in &discovered_ex {
                     if remaining.remove(&qid) {
                         r_minus.push(qid);
                     }
@@ -268,16 +299,33 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let eps = self.cfg.eps;
         let tau = self.cfg.tau;
 
+        // Mirror image of the ex-core phase's prefetch: every member is a
+        // neo-core and each is scanned once, so the whole workload is known
+        // up front. Prefetched here (not earlier) because the ghosts left
+        // the index between the phases; per-ball hit order is preserved.
+        let mut prefetched: disc_geom::FxHashMap<PointId, Vec<PointId>> =
+            if self.pool.width() > 1 && !neo_cores.is_empty() {
+                self.par_prefetch_balls(neo_cores)
+            } else {
+                disc_geom::FxHashMap::default()
+            };
+
         let mut remaining: FxHashSet<PointId> = neo_cores.iter().copied().collect();
         let mut r_plus: Vec<PointId> = Vec::new();
         let mut m_cids: Vec<u32> = Vec::new();
+        let mut ball_buf: Vec<PointId> = Vec::new();
+        let mut discovered_neo: Vec<PointId> = Vec::new();
         // Orphans adopted during this phase: when several neo-cores reach
         // the same orphan, the smallest id must win regardless of the order
         // the classes are visited in (backend-independent determinism).
         // Adopters that survived from earlier slides are never replaced.
         let mut adopted_here: FxHashSet<PointId> = FxHashSet::default();
 
-        while let Some(&seed) = remaining.iter().next() {
+        // Seeds in slice order (ids ascending), like the ex-core phase.
+        for &seed in neo_cores {
+            if !remaining.remove(&seed) {
+                continue; // already absorbed into an earlier class
+            }
             stats.neo_classes += 1;
             r_plus.clear();
             m_cids.clear();
@@ -286,28 +334,36 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             // M⁺ members only contribute their cluster ids — unlike M⁻,
             // no connectivity check is ever needed (§III-C).
             r_plus.push(seed);
-            remaining.remove(&seed);
             let mut i = 0;
             while i < r_plus.len() {
                 let r = r_plus[i];
                 i += 1;
                 let center = self.points.at(r).point;
 
-                let points = &mut self.points;
-                let mut discovered_neo: Vec<PointId> = Vec::new();
-                let m_cids_ref = &mut m_cids;
-                let adopted_here_ref = &mut adopted_here;
-                self.tree.for_each_in_ball(&center, eps, |qid, _| {
+                let owned: Vec<PointId>;
+                let ball: &[PointId] = if let Some(b) = prefetched.remove(&r) {
+                    owned = b;
+                    &owned
+                } else {
+                    ball_buf.clear();
+                    let buf = &mut ball_buf;
+                    self.tree
+                        .for_each_in_ball(&center, eps, |qid, _| buf.push(qid));
+                    &ball_buf
+                };
+
+                discovered_neo.clear();
+                for &qid in ball {
                     if qid == r {
-                        return;
+                        continue;
                     }
-                    let Some(q) = points.get_mut(qid) else {
-                        return;
+                    let Some(q) = self.points.get_mut(qid) else {
+                        continue;
                     };
                     if q.is_neo_core(tau) {
                         discovered_neo.push(qid);
                     } else if q.core_in_both(tau) {
-                        m_cids_ref.push(q.cid.0);
+                        m_cids.push(q.cid.0);
                     } else if q.in_window && !q.is_core(tau) {
                         // Label maintenance: the neo-core adopts nearby
                         // orphaned non-cores on the spot (§V). Among the
@@ -315,13 +371,13 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                         // wins; adopters from earlier slides stand.
                         if q.adopter.is_none() {
                             q.adopter = Some(r);
-                            adopted_here_ref.insert(qid);
-                        } else if adopted_here_ref.contains(&qid) && q.adopter > Some(r) {
+                            adopted_here.insert(qid);
+                        } else if adopted_here.contains(&qid) && q.adopter > Some(r) {
                             q.adopter = Some(r);
                         }
                     }
-                });
-                for qid in discovered_neo {
+                }
+                for &qid in &discovered_neo {
                     if remaining.remove(&qid) {
                         r_plus.push(qid);
                     }
@@ -377,27 +433,51 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     pub(crate) fn adoption_pass(&mut self, stats: &mut SlideStats) {
         let eps = self.cfg.eps;
         let tau = self.cfg.tau;
-        let pending: Vec<PointId> = self.needs_adoption.drain().collect();
-        for id in pending {
-            let Some(rec) = self.points.get(id) else {
-                continue; // departed this slide
+        let mut pending: Vec<PointId> = self.needs_adoption.drain().collect();
+        // Canonical order (the set's iteration order is an insertion-history
+        // artifact). The pass only writes each pending point's own adopter,
+        // so neither the searched set nor any result depends on order — but
+        // pinning it keeps the provenance stream identical across runs.
+        pending.sort_unstable();
+        // Skip-checks are stable for the same reason, so they can run up
+        // front: the survivors are exactly the points the inline sequential
+        // check would search.
+        pending.retain(|&id| {
+            self.points
+                .get(id) // departed this slide → gone
+                .is_some_and(|rec| !rec.is_core(tau) && rec.adopter.is_none() && rec.in_window)
+        });
+        let mut prefetched: disc_geom::FxHashMap<PointId, Vec<PointId>> =
+            if self.pool.width() > 1 && !pending.is_empty() {
+                self.par_prefetch_balls(&pending)
+            } else {
+                disc_geom::FxHashMap::default()
             };
-            if rec.is_core(tau) || rec.adopter.is_some() || !rec.in_window {
-                continue; // resolved some other way meanwhile
-            }
-            let center = rec.point;
+        let mut ball_buf: Vec<PointId> = Vec::new();
+        for id in pending {
+            let center = self.points.at(id).point;
             stats.adoption_searches += 1;
-            let points = &self.points;
+            let owned: Vec<PointId>;
+            let ball: &[PointId] = if let Some(b) = prefetched.remove(&id) {
+                owned = b;
+                &owned
+            } else {
+                ball_buf.clear();
+                let buf = &mut ball_buf;
+                self.tree
+                    .for_each_in_ball(&center, eps, |qid, _| buf.push(qid));
+                &ball_buf
+            };
             let mut adopter: Option<PointId> = None;
-            self.tree.for_each_in_ball(&center, eps, |qid, _| {
+            for &qid in ball {
                 if qid != id && adopter.is_none_or(|a| qid < a) {
-                    if let Some(q) = points.get(qid) {
+                    if let Some(q) = self.points.get(qid) {
                         if q.is_core(tau) {
                             adopter = Some(qid);
                         }
                     }
                 }
-            });
+            }
             self.points.get_mut(id).expect("record vanished").adopter = adopter;
             if let Some(core) = adopter {
                 self.emit_prov(disc_telemetry::ProvenanceKind::Adoption {

@@ -421,14 +421,31 @@ impl<const D: usize> RTree<D> {
         &mut self,
         centers: &[Point<D>],
         eps: f64,
+        f: impl FnMut(usize, PointId, &Point<D>),
+    ) {
+        let mut stats = *self.stats();
+        self.scan_balls(centers, eps, f, &mut stats);
+        *self.stats_mut() = stats;
+    }
+
+    /// Read-only flavour of [`for_each_in_balls`](Self::for_each_in_balls)
+    /// with caller-supplied counters: the multi-center walk only reads the
+    /// node arena, so the parallel COLLECT path can partition a slide's
+    /// centers into chunks and run one `scan_balls` per worker on a shared
+    /// `&self`, merging the per-worker [`Stats`] in chunk order afterwards.
+    pub fn scan_balls(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
         mut f: impl FnMut(usize, PointId, &Point<D>),
+        stats: &mut crate::Stats,
     ) {
         if centers.is_empty() {
             return;
         }
-        self.stats.range_searches += centers.len() as u64;
-        self.stats.multi_ball_queries += 1;
-        self.stats.multi_ball_centers += centers.len() as u64;
+        stats.range_searches += centers.len() as u64;
+        stats.multi_ball_queries += 1;
+        stats.multi_ball_centers += centers.len() as u64;
         let eps2 = eps * eps;
         let mut nodes_visited = 0u64;
         let mut leaf_scans = 0u64;
@@ -482,8 +499,8 @@ impl<const D: usize> RTree<D> {
             }
             pool.push(active);
         }
-        self.stats.bulk_nodes_visited += nodes_visited;
-        self.stats.bulk_leaf_scans += leaf_scans;
+        stats.bulk_nodes_visited += nodes_visited;
+        stats.bulk_leaf_scans += leaf_scans;
     }
 }
 

@@ -121,6 +121,12 @@ impl<const D: usize> GridIndex<D> {
         self.stats.reset();
     }
 
+    /// Mutable access to the operation counters: the parallel engine merges
+    /// per-worker [`Stats`] deltas back here after a read-only scan phase.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
     /// Integer cell coordinates of `point`.
     #[inline]
     fn key_of(&self, point: &Point<D>) -> [i64; D] {
@@ -269,9 +275,24 @@ impl<const D: usize> GridIndex<D> {
         &mut self,
         center: &Point<D>,
         eps: f64,
-        mut f: impl FnMut(PointId, &Point<D>),
+        f: impl FnMut(PointId, &Point<D>),
     ) {
-        self.stats.range_searches += 1;
+        let mut stats = self.stats;
+        self.scan_ball(center, eps, f, &mut stats);
+        self.stats = stats;
+    }
+
+    /// Read-only flavour of [`for_each_in_ball`](Self::for_each_in_ball)
+    /// with caller-supplied counters; shareable across workers on `&self`
+    /// (see the R-tree counterpart for the parallel-engine contract).
+    pub fn scan_ball(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        mut f: impl FnMut(PointId, &Point<D>),
+        stats: &mut Stats,
+    ) {
+        stats.range_searches += 1;
         let eps2 = eps * eps;
         let mut cells_visited = 0u64;
         let mut dist_checks = 0u64;
@@ -291,8 +312,8 @@ impl<const D: usize> GridIndex<D> {
                 }
             }
         });
-        self.stats.nodes_visited += cells_visited;
-        self.stats.distance_checks += dist_checks;
+        stats.nodes_visited += cells_visited;
+        stats.distance_checks += dist_checks;
     }
 
     /// Clears `out` and fills it with the ids within `eps` of `center`.
@@ -319,14 +340,29 @@ impl<const D: usize> GridIndex<D> {
         &mut self,
         centers: &[Point<D>],
         eps: f64,
+        f: impl FnMut(usize, PointId, &Point<D>),
+    ) {
+        let mut stats = self.stats;
+        self.scan_balls(centers, eps, f, &mut stats);
+        self.stats = stats;
+    }
+
+    /// Read-only flavour of [`for_each_in_balls`](Self::for_each_in_balls)
+    /// with caller-supplied counters; shareable across workers on `&self`
+    /// (see the R-tree counterpart for the parallel-engine contract).
+    pub fn scan_balls(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
         mut f: impl FnMut(usize, PointId, &Point<D>),
+        stats: &mut Stats,
     ) {
         if centers.is_empty() {
             return;
         }
-        self.stats.range_searches += centers.len() as u64;
-        self.stats.multi_ball_queries += 1;
-        self.stats.multi_ball_centers += centers.len() as u64;
+        stats.range_searches += centers.len() as u64;
+        stats.multi_ball_queries += 1;
+        stats.multi_ball_centers += centers.len() as u64;
         let eps2 = eps * eps;
         let mut cells_visited = 0u64;
         let mut leaf_scans = 0u64;
@@ -348,8 +384,8 @@ impl<const D: usize> GridIndex<D> {
                 }
             });
         }
-        self.stats.bulk_nodes_visited += cells_visited;
-        self.stats.bulk_leaf_scans += leaf_scans;
+        stats.bulk_nodes_visited += cells_visited;
+        stats.bulk_leaf_scans += leaf_scans;
     }
 
     /// Iterates over every stored `(id, point)` pair (diagnostics/tests).
@@ -528,6 +564,10 @@ impl<const D: usize> crate::SpatialBackend<D> for GridIndex<D> {
         GridIndex::reset_stats(self)
     }
 
+    fn stats_mut(&mut self) -> &mut Stats {
+        GridIndex::stats_mut(self)
+    }
+
     fn insert(&mut self, id: PointId, point: Point<D>) {
         GridIndex::insert(self, id, point)
     }
@@ -553,6 +593,16 @@ impl<const D: usize> crate::SpatialBackend<D> for GridIndex<D> {
         GridIndex::for_each_in_ball(self, center, eps, f)
     }
 
+    fn scan_ball<F: FnMut(PointId, &Point<D>)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    ) {
+        GridIndex::scan_ball(self, center, eps, f, stats)
+    }
+
     fn ball_ids_into(&mut self, center: &Point<D>, eps: f64, out: &mut Vec<PointId>) {
         GridIndex::ball_ids_into(self, center, eps, out)
     }
@@ -568,6 +618,16 @@ impl<const D: usize> crate::SpatialBackend<D> for GridIndex<D> {
         f: F,
     ) {
         GridIndex::for_each_in_balls(self, centers, eps, f)
+    }
+
+    fn scan_balls<F: FnMut(usize, PointId, &Point<D>)>(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    ) {
+        GridIndex::scan_balls(self, centers, eps, f, stats)
     }
 
     fn for_each<F: FnMut(PointId, &Point<D>)>(&self, f: F) {

@@ -43,7 +43,12 @@ use disc_geom::{Point, PointId};
 /// against the concrete [`RTree`] keep compiling unchanged; the trait is
 /// consequently not object-safe — backends are selected by type parameter,
 /// which is also what lets the compiler specialise the hot paths.
-pub trait SpatialBackend<const D: usize> {
+///
+/// `Send + Sync` is part of the contract: the parallel slide engine shares a
+/// frozen `&B` snapshot across workers during its read-only scan phases
+/// ([`scan_ball`](Self::scan_ball) / [`scan_balls`](Self::scan_balls)). Both
+/// shipped backends are plain owned data, so the bounds are free.
+pub trait SpatialBackend<const D: usize>: Send + Sync {
     /// Short name for reports and ablation tables (e.g. `"rtree"`).
     const NAME: &'static str;
 
@@ -76,6 +81,11 @@ pub trait SpatialBackend<const D: usize> {
     /// Resets the operation counters.
     fn reset_stats(&mut self);
 
+    /// Mutable access to the operation counters, so per-worker [`Stats`]
+    /// deltas from the `scan_*` methods can be merged back (in task order —
+    /// see [`Stats::merge`]) after a parallel phase.
+    fn stats_mut(&mut self) -> &mut Stats;
+
     /// Inserts a point. Duplicate `(id, point)` pairs are the caller's
     /// responsibility.
     fn insert(&mut self, id: PointId, point: Point<D>);
@@ -92,6 +102,19 @@ pub trait SpatialBackend<const D: usize> {
     /// Calls `f(id, point)` for every stored point within `eps` of
     /// `center` (inclusive), in unspecified order.
     fn for_each_in_ball<F: FnMut(PointId, &Point<D>)>(&mut self, center: &Point<D>, eps: f64, f: F);
+
+    /// Read-only flavour of [`for_each_in_ball`](Self::for_each_in_ball):
+    /// identical answers and traversal order, but counters accumulate into
+    /// the caller-supplied `stats` instead of the index's own. This is the
+    /// parallel-engine entry point — many workers may scan one shared `&self`
+    /// concurrently, each with a private `Stats`, merged afterwards.
+    fn scan_ball<F: FnMut(PointId, &Point<D>)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    );
 
     /// Clears `out` and fills it with the ids within `eps` of `center`.
     fn ball_ids_into(&mut self, center: &Point<D>, eps: f64, out: &mut Vec<PointId>) {
@@ -115,6 +138,17 @@ pub trait SpatialBackend<const D: usize> {
         centers: &[Point<D>],
         eps: f64,
         f: F,
+    );
+
+    /// Read-only flavour of [`for_each_in_balls`](Self::for_each_in_balls)
+    /// with caller-supplied counters; same sharing contract as
+    /// [`scan_ball`](Self::scan_ball).
+    fn scan_balls<F: FnMut(usize, PointId, &Point<D>)>(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
     );
 
     /// Iterates over every stored `(id, point)` pair (diagnostics/tests).
@@ -176,6 +210,10 @@ impl<const D: usize> SpatialBackend<D> for RTree<D> {
         RTree::reset_stats(self)
     }
 
+    fn stats_mut(&mut self) -> &mut Stats {
+        RTree::stats_mut(self)
+    }
+
     fn insert(&mut self, id: PointId, point: Point<D>) {
         RTree::insert(self, id, point)
     }
@@ -201,6 +239,16 @@ impl<const D: usize> SpatialBackend<D> for RTree<D> {
         RTree::for_each_in_ball(self, center, eps, f)
     }
 
+    fn scan_ball<F: FnMut(PointId, &Point<D>)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    ) {
+        RTree::scan_ball(self, center, eps, f, stats)
+    }
+
     fn ball_ids_into(&mut self, center: &Point<D>, eps: f64, out: &mut Vec<PointId>) {
         RTree::ball_ids_into(self, center, eps, out)
     }
@@ -216,6 +264,16 @@ impl<const D: usize> SpatialBackend<D> for RTree<D> {
         f: F,
     ) {
         RTree::for_each_in_balls(self, centers, eps, f)
+    }
+
+    fn scan_balls<F: FnMut(usize, PointId, &Point<D>)>(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    ) {
+        RTree::scan_balls(self, centers, eps, f, stats)
     }
 
     fn for_each<F: FnMut(PointId, &Point<D>)>(&self, f: F) {
@@ -279,11 +337,41 @@ mod tests {
         );
         assert_eq!(ix.ball_count(&Point::new([2.0, 0.0]), 1.0), 5);
 
+        // The read-only scan flavour answers identically on `&self`, and its
+        // caller-side counter delta merges back into the index's totals.
+        let before = *ix.stats();
+        let mut delta = Stats::default();
+        let mut scan_ids = Vec::new();
+        ix.scan_ball(
+            &Point::new([2.0, 0.0]),
+            1.0,
+            |id, _| scan_ids.push(id),
+            &mut delta,
+        );
+        scan_ids.sort_unstable();
+        assert_eq!(scan_ids, ids);
+        assert_eq!(delta.range_searches, 1);
+        ix.stats_mut().merge(&delta);
+        assert_eq!(ix.stats().range_searches, before.range_searches + 1);
+
         // Multi-center traversal covers each center exactly.
         let centers = [Point::new([0.0, 0.0]), Point::new([9.5, 0.0])];
         let mut per_center = [0usize; 2];
         ix.for_each_in_balls(&centers, 1.0, |ci, _, _| per_center[ci] += 1);
         assert_eq!(per_center, [3, 3]);
+
+        // Same for the multi-center scan: identical per-center coverage.
+        let mut scan_per_center = [0usize; 2];
+        let mut delta = Stats::default();
+        ix.scan_balls(
+            &centers,
+            1.0,
+            |ci, _, _| scan_per_center[ci] += 1,
+            &mut delta,
+        );
+        assert_eq!(scan_per_center, per_center);
+        assert_eq!(delta.multi_ball_queries, 1);
+        ix.stats_mut().merge(&delta);
 
         // Epoch probe: everything fresh once, nothing twice.
         let probe = ix.begin_epoch();

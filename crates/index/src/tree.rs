@@ -82,6 +82,12 @@ impl<const D: usize> RTree<D> {
         self.stats.reset();
     }
 
+    /// Mutable access to the operation counters, for folding per-worker
+    /// counter sets gathered by the `scan_*` paths back into the totals.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
     pub(crate) fn alloc(&mut self, node: Node<D>) -> NodeIdx {
         if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = node;
@@ -542,14 +548,32 @@ impl<const D: usize> RTree<D> {
         &mut self,
         center: &Point<D>,
         eps: f64,
-        mut f: impl FnMut(PointId, &Point<D>),
+        f: impl FnMut(PointId, &Point<D>),
     ) {
-        self.stats.range_searches += 1;
+        let mut stats = self.stats;
+        self.scan_ball(center, eps, f, &mut stats);
+        self.stats = stats;
+    }
+
+    /// Read-only flavour of [`for_each_in_ball`](Self::for_each_in_ball):
+    /// the traversal never touches the tree, and the counters go into the
+    /// caller-supplied `stats` instead of the tree's own. This is what the
+    /// parallel slide engine shares across workers — many `scan_ball`
+    /// calls may run on `&self` concurrently, each with a private counter
+    /// set, merged back afterwards (see [`Stats::merge`]).
+    pub fn scan_ball(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        mut f: impl FnMut(PointId, &Point<D>),
+        stats: &mut Stats,
+    ) {
+        stats.range_searches += 1;
         let eps2 = eps * eps;
         let mut counters = (0u64, 0u64); // (nodes visited, distance checks)
         Self::ball_rec(&self.nodes, self.root, center, eps2, &mut f, &mut counters);
-        self.stats.nodes_visited += counters.0;
-        self.stats.distance_checks += counters.1;
+        stats.nodes_visited += counters.0;
+        stats.distance_checks += counters.1;
     }
 
     /// Allocation-free read-only descent (hot path: one call per node).

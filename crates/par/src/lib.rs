@@ -1,0 +1,166 @@
+//! A minimal fork-join worker pool for the parallel slide engine.
+//!
+//! The build environment is fully offline, so rayon is not available; this
+//! crate covers the one pattern the engine needs — run `n_tasks` independent
+//! closures across up to `width` OS threads and hand the results back **in
+//! task order** — with nothing but `std`.
+//!
+//! Design notes:
+//!
+//! * **Dynamic claiming, not static chunking.** Workers claim task indices
+//!   from a shared atomic counter, so an expensive task (one dense ε-ball
+//!   among many sparse ones) never pins a whole pre-assigned chunk behind
+//!   it. This is the load-balancing half of work stealing; with a single
+//!   shared queue there is nothing to steal *from*, which keeps the pool
+//!   tiny and obviously correct.
+//! * **Scoped threads, not persistent workers.** [`Pool::run`] spawns
+//!   `width - 1` scoped threads and participates with the calling thread.
+//!   `std::thread::scope` lets tasks borrow from the caller's stack (the
+//!   read-only index snapshot, the point store) with no lifetime erasure
+//!   and no unsafe, and propagates worker panics to the caller on join.
+//! * **Deterministic results.** Whatever interleaving the scheduler picks,
+//!   the returned `Vec` is indexed by task id, so callers can merge
+//!   results in a canonical order and stay bit-identical across widths.
+//!
+//! The pool is deliberately *not* in the hot path when `width == 1`: the
+//! caller runs every task inline and no thread machinery is touched, which
+//! is what keeps the sequential engine byte-for-byte on its old code path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A fork-join pool of fixed width.
+#[derive(Debug)]
+pub struct Pool {
+    width: usize,
+}
+
+impl Pool {
+    /// A pool running at most `width` tasks concurrently. `width` is
+    /// clamped to at least 1; width 1 means "run inline on the caller".
+    pub fn new(width: usize) -> Self {
+        Pool {
+            width: width.max(1),
+        }
+    }
+
+    /// The concurrency width this pool was built with.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f(0..n_tasks)` across the pool and returns the results in
+    /// task order. Tasks are claimed dynamically, one index at a time, so
+    /// skewed task costs balance across workers.
+    ///
+    /// Panics in any task propagate to the caller (after every worker has
+    /// been joined), never silently poison a result slot.
+    pub fn run<T, F>(&self, n_tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.width == 1 || n_tasks <= 1 {
+            return (0..n_tasks).map(f).collect();
+        }
+        let slots: Vec<OnceLock<T>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let claim_loop = || {
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                // Each index is claimed exactly once, so the slot is empty.
+                let filled = slots[i].set(f(i)).is_ok();
+                debug_assert!(filled, "task {i} claimed twice");
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..self.width.min(n_tasks) {
+                scope.spawn(claim_loop);
+            }
+            claim_loop();
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every task index was claimed"))
+            .collect()
+    }
+}
+
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for width in [1, 2, 4, 8] {
+            let pool = Pool::new(width);
+            let out = pool.run(64, |i| i * i);
+            assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        let pool = Pool::new(4);
+        assert!(pool.run(0, |i| i).is_empty());
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.width(), 1);
+        assert_eq!(pool.run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = Pool::new(4);
+        let sums = pool.run(10, |i| data[i * 100..(i + 1) * 100].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn skewed_task_costs_still_complete() {
+        let pool = Pool::new(3);
+        let out = pool.run(16, |i| {
+            // Task 0 is much slower than the rest; dynamic claiming lets
+            // the other workers drain the remaining indices meanwhile.
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

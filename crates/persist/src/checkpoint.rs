@@ -115,6 +115,12 @@ fn decode_config(bytes: &[u8]) -> Result<DiscConfig, PersistError> {
         enable_epoch_probe: flags & 2 != 0,
         enable_bulk_slide: flags & 4 != 0,
         backend,
+        // Deliberately NOT persisted: worker count is a host-execution knob
+        // with no effect on clustering output, and the restoring host may
+        // have different parallelism than the checkpointing one. Both encode
+        // and decode sides see the same process-stable ambient default, so
+        // config round-trips stay exact.
+        threads: DiscConfig::default_threads(),
     })
 }
 
