@@ -46,6 +46,9 @@ pub struct BenchRow {
     /// one core fully used). 0.0 when the platform could not report it.
     /// Informational — latency is what the gate judges.
     pub cpu_util: f64,
+    /// Stride-eviction cost (ns per evicted point). Informational, and
+    /// absent from summaries written before the curve backend (0.0 then).
+    pub evict_ns_per_point: f64,
 }
 
 impl BenchRow {
@@ -55,6 +58,15 @@ impl BenchRow {
     pub fn key(&self) -> String {
         format!(
             "{}/{} w={} s={} t={}",
+            self.suite, self.backend, self.window, self.stride, self.threads
+        )
+    }
+
+    /// The identity spelled out field by field — for messages where a
+    /// human has to reconstruct the absent row, not just grep for it.
+    pub fn tuple(&self) -> String {
+        format!(
+            "(suite={}, backend={}, window={}, stride={}, threads={})",
             self.suite, self.backend, self.window, self.stride, self.threads
         )
     }
@@ -102,9 +114,13 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
             p99_us: num("p99_slide_us")?,
             max_us: num("max_slide_us")?,
             searches_per_slide: num("searches_per_slide")?,
-            // Older summaries lack the utilization column; it is
-            // informational, so default rather than reject.
+            // Older summaries lack the utilization and eviction columns;
+            // both are informational, so default rather than reject.
             cpu_util: item.get("cpu_util").and_then(Json::as_f64).unwrap_or(0.0),
+            evict_ns_per_point: item
+                .get("evict_ns_per_point")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         });
     }
     Ok(rows)
@@ -144,10 +160,17 @@ pub struct CompareReport {
     /// Tail (p99) moves beyond the tolerance, either direction. Advisory:
     /// the tail of a small sample is too noisy to gate, but worth eyes.
     pub tail_drift: Vec<Delta>,
-    /// Baseline keys with no fresh counterpart (gate failures).
+    /// Baseline rows with no fresh counterpart (gate failures), spelled
+    /// out as full `(suite, backend, window, stride, threads)` tuples.
     pub missing: Vec<String>,
-    /// Fresh keys with no baseline counterpart (informational).
+    /// Fresh keys with no baseline counterpart (informational), excluding
+    /// rows covered by `new_backends`.
     pub added: Vec<String>,
+    /// Backends present in the fresh run but absent from the baseline
+    /// *entirely* — a new backend column, not a stray row. One entry per
+    /// backend with its row count, so the regeneration hint prints once
+    /// instead of once per row.
+    pub new_backends: Vec<(String, usize)>,
     /// Rows matched and checked.
     pub checked: usize,
     /// Tolerance used (fraction, e.g. 0.25).
@@ -181,8 +204,8 @@ impl CompareReport {
                 d.ratio()
             );
         }
-        for key in &self.missing {
-            let _ = writeln!(out, "  MISSING    {key}: baseline row not re-measured");
+        for tuple in &self.missing {
+            let _ = writeln!(out, "  MISSING    {tuple}: baseline row not re-measured");
         }
         for d in &self.improvements {
             let _ = writeln!(
@@ -208,6 +231,14 @@ impl CompareReport {
         for key in &self.added {
             let _ = writeln!(out, "  new row    {key}: not in the baseline");
         }
+        for (backend, rows) in &self.new_backends {
+            let _ = writeln!(
+                out,
+                "  new backend {backend:?}: {rows} fresh row(s) with no baseline column — \
+                 refresh the baseline with `cargo run --release -p disc-bench \
+                 --bin experiments -- backend`"
+            );
+        }
         let _ = writeln!(
             out,
             "  verdict: {}",
@@ -229,7 +260,7 @@ pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> Com
     for b in baseline {
         let key = b.key();
         let Some(f) = find(fresh, &key) else {
-            report.missing.push(key);
+            report.missing.push(b.tuple());
             continue;
         };
         report.checked += 1;
@@ -253,11 +284,22 @@ pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> Com
             });
         }
     }
+    // A whole backend column absent from the baseline is one finding, not
+    // one per row: collapse those into `new_backends` so the render prints
+    // the regeneration hint once.
+    let baseline_backends: std::collections::BTreeSet<&str> =
+        baseline.iter().map(|r| r.backend.as_str()).collect();
+    let mut new_backend_rows: std::collections::BTreeMap<String, usize> = Default::default();
     for f in fresh {
         if find(baseline, &f.key()).is_none() {
-            report.added.push(f.key());
+            if baseline_backends.contains(f.backend.as_str()) {
+                report.added.push(f.key());
+            } else {
+                *new_backend_rows.entry(f.backend.clone()).or_default() += 1;
+            }
         }
     }
+    report.new_backends = new_backend_rows.into_iter().collect();
     report
 }
 
@@ -278,6 +320,7 @@ mod tests {
             max_us: p99,
             searches_per_slide: 100.0,
             cpu_util: 1.0,
+            evict_ns_per_point: 50.0,
         }
     }
 
@@ -299,6 +342,25 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), rows.len());
+        // The curve backend's reason to exist: on the committed baseline's
+        // window=8000/stride=1600 rows, its stride-teardown eviction must
+        // undercut both other backends. Re-measure with
+        // `cargo run --release -p disc-bench --bin experiments -- backend`
+        // before committing a baseline that breaks this.
+        let evict_of = |backend: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.backend == backend && r.window == 8000 && r.stride == 1600 && r.threads == 1
+                })
+                .map(|r| r.evict_ns_per_point)
+                .expect("acceptance row missing from baseline")
+        };
+        let (rtree, grid, curve) = (evict_of("rtree"), evict_of("grid"), evict_of("curve"));
+        assert!(
+            curve > 0.0 && curve < grid && curve < rtree,
+            "curve teardown must evict cheapest at window=8000/stride=1600: \
+             curve={curve}ns grid={grid}ns rtree={rtree}ns"
+        );
     }
 
     #[test]
@@ -382,7 +444,50 @@ mod tests {
         assert!(!report.passed());
         assert_eq!(report.missing.len(), 1);
         assert_eq!(report.added.len(), 1);
-        assert!(report.render().contains("MISSING"));
+        let text = report.render();
+        assert!(text.contains("MISSING"));
+        // The absent row is spelled out field by field, not just keyed.
+        assert!(
+            text.contains(
+                "(suite=backend_ablation, backend=grid, window=8000, stride=400, threads=1)"
+            ),
+            "{text}"
+        );
+    }
+
+    /// A backend column that is entirely new to the fresh run (the curve
+    /// rollout shape) collapses into one hint line; a stray new row of a
+    /// known backend still reports per-row.
+    #[test]
+    fn whole_new_backend_column_hints_once_not_per_row() {
+        let base = vec![
+            row("rtree", 400, 1000.0, 2000.0),
+            row("grid", 400, 1.0, 2.0),
+        ];
+        let fresh = vec![
+            row("rtree", 400, 1000.0, 2000.0),
+            row("grid", 400, 1.0, 2.0),
+            row("curve", 400, 1.0, 2.0),
+            row("curve", 800, 1.0, 2.0),
+            row("curve", 1600, 1.0, 2.0),
+        ];
+        let report = compare(&base, &fresh, 0.25);
+        assert!(report.passed(), "new rows never fail the gate");
+        assert!(
+            report.added.is_empty(),
+            "column rows collapse into the hint"
+        );
+        assert_eq!(report.new_backends, vec![("curve".to_string(), 3)]);
+        let text = report.render();
+        assert_eq!(
+            text.matches("refresh the baseline").count(),
+            1,
+            "hint must print once, not per row: {text}"
+        );
+        assert!(
+            text.contains("new backend \"curve\": 3 fresh row(s)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::runner::{records_needed, slides_for, tile};
 use crate::suites::SEED;
 use crate::Scale;
 use disc_core::{Disc, DiscConfig, SlideStats};
-use disc_index::{GridIndex, SpatialBackend};
+use disc_geom::PointId;
+use disc_index::{CurveIndex, GridIndex, SpatialBackend};
 use disc_telemetry::{HistSnapshot, LogHistogram};
 use disc_window::{datasets, Record, SlidingWindow};
 use std::io::Write;
@@ -47,6 +48,11 @@ struct Run {
     avg_adoption: Duration,
     searches_per_slide: f64,
     visits_per_slide: f64,
+    /// Stride-eviction cost (ns per evicted point): tearing the oldest
+    /// stride out of a `window`-sized index, measured in isolation so the
+    /// number reflects the backend's bulk-remove path alone — the curve
+    /// backend's teardown-vs-per-node-delete claim lives here.
+    evict_ns_per_point: f64,
 }
 
 /// Process CPU time (user + system) from procfs; `None` where there is no
@@ -69,6 +75,34 @@ fn proc_cpu_time() -> Option<Duration> {
 /// feeds a regression gate, so each row merges the latency distributions
 /// of this many fresh passes over the same stream.
 const REPS: u32 = 3;
+
+/// Measures the stride-eviction cost in isolation: fill the index with the
+/// first `window` points (the bulk path, as the engine would), then time
+/// one `bulk_remove` of the oldest stride. Best of `REPS` builds, in ns per
+/// point actually removed — the slide loop cannot separate this from
+/// COLLECT, so it gets its own clock.
+fn evict_cost_ns<const D: usize, B: SpatialBackend<D>>(
+    recs: &[Record<D>],
+    eps: f64,
+    window: usize,
+    stride: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let items: Vec<(PointId, disc_geom::Point<D>)> = recs[..window]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (PointId(i as u64), r.point))
+            .collect();
+        let evict = items[..stride].to_vec();
+        let mut idx = B::from_batch(eps, items);
+        let started = std::time::Instant::now();
+        let removed = idx.bulk_remove(&evict);
+        let ns = started.elapsed().as_nanos() as f64 / removed.max(1) as f64;
+        best = best.min(ns);
+    }
+    best
+}
 
 fn drive<const D: usize, B: SpatialBackend<D>>(
     recs: &[Record<D>],
@@ -135,6 +169,7 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
         avg_adoption: adoption / n,
         searches_per_slide: searches as f64 / n as f64,
         visits_per_slide: visits as f64 / n as f64,
+        evict_ns_per_point: 0.0,
     }
 }
 
@@ -143,8 +178,10 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
 /// what the parallel slide engine buys on this host.
 const THREAD_WIDTHS: [usize; 3] = [1, 2, 4];
 
-/// Drives both backends over the five window/stride configurations at
-/// each worker width.
+/// Drives all three backends over the five window/stride configurations at
+/// each worker width. The eviction microbenchmark is width-independent
+/// (bulk_remove is sequential on every backend), so it runs once per
+/// (backend, config) and is stamped onto each width's row.
 fn measure_configs(scale: Scale) -> Vec<Run> {
     let prof = datasets::DTG_PROFILE;
     let base = scale.apply(prof.window);
@@ -155,13 +192,30 @@ fn measure_configs(scale: Scale) -> Vec<Run> {
         let slides = slides_for(stride).min(40);
         let n = records_needed(window, stride, slides);
         let recs = datasets::dtg_like(n, SEED);
+        let evict = [
+            evict_cost_ns::<2, disc_index::RTree<2>>(&recs, prof.eps, window, stride),
+            evict_cost_ns::<2, GridIndex<2>>(&recs, prof.eps, window, stride),
+            evict_cost_ns::<2, CurveIndex<2>>(&recs, prof.eps, window, stride),
+        ];
         for threads in THREAD_WIDTHS {
-            runs.push(drive::<2, disc_index::RTree<2>>(
-                &recs, prof.eps, prof.tau, window, stride, threads, slides,
-            ));
-            runs.push(drive::<2, GridIndex<2>>(
-                &recs, prof.eps, prof.tau, window, stride, threads, slides,
-            ));
+            runs.push(Run {
+                evict_ns_per_point: evict[0],
+                ..drive::<2, disc_index::RTree<2>>(
+                    &recs, prof.eps, prof.tau, window, stride, threads, slides,
+                )
+            });
+            runs.push(Run {
+                evict_ns_per_point: evict[1],
+                ..drive::<2, GridIndex<2>>(
+                    &recs, prof.eps, prof.tau, window, stride, threads, slides,
+                )
+            });
+            runs.push(Run {
+                evict_ns_per_point: evict[2],
+                ..drive::<2, CurveIndex<2>>(
+                    &recs, prof.eps, prof.tau, window, stride, threads, slides,
+                )
+            });
         }
     }
     runs
@@ -176,10 +230,10 @@ pub fn fresh_summary(scale: Scale) -> String {
 /// Runs the backend ablation across window/stride sizes.
 pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
-        "Extension: R-tree vs uniform-grid backend (DTG)",
+        "Extension: R-tree vs grid vs curve backend (DTG)",
         &[
             "backend", "window", "stride", "thr", "cpu", "slide", "p50", "p99", "collect",
-            "cluster", "adoption", "searches", "visits",
+            "cluster", "adoption", "searches", "visits", "evict/pt",
         ],
     );
     let runs = measure_configs(scale);
@@ -199,6 +253,7 @@ pub fn run(scale: Scale) -> Table {
             fmt_duration(r.avg_adoption),
             format!("{:.0}", r.searches_per_slide),
             format!("{:.0}", r.visits_per_slide),
+            format!("{:.0}ns", r.evict_ns_per_point),
         ]);
     }
     t.print();
@@ -228,7 +283,7 @@ fn write_json(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
              \"cpu_util\": {:.2}, \"slides\": {}, \
              \"avg_slide_us\": {:.3}, \"avg_collect_us\": {:.3}, \"avg_cluster_us\": {:.3}, \
              \"avg_adoption_us\": {:.3}, \"searches_per_slide\": {:.1}, \
-             \"visits_per_slide\": {:.1}}}{}",
+             \"visits_per_slide\": {:.1}, \"evict_ns_per_point\": {:.1}}}{}",
             r.backend,
             r.window,
             r.stride,
@@ -241,6 +296,7 @@ fn write_json(runs: &[Run]) -> std::io::Result<std::path::PathBuf> {
             r.avg_adoption.as_secs_f64() * 1e6,
             r.searches_per_slide,
             r.visits_per_slide,
+            r.evict_ns_per_point,
             sep,
         )?;
     }
@@ -285,7 +341,7 @@ fn summary_string(runs: &[Run]) -> String {
             "  {{\"suite\": \"backend_ablation\", \"backend\": \"{}\", \"window\": {}, \
              \"stride\": {}, \"threads\": {}, \"slides\": {}, \"p50_slide_us\": {:.3}, \
              \"p99_slide_us\": {:.3}, \"max_slide_us\": {:.3}, \"searches_per_slide\": {:.1}, \
-             \"cpu_util\": {:.2}}}{}",
+             \"cpu_util\": {:.2}, \"evict_ns_per_point\": {:.1}}}{}",
             r.backend,
             r.window,
             r.stride,
@@ -296,6 +352,7 @@ fn summary_string(runs: &[Run]) -> String {
             r.max_slide.as_secs_f64() * 1e6,
             r.searches_per_slide,
             r.cpu_util,
+            r.evict_ns_per_point,
             sep,
         );
     }
@@ -307,17 +364,37 @@ fn summary_string(runs: &[Run]) -> String {
 mod tests {
     use super::*;
 
+    /// Dev-loop profiling of the acceptance row (window=8000, stride=1600);
+    /// run with `--ignored --nocapture` in release to iterate on eviction
+    /// cost without re-measuring the full 45-row suite.
     #[test]
-    fn small_scale_run_measures_both_backends() {
+    #[ignore]
+    fn evict_profile_acceptance_row() {
+        let recs = datasets::dtg_like(8000, SEED);
+        for _ in 0..3 {
+            let r = evict_cost_ns::<2, disc_index::RTree<2>>(&recs, 0.45, 8000, 1600);
+            let g = evict_cost_ns::<2, GridIndex<2>>(&recs, 0.45, 8000, 1600);
+            let c = evict_cost_ns::<2, CurveIndex<2>>(&recs, 0.45, 8000, 1600);
+            eprintln!("rtree={r:.1}ns grid={g:.1}ns curve={c:.1}ns");
+        }
+    }
+
+    #[test]
+    fn small_scale_run_measures_all_backends() {
         let t = run(Scale(0.1));
-        assert_eq!(t.rows.len(), 30, "5 configs x 2 backends x 3 widths");
+        assert_eq!(t.rows.len(), 45, "5 configs x 3 backends x 3 widths");
         let backends: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
-        assert!(backends.contains(&"rtree") && backends.contains(&"grid"));
+        assert!(
+            backends.contains(&"rtree")
+                && backends.contains(&"grid")
+                && backends.contains(&"curve")
+        );
         let widths: Vec<&str> = t.rows.iter().map(|r| r[3].as_str()).collect();
         assert!(widths.contains(&"1") && widths.contains(&"2") && widths.contains(&"4"));
         let json = std::fs::read_to_string("out/backend_ablation.json").unwrap();
         assert!(json.contains("\"avg_collect_us\""));
         assert!(json.contains("\"threads\""));
+        assert!(json.contains("\"evict_ns_per_point\""));
         assert!(json.trim_start().starts_with('['));
     }
 
@@ -327,6 +404,7 @@ mod tests {
         let runs = vec![
             drive::<2, disc_index::RTree<2>>(&recs, 0.5, 4, 500, 100, 1, 4),
             drive::<2, GridIndex<2>>(&recs, 0.5, 4, 500, 100, 2, 4),
+            drive::<2, CurveIndex<2>>(&recs, 0.5, 4, 500, 100, 4, 4),
         ];
         let path = std::env::temp_dir().join("disc_bench_summary_test.json");
         write_bench_summary_to(&runs, &path).unwrap();
@@ -334,18 +412,21 @@ mod tests {
         assert!(summary.trim_start().starts_with('['));
         assert_eq!(
             summary.matches("\"suite\": \"backend_ablation\"").count(),
-            2
+            3
         );
         assert_eq!(summary.matches("\"backend\": \"rtree\"").count(), 1);
         assert_eq!(summary.matches("\"backend\": \"grid\"").count(), 1);
+        assert_eq!(summary.matches("\"backend\": \"curve\"").count(), 1);
         assert_eq!(summary.matches("\"threads\": 1").count(), 1);
         assert_eq!(summary.matches("\"threads\": 2").count(), 1);
+        assert_eq!(summary.matches("\"threads\": 4").count(), 1);
         for key in [
             "p50_slide_us",
             "p99_slide_us",
             "max_slide_us",
             "searches_per_slide",
             "cpu_util",
+            "evict_ns_per_point",
         ] {
             assert!(summary.contains(&format!("\"{key}\"")), "missing {key}");
         }
@@ -378,7 +459,7 @@ mod tests {
     fn fresh_summary_round_trips_through_the_compare_parser() {
         let text = fresh_summary(Scale(0.05));
         let rows = crate::compare::parse_rows(&text).unwrap();
-        assert_eq!(rows.len(), 30, "5 configs x 2 backends x 3 widths");
+        assert_eq!(rows.len(), 45, "5 configs x 3 backends x 3 widths");
         for r in &rows {
             assert!(r.p50_us > 0.0);
             assert!(r.p50_us <= r.p99_us + 1e-6);

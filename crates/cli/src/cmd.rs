@@ -3,7 +3,7 @@
 use crate::Opts;
 use disc_baselines::{Dbscan, ExtraN, IncDbscan, RhoDbscan, WindowClusterer};
 use disc_core::{kdistance, Disc, DiscConfig, IndexBackend};
-use disc_index::GridIndex;
+use disc_index::{CurveIndex, GridIndex};
 use disc_telemetry::{
     chrome_trace_json, folded_stacks, JsonlProvenanceSink, JsonlSink, PromServer, ProvenanceEvent,
     ProvenanceKind, Registry, SpanRecord,
@@ -57,11 +57,13 @@ impl DimCommand for ClusterCmd {
         // checkpoints and WAL replay need `Disc`'s state export, which the
         // `dyn WindowClusterer` facade deliberately hides.
         if opts.checkpoint_dir.is_some() || opts.wal.is_some() {
-            let backend = IndexBackend::parse(&opts.index)
-                .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
+            let backend = IndexBackend::parse(&opts.index).ok_or_else(|| {
+                format!("unknown --index {:?} (rtree, grid, or curve)", opts.index)
+            })?;
             return match backend {
                 IndexBackend::RTree => crate::durable::run_durable::<D, disc_index::RTree<D>>(opts),
                 IndexBackend::Grid => crate::durable::run_durable::<D, GridIndex<D>>(opts),
+                IndexBackend::Curve => crate::durable::run_durable::<D, CurveIndex<D>>(opts),
             };
         }
         let records = load::<D>(opts)?;
@@ -77,7 +79,7 @@ impl DimCommand for ClusterCmd {
         }
 
         let backend = IndexBackend::parse(&opts.index)
-            .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
+            .ok_or_else(|| format!("unknown --index {:?} (rtree, grid, or curve)", opts.index))?;
         let workers = effective_workers(opts);
         let mut method: Box<dyn WindowClusterer<D>> = match (opts.method.as_str(), backend) {
             ("disc", IndexBackend::RTree) => Box::new(Disc::new(
@@ -90,14 +92,25 @@ impl DimCommand for ClusterCmd {
                     .with_backend(backend)
                     .with_threads(workers),
             )),
+            ("disc", IndexBackend::Curve) => Box::new(Disc::<D, CurveIndex<D>>::with_index(
+                DiscConfig::new(eps, tau)
+                    .with_backend(backend)
+                    .with_threads(workers),
+            )),
             ("incdbscan", _) => Box::new(IncDbscan::new(eps, tau)),
             ("extran", IndexBackend::RTree) => Box::new(ExtraN::new(eps, tau, window, stride)),
             ("extran", IndexBackend::Grid) => Box::new(ExtraN::<D, GridIndex<D>>::with_backend(
                 eps, tau, window, stride,
             )),
+            ("extran", IndexBackend::Curve) => Box::new(ExtraN::<D, CurveIndex<D>>::with_backend(
+                eps, tau, window, stride,
+            )),
             ("dbscan", IndexBackend::RTree) => Box::new(Dbscan::new(eps, tau)),
             ("dbscan", IndexBackend::Grid) => {
                 Box::new(Dbscan::<D, GridIndex<D>>::with_backend(eps, tau))
+            }
+            ("dbscan", IndexBackend::Curve) => {
+                Box::new(Dbscan::<D, CurveIndex<D>>::with_backend(eps, tau))
             }
             ("rho2", _) => Box::new(RhoDbscan::new(eps, tau, opts.rho)),
             (other, _) => return Err(format!("unknown --method {other:?}")),

@@ -11,7 +11,7 @@
 use crate::cmd::DimCommand;
 use crate::Opts;
 use disc_core::{backend_of, Disc, DiscConfig, IndexBackend};
-use disc_index::{GridIndex, RTree, SpatialBackend};
+use disc_index::{CurveIndex, GridIndex, RTree, SpatialBackend};
 use disc_persist::{
     checkpoint_path, latest_checkpoint_seq, load_checkpoint, metrics, recover_engine,
     save_checkpoint, Checkpoint, DriverState, FsyncPolicy, WalWriter,
@@ -168,7 +168,7 @@ pub fn run_durable<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<
         ));
     }
     let backend = IndexBackend::parse(&opts.index)
-        .ok_or_else(|| format!("unknown --index {:?} (rtree or grid)", opts.index))?;
+        .ok_or_else(|| format!("unknown --index {:?} (rtree, grid, or curve)", opts.index))?;
 
     let registry = registry_from(opts)?;
     let mut disc: Disc<D, B> = Disc::with_index(
@@ -212,6 +212,7 @@ impl DimCommand for ResumeCmd {
         match backend_of(&ckpt.state) {
             IndexBackend::RTree => resume_with::<D, RTree<D>>(opts),
             IndexBackend::Grid => resume_with::<D, GridIndex<D>>(opts),
+            IndexBackend::Curve => resume_with::<D, CurveIndex<D>>(opts),
         }
     }
 }

@@ -32,7 +32,7 @@ const USAGE: &str = "\
 usage:
   disc cluster  --input F --dim D --eps X --tau N --window W --stride S
                 [--method disc|incdbscan|extran|dbscan|rho2] [--rho X]
-                [--index rtree|grid] [--threads N] [--out F] [--quiet]
+                [--index rtree|grid|curve] [--threads N] [--out F] [--quiet]
                 [--metrics-out F.jsonl] [--prom-addr HOST:PORT]
                 [--stats-every N]
                 [--trace-out F.json] [--folded-out F.txt]
@@ -252,6 +252,19 @@ mod tests {
         assert_eq!(o.rho, 0.1);
         assert_eq!(o.index, "grid");
         assert!(o.quiet);
+    }
+
+    #[test]
+    fn invalid_index_error_lists_all_backends() {
+        // The durable branch resolves the backend before touching the
+        // input, so the error is reachable without a stream on disk.
+        use cmd::DimCommand;
+        let o = parse(&["--index", "kdtree", "--checkpoint-dir", "/tmp/unused"]).unwrap();
+        let err = cmd::ClusterCmd.run::<2>(&o).unwrap_err();
+        assert!(
+            err.contains("rtree, grid, or curve"),
+            "error must name every backend: {err}"
+        );
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             while i < r_minus.len() {
                 let r = r_minus[i];
                 i += 1;
-                let center = self.points.at(r).point;
+                let center = self.points.point_at(r);
 
                 let owned: Vec<PointId>;
                 let ball: &[PointId] = if let Some(b) = prefetched.remove(&r) {
@@ -150,7 +150,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             // Otherwise record the class under its previous cluster's root
             // (still untouched by any relabelling at this point).
             if let Some(&first) = m_minus.first() {
-                let root = self.clusters.find(self.points.at(first).cid.0);
+                let root = self.clusters.find(self.points.meta_at(first).cid.0);
                 classes.push((root, m_minus.clone()));
                 self.emit_prov(disc_telemetry::ProvenanceKind::RetroClassFormed {
                     rep: seed.0,
@@ -218,7 +218,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 // class's check no longer holds the old id — only actual
                 // holders need disambiguation.
                 reps.retain(|rep| {
-                    let cid = self.points.at(*rep).cid.0;
+                    let cid = self.points.meta_at(*rep).cid.0;
                     self.clusters.find(cid) == root
                 });
                 if reps.len() >= 2 {
@@ -338,7 +338,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             while i < r_plus.len() {
                 let r = r_plus[i];
                 i += 1;
-                let center = self.points.at(r).point;
+                let center = self.points.point_at(r);
 
                 let owned: Vec<PointId>;
                 let ball: &[PointId] = if let Some(b) = prefetched.remove(&r) {
@@ -455,7 +455,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             };
         let mut ball_buf: Vec<PointId> = Vec::new();
         for id in pending {
-            let center = self.points.at(id).point;
+            let center = self.points.point_at(id);
             stats.adoption_searches += 1;
             let owned: Vec<PointId>;
             let ball: &[PointId] = if let Some(b) = prefetched.remove(&id) {

@@ -104,7 +104,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     fn delete_per_point(&mut self, batch: &SlideBatch<D>, out: &mut CollectOutcome) {
         let eps = self.cfg.eps;
         for (id, _) in &batch.outgoing {
-            let rec = *self
+            let rec = self
                 .points
                 .get(*id)
                 .unwrap_or_else(|| panic!("outgoing point {id} is not in the window"));

@@ -15,14 +15,18 @@ pub enum IndexBackend {
     RTree,
     /// The ε-aligned uniform grid ([`disc_index::GridIndex`]).
     Grid,
+    /// The Morton-curve-sorted flat array ([`disc_index::CurveIndex`]).
+    Curve,
 }
 
 impl IndexBackend {
-    /// Short name matching `SpatialBackend::NAME` (`"rtree"`, `"grid"`).
+    /// Short name matching `SpatialBackend::NAME` (`"rtree"`, `"grid"`,
+    /// `"curve"`).
     pub fn name(self) -> &'static str {
         match self {
             IndexBackend::RTree => "rtree",
             IndexBackend::Grid => "grid",
+            IndexBackend::Curve => "curve",
         }
     }
 
@@ -31,9 +35,14 @@ impl IndexBackend {
         match s {
             "rtree" => Some(IndexBackend::RTree),
             "grid" => Some(IndexBackend::Grid),
+            "curve" => Some(IndexBackend::Curve),
             _ => None,
         }
     }
+
+    /// Every selectable backend, in the order docs/benches list them.
+    pub const ALL: [IndexBackend; 3] =
+        [IndexBackend::RTree, IndexBackend::Grid, IndexBackend::Curve];
 }
 
 impl std::fmt::Display for IndexBackend {
@@ -183,10 +192,11 @@ mod tests {
         let c = c.with_backend(IndexBackend::Grid);
         assert_eq!(c.backend, IndexBackend::Grid);
         assert_eq!(c.backend.name(), "grid");
-        for b in [IndexBackend::RTree, IndexBackend::Grid] {
+        for b in IndexBackend::ALL {
             assert_eq!(IndexBackend::parse(b.name()), Some(b));
             assert_eq!(b.to_string(), b.name());
         }
+        assert_eq!(IndexBackend::ALL.len(), 3);
         assert_eq!(IndexBackend::parse("kdtree"), None);
     }
 

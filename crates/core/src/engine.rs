@@ -218,7 +218,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             let mut balls: Vec<(PointId, Vec<PointId>)> = Vec::with_capacity(slice.len());
             let mut stats = disc_index::Stats::default();
             for &id in slice {
-                let center = points.at(id).point;
+                let center = points.point_at(id);
                 let mut ball: Vec<PointId> = Vec::new();
                 tree.scan_ball(&center, eps, |qid, _| ball.push(qid), &mut stats);
                 balls.push((id, ball));
@@ -295,7 +295,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         &self.cfg
     }
 
-    /// The backend's short name (`"rtree"`, `"grid"`).
+    /// The backend's short name (`"rtree"`, `"grid"`, `"curve"`).
     pub fn backend_name(&self) -> &'static str {
         B::NAME
     }
@@ -470,7 +470,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
     /// The label of one window point (`None` if not in the window).
     pub fn label_of(&self, id: PointId) -> Option<PointLabel> {
         let rec = self.points.get(id)?;
-        Some(self.resolve_label(rec))
+        Some(self.resolve_label(&rec))
     }
 
     fn resolve_label(&self, rec: &PointRecord<D>) -> PointLabel {
@@ -507,8 +507,8 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         self.points
             .iter()
             .map(|(id, rec)| {
-                let label =
-                    self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache));
+                let label = self
+                    .resolve_label_with(&rec, &mut |x| self.clusters.find_cached(x, &mut cache));
                 (id, label)
             })
             .collect()
@@ -522,8 +522,8 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             .points
             .iter()
             .map(|(id, rec)| {
-                let label =
-                    self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache));
+                let label = self
+                    .resolve_label_with(&rec, &mut |x| self.clusters.find_cached(x, &mut cache));
                 (id, label.as_i64())
             })
             .collect();
@@ -538,8 +538,8 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             .points
             .iter()
             .map(|(id, rec)| {
-                let label =
-                    self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache));
+                let label = self
+                    .resolve_label_with(&rec, &mut |x| self.clusters.find_cached(x, &mut cache));
                 (id, rec.point, label.as_i64())
             })
             .collect();
@@ -566,7 +566,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let mut border = 0;
         let mut noise = 0;
         for (_, rec) in self.points.iter() {
-            match self.resolve_label_with(rec, &mut |x| self.clusters.find_cached(x, &mut cache)) {
+            match self.resolve_label_with(&rec, &mut |x| self.clusters.find_cached(x, &mut cache)) {
                 PointLabel::Core(_) => core += 1,
                 PointLabel::Border(_) => border += 1,
                 PointLabel::Noise => noise += 1,
@@ -1056,5 +1056,23 @@ mod tests {
         assert_eq!(rtree.assignments(), grid.assignments());
         assert_eq!(rtree.num_clusters(), grid.num_clusters());
         grid.check_invariants();
+    }
+
+    #[test]
+    fn curve_backend_clusters_like_the_default() {
+        let pts: Vec<(u64, [f64; 2])> = (0..12)
+            .map(|i| (i, [(i % 4) as f64 * 0.5, (i / 4) as f64 * 0.5]))
+            .chain((20..24).map(|i| (i, [50.0 + (i % 4) as f64 * 0.5, 0.0])))
+            .collect();
+        let b = batch(&pts, &[]);
+        let mut rtree: Disc<2> = Disc::new(DiscConfig::new(1.0, 3));
+        let mut curve: Disc<2, disc_index::CurveIndex<2>> =
+            Disc::with_index(DiscConfig::new(1.0, 3));
+        assert_eq!(curve.backend_name(), "curve");
+        rtree.apply(&b);
+        curve.apply(&b);
+        assert_eq!(rtree.assignments(), curve.assignments());
+        assert_eq!(rtree.num_clusters(), curve.num_clusters());
+        curve.check_invariants();
     }
 }

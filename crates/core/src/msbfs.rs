@@ -128,7 +128,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 Some(probe) => {
                     let marked = self
                         .tree
-                        .mark_visited(probe, &self.points.at(s).point, s, t);
+                        .mark_visited(probe, &self.points.point_at(s), s, t);
                     debug_assert!(marked, "starter {s} missing from the index");
                 }
                 None => {
@@ -183,7 +183,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 rounds += 1;
                 made_progress = true;
 
-                let center = self.points.at(r).point;
+                let center = self.points.point_at(r);
                 let mut merge_with: Vec<u32> = Vec::new();
 
                 if let Some(probe) = probe {
@@ -297,7 +297,7 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
         let tree = &self.tree;
         let points = &self.points;
         let tasks = self.pool.run(fronts.len(), |i| {
-            let center = points.at(fronts[i]).point;
+            let center = points.point_at(fronts[i]);
             let mut hits: Vec<PointId> = Vec::new();
             let mut stats = disc_index::Stats::default();
             tree.scan_ball(
@@ -350,14 +350,14 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             if let Some(probe) = probe {
                 let marked = self
                     .tree
-                    .mark_visited(probe, &self.points.at(s).point, s, slot);
+                    .mark_visited(probe, &self.points.point_at(s), s, slot);
                 debug_assert!(marked, "starter {s} missing from the index");
             }
             let mut queue: VecDeque<PointId> = VecDeque::new();
             queue.push_back(s);
             while let Some(r) = queue.pop_front() {
                 rounds += 1;
-                let center = self.points.at(r).point;
+                let center = self.points.point_at(r);
                 if let Some(probe) = probe {
                     out.clear();
                     let points = &self.points;

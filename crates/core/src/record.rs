@@ -29,16 +29,98 @@ pub struct PointRecord<const D: usize> {
     pub adopter: Option<PointId>,
 }
 
-impl<const D: usize> PointRecord<D> {
-    /// Fresh record for a point entering the window.
-    pub fn new(point: Point<D>) -> Self {
-        PointRecord {
-            point,
+/// The non-spatial half of a [`PointRecord`].
+///
+/// The window store keeps coordinates in struct-of-arrays columns (see
+/// `disc_geom::soa`) and the algorithmic state in a parallel `PointMeta`
+/// column; `PointRecord` is the assembled-on-read AoS *view* the engine
+/// APIs keep exposing. Mutation paths go straight at the meta column — the
+/// hot loops of COLLECT/CLUSTER never rewrite coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointMeta {
+    /// Self-inclusive ε-neighbour count `n_ε(p)`.
+    pub n_eps: u32,
+    /// Whether the point is in the current window (`C_out` ghosts: false).
+    pub in_window: bool,
+    /// Core status at the end of the previous slide.
+    pub prev_core: bool,
+    /// Raw cluster id; resolve through the cluster DSU.
+    pub cid: ClusterId,
+    /// Adopting core for non-core points; `None` = noise/unresolved.
+    pub adopter: Option<PointId>,
+}
+
+impl PointMeta {
+    /// Fresh meta for a point entering the window.
+    pub fn new() -> Self {
+        PointMeta {
             n_eps: 1, // the point itself
             in_window: true,
             prev_core: false,
             cid: ClusterId(u32::MAX),
             adopter: None,
+        }
+    }
+
+    /// Core predicate for the *current* window given τ.
+    #[inline]
+    pub fn is_core(&self, tau: usize) -> bool {
+        self.in_window && self.n_eps as usize >= tau
+    }
+
+    /// "Core in both windows" — the membership test of `M⁻`/`M⁺`.
+    #[inline]
+    pub fn core_in_both(&self, tau: usize) -> bool {
+        self.prev_core && self.is_core(tau)
+    }
+
+    /// Ex-core predicate (Def. 1).
+    #[inline]
+    pub fn is_ex_core(&self, tau: usize) -> bool {
+        self.prev_core && !self.is_core(tau)
+    }
+
+    /// Neo-core predicate (Def. 2).
+    #[inline]
+    pub fn is_neo_core(&self, tau: usize) -> bool {
+        !self.prev_core && self.is_core(tau)
+    }
+}
+
+impl Default for PointMeta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> PointRecord<D> {
+    /// Fresh record for a point entering the window.
+    pub fn new(point: Point<D>) -> Self {
+        Self::from_parts(point, PointMeta::new())
+    }
+
+    /// Assembles the AoS view from a coordinate and its meta column entry.
+    #[inline]
+    pub fn from_parts(point: Point<D>, meta: PointMeta) -> Self {
+        PointRecord {
+            point,
+            n_eps: meta.n_eps,
+            in_window: meta.in_window,
+            prev_core: meta.prev_core,
+            cid: meta.cid,
+            adopter: meta.adopter,
+        }
+    }
+
+    /// The non-spatial half, column-ready.
+    #[inline]
+    pub fn meta(&self) -> PointMeta {
+        PointMeta {
+            n_eps: self.n_eps,
+            in_window: self.in_window,
+            prev_core: self.prev_core,
+            cid: self.cid,
+            adopter: self.adopter,
         }
     }
 

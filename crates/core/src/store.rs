@@ -1,4 +1,4 @@
-//! A ring-buffer point store.
+//! A ring-buffer point store over struct-of-arrays columns.
 //!
 //! Under the count-based sliding window, live point ids always fall in a
 //! span of at most `window + stride` consecutive arrival indices (window
@@ -7,14 +7,29 @@
 //! store maps `id → slot = id mod capacity`, giving O(1) array access with
 //! no hashing. Capacity doubles transparently if a slide ever widens the
 //! live span (e.g. a first window smaller than later strides).
+//!
+//! Storage is split columnar (see [`disc_geom::soa`]): coordinates live in
+//! one contiguous `Vec<f64>` per dimension (the id column doubles as the
+//! occupancy map, [`EMPTY_ROW`] marking free slots), and the algorithmic
+//! per-point state lives in a parallel [`PointMeta`] column. Reads
+//! reassemble the familiar [`PointRecord`] *view* by value — `PointRecord`
+//! is `Copy` and two cache lines wide, so the view costs no more than the
+//! old `&PointRecord` double-indirection did — while mutation goes through
+//! [`get_mut`](PointStore::get_mut) straight at the meta column without
+//! touching coordinates.
 
-use crate::record::PointRecord;
-use disc_geom::PointId;
+use crate::record::{PointMeta, PointRecord};
+use disc_geom::soa::{PointStore as SoaColumns, EMPTY_ROW};
+use disc_geom::{Point, PointId};
 
 /// Dense id-indexed storage for the window's [`PointRecord`]s.
 #[derive(Clone, Debug)]
 pub struct PointStore<const D: usize> {
-    slots: Vec<Option<(PointId, PointRecord<D>)>>,
+    /// Coordinate + id columns; `ids[slot] == EMPTY_ROW` marks a free slot
+    /// (the tick column carries the raw id for diagnostics).
+    coords: SoaColumns<D>,
+    /// Algorithmic state, parallel to the coordinate rows.
+    meta: Vec<PointMeta>,
     len: usize,
 }
 
@@ -27,8 +42,11 @@ impl<const D: usize> Default for PointStore<D> {
 impl<const D: usize> PointStore<D> {
     /// An empty store.
     pub fn new() -> Self {
+        let mut coords = SoaColumns::new();
+        coords.resize_rows(1024);
         PointStore {
-            slots: vec![None; 1024],
+            coords,
+            meta: vec![PointMeta::new(); 1024],
             len: 0,
         }
     }
@@ -45,39 +63,63 @@ impl<const D: usize> PointStore<D> {
 
     #[inline]
     fn slot(&self, id: PointId) -> usize {
-        (id.raw() as usize) & (self.slots.len() - 1)
+        (id.raw() as usize) & (self.coords.len() - 1)
     }
 
-    /// Read access; `None` if `id` is not stored.
     #[inline]
-    pub fn get(&self, id: PointId) -> Option<&PointRecord<D>> {
-        match &self.slots[self.slot(id)] {
-            Some((sid, rec)) if *sid == id => Some(rec),
-            _ => None,
-        }
-    }
-
-    /// Mutable access; `None` if `id` is not stored.
-    #[inline]
-    pub fn get_mut(&mut self, id: PointId) -> Option<&mut PointRecord<D>> {
+    fn slot_of(&self, id: PointId) -> Option<usize> {
         let slot = self.slot(id);
-        match &mut self.slots[slot] {
-            Some((sid, rec)) if *sid == id => Some(rec),
-            _ => None,
-        }
+        (self.coords.id_at(slot) == id.raw()).then_some(slot)
+    }
+
+    /// Read access (assembled by value); `None` if `id` is not stored.
+    #[inline]
+    pub fn get(&self, id: PointId) -> Option<PointRecord<D>> {
+        let slot = self.slot_of(id)?;
+        Some(PointRecord::from_parts(
+            self.coords.point_at(slot),
+            self.meta[slot],
+        ))
+    }
+
+    /// Mutable access to the algorithmic state; `None` if `id` is not
+    /// stored. Coordinates are immutable once inserted.
+    #[inline]
+    pub fn get_mut(&mut self, id: PointId) -> Option<&mut PointMeta> {
+        let slot = self.slot_of(id)?;
+        Some(&mut self.meta[slot])
     }
 
     /// Read access that panics on a missing id (hot-path `[]` analogue).
     #[inline]
-    pub fn at(&self, id: PointId) -> &PointRecord<D> {
+    pub fn at(&self, id: PointId) -> PointRecord<D> {
         self.get(id)
             .unwrap_or_else(|| panic!("point {id} not in the store"))
+    }
+
+    /// Coordinate-only read, skipping meta assembly (hot-path helper for
+    /// the many `at(id).point` sites). Panics on a missing id.
+    #[inline]
+    pub fn point_at(&self, id: PointId) -> Point<D> {
+        match self.slot_of(id) {
+            Some(slot) => self.coords.point_at(slot),
+            None => panic!("point {id} not in the store"),
+        }
+    }
+
+    /// Meta-only read by value. Panics on a missing id.
+    #[inline]
+    pub fn meta_at(&self, id: PointId) -> PointMeta {
+        match self.slot_of(id) {
+            Some(slot) => self.meta[slot],
+            None => panic!("point {id} not in the store"),
+        }
     }
 
     /// Whether `id` is stored.
     #[inline]
     pub fn contains(&self, id: PointId) -> bool {
-        self.get(id).is_some()
+        self.slot_of(id).is_some()
     }
 
     /// Inserts a record. Panics if `id` is already present (the window
@@ -86,53 +128,70 @@ impl<const D: usize> PointStore<D> {
     pub fn insert(&mut self, id: PointId, rec: PointRecord<D>) {
         loop {
             let slot = self.slot(id);
-            match &self.slots[slot] {
-                None => {
-                    self.slots[slot] = Some((id, rec));
-                    self.len += 1;
-                    return;
-                }
-                Some((sid, _)) if *sid == id => {
-                    panic!("point {id} inserted twice");
-                }
-                Some(_) => self.grow(),
+            let occupant = self.coords.id_at(slot);
+            if occupant == EMPTY_ROW {
+                self.coords.set_row(slot, id.raw(), id.raw(), &rec.point);
+                self.meta[slot] = rec.meta();
+                self.len += 1;
+                return;
             }
+            if occupant == id.raw() {
+                panic!("point {id} inserted twice");
+            }
+            self.grow();
         }
     }
 
     /// Removes and returns the record for `id`.
     pub fn remove(&mut self, id: PointId) -> Option<PointRecord<D>> {
-        let slot = self.slot(id);
-        match &self.slots[slot] {
-            Some((sid, _)) if *sid == id => {
-                self.len -= 1;
-                self.slots[slot].take().map(|(_, rec)| rec)
-            }
-            _ => None,
-        }
+        let slot = self.slot_of(id)?;
+        let rec = PointRecord::from_parts(self.coords.point_at(slot), self.meta[slot]);
+        self.coords.clear_row(slot);
+        self.len -= 1;
+        Some(rec)
     }
 
     fn grow(&mut self) {
-        let new_cap = self.slots.len() * 2;
-        let mut bigger: Vec<Option<(PointId, PointRecord<D>)>> = vec![None; new_cap];
-        for entry in self.slots.drain(..).flatten() {
-            let slot = (entry.0.raw() as usize) & (new_cap - 1);
-            debug_assert!(bigger[slot].is_none(), "live span exceeds doubled capacity");
-            bigger[slot] = Some(entry);
+        let old_cap = self.coords.len();
+        let new_cap = old_cap * 2;
+        let mut coords = SoaColumns::new();
+        coords.resize_rows(new_cap);
+        let mut meta = vec![PointMeta::new(); new_cap];
+        for slot in 0..old_cap {
+            let raw = self.coords.id_at(slot);
+            if raw == EMPTY_ROW {
+                continue;
+            }
+            let new_slot = (raw as usize) & (new_cap - 1);
+            debug_assert!(
+                coords.id_at(new_slot) == EMPTY_ROW,
+                "live span exceeds doubled capacity"
+            );
+            let p = self.coords.point_at(slot);
+            coords.set_row(new_slot, raw, raw, &p);
+            meta[new_slot] = self.meta[slot];
         }
-        self.slots = bigger;
+        self.coords = coords;
+        self.meta = meta;
     }
 
-    /// Iterates over `(id, record)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (PointId, &PointRecord<D>)> {
-        self.slots
-            .iter()
-            .filter_map(|s| s.as_ref().map(|(id, rec)| (*id, rec)))
+    /// Iterates over `(id, record)` pairs (records by value) in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, PointRecord<D>)> + '_ {
+        (0..self.coords.len()).filter_map(move |slot| {
+            let raw = self.coords.id_at(slot);
+            (raw != EMPTY_ROW).then(|| {
+                (
+                    PointId(raw),
+                    PointRecord::from_parts(self.coords.point_at(slot), self.meta[slot]),
+                )
+            })
+        })
     }
 
     /// Pre-sizes the store for an expected live span.
     pub fn reserve_span(&mut self, span: usize) {
-        while self.slots.len() < span.next_power_of_two() {
+        while self.coords.len() < span.next_power_of_two() {
             self.grow();
         }
     }
@@ -155,6 +214,7 @@ mod tests {
         }
         assert_eq!(s.len(), 500);
         assert_eq!(s.at(PointId(42)).point[0], 42.0);
+        assert_eq!(s.point_at(PointId(42))[0], 42.0);
         assert!(s.get(PointId(9999)).is_none());
         assert_eq!(s.remove(PointId(42)).unwrap().point[0], 42.0);
         assert!(s.get(PointId(42)).is_none());
@@ -197,7 +257,22 @@ mod tests {
         s.insert(PointId(7), rec(1.0));
         s.get_mut(PointId(7)).unwrap().n_eps = 99;
         assert_eq!(s.at(PointId(7)).n_eps, 99);
+        assert_eq!(s.meta_at(PointId(7)).n_eps, 99);
         assert!(s.get_mut(PointId(8)).is_none());
+    }
+
+    #[test]
+    fn meta_survives_growth() {
+        let mut s: PointStore<2> = PointStore::new();
+        for i in 0..2000u64 {
+            s.insert(PointId(i), rec(i as f64));
+            s.get_mut(PointId(i)).unwrap().n_eps = i as u32 + 10;
+        }
+        for i in 0..2000u64 {
+            let r = s.at(PointId(i));
+            assert_eq!(r.n_eps, i as u32 + 10);
+            assert_eq!(r.point[0], i as f64);
+        }
     }
 
     #[test]

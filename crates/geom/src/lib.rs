@@ -9,6 +9,7 @@
 pub mod aabb;
 pub mod fxhash;
 pub mod point;
+pub mod soa;
 
 pub use aabb::Aabb;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

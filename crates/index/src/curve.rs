@@ -1,0 +1,1351 @@
+//! A Morton-curve-ordered flat spatial backend.
+//!
+//! Entries live in struct-of-arrays columns (one `Vec<f64>` per dimension
+//! plus id/tick/epoch columns, see [`disc_geom::soa`]) sorted by the Morton
+//! key of their ε-aligned cell, ties broken by id. "Cell" means exactly what
+//! it means for [`GridIndex`](crate::GridIndex) — the axis-aligned cube of
+//! edge ε containing the point — but instead of hashing cells, the curve
+//! order makes each cell a *contiguous run* of rows, and makes nearby cells
+//! nearby runs:
+//!
+//! * **ε-ball answering** — the query box (the grid's 3^D neighbourhood)
+//!   decomposes into O(log) contiguous key ranges
+//!   ([`disc_geom::soa::morton_ranges`]); each range is two binary searches
+//!   plus a linear sweep over SoA columns through the 4-wide ε-filter kernel.
+//!   Runs are corner-distance rejected exactly like grid cells.
+//! * **bulk construction** — STR-spirited: sort the batch once, then one
+//!   backward in-place merge with the resident rows (every resident row
+//!   moves at most once; 1.0-fill since flat columns have no node slack).
+//! * **stride eviction** — the window driver always evicts the oldest
+//!   stride. Rather than deleting per entry (R-tree: descend + condense
+//!   each; grid: hash probe each), the batch is located run-by-run and the
+//!   survivors compacted in one O(batch + shift) teardown pass over the
+//!   flat columns — the teardown-tree bulk-delete idea applied to a sorted
+//!   array.
+//! * **epoch probing** — per-entry `(tick, owner)` marks in an epoch
+//!   column; the cell-stamp analogue of grid cells / R-tree branches is a
+//!   small hash map keyed by Morton key, cleared at `begin_epoch`.
+//!
+//! The trade-off against the grid is mutation cost (a sorted array shifts
+//! on single inserts) in exchange for cache-linear scans and the cheap
+//! teardown eviction; DISC's slide path is bulk-everything, so the single
+//! mutation paths only serve the `enable_bulk_slide = false` ablation.
+
+use crate::epoch::{EpochProbe, ProbeOutcome};
+use crate::node::Epoch;
+use crate::stats::Stats;
+use disc_geom::soa::{
+    eps_mask_block, morton_bits, morton_cell_coord, morton_decode, morton_ranges, PointStore,
+};
+use disc_geom::{FxHashMap, Point, PointId};
+
+/// Budget for the box→ranges decomposition; past this the decomposition
+/// over-covers (still exact — runs are corner-rejected and exact-filtered).
+const MAX_QUERY_RANGES: usize = 64;
+
+/// A Morton-ordered flat index over `D`-dimensional points with ε-aligned
+/// cells. Construct through
+/// [`SpatialBackend::with_eps_hint`](crate::SpatialBackend::with_eps_hint)
+/// or [`CurveIndex::with_cell`].
+#[derive(Clone, Debug)]
+pub struct CurveIndex<const D: usize> {
+    /// Cell edge length.
+    cell: f64,
+    /// `1.0 / cell`, precomputed for the key mapping.
+    inv_cell: f64,
+    /// Morton key per row, sorted ascending (ties broken by ascending id).
+    keys: Vec<u64>,
+    /// SoA coordinate/id/arrival-tick columns, parallel to `keys`.
+    rows: PointStore<D>,
+    /// Per-entry epoch marks, parallel to `keys`.
+    epochs: Vec<Epoch>,
+    /// Cell-level stamps (the analogue of grid cell / R-tree branch
+    /// epochs), keyed by Morton key. Cleared when a new epoch begins.
+    stamps: FxHashMap<u64, Epoch>,
+    /// Monotone arrival counter feeding the tick column.
+    arrivals: u64,
+    tick_counter: u64,
+    stats: Stats,
+}
+
+impl<const D: usize> CurveIndex<D> {
+    /// Creates an empty index with the given cell edge length.
+    pub fn with_cell(cell: f64) -> Self {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "curve cell width must be positive and finite"
+        );
+        CurveIndex {
+            cell,
+            inv_cell: 1.0 / cell,
+            keys: Vec::new(),
+            rows: PointStore::new(),
+            epochs: Vec::new(),
+            stamps: FxHashMap::default(),
+            arrivals: 0,
+            tick_counter: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The cell edge length in force.
+    pub fn cell_width(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of distinct occupied cells, i.e. key runs (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        let mut n = 0usize;
+        let mut prev = None;
+        for &k in &self.keys {
+            if prev != Some(k) {
+                n += 1;
+                prev = Some(k);
+            }
+        }
+        n
+    }
+
+    /// Read access to the operation counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Mutable access to the operation counters: the parallel engine merges
+    /// per-worker [`Stats`] deltas back here after a read-only scan phase.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Morton key of `point`.
+    #[inline]
+    fn key_of(&self, point: &Point<D>) -> u64 {
+        disc_geom::soa::morton_key(point, self.inv_cell)
+    }
+
+    /// Rank of `(key, id)` in the sorted order: `Ok(row)` if present,
+    /// `Err(insertion_row)` otherwise.
+    fn locate(&self, key: u64, id: PointId) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = self.keys.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let probe = (self.keys[mid], self.rows.id_at(mid));
+            if probe < (key, id.raw()) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.keys.len() && self.keys[lo] == key && self.rows.id_at(lo) == id.raw() {
+            Ok(lo)
+        } else {
+            Err(lo)
+        }
+    }
+
+    /// Row span `[start, end)` of the run for `key`.
+    fn run_of(&self, key: u64) -> (usize, usize) {
+        let start = self.keys.partition_point(|&k| k < key);
+        let end = self.keys.partition_point(|&k| k <= key);
+        (start, end)
+    }
+
+    /// Inserts a point (O(n) shift; the slide path uses the bulk routes).
+    pub fn insert(&mut self, id: PointId, point: Point<D>) {
+        debug_assert!(point.is_finite(), "refusing to index a non-finite point");
+        self.stats.inserts += 1;
+        let key = self.key_of(&point);
+        let row = match self.locate(key, id) {
+            Ok(_) => panic!("duplicate curve entry for {id}"),
+            Err(row) => row,
+        };
+        self.keys.insert(row, key);
+        self.epochs.insert(row, Epoch::CLEAR);
+        self.rows.insert_row(row, id.raw(), self.arrivals, &point);
+        self.arrivals += 1;
+        // A fresh (unvisited) entry invalidates any uniform-ownership stamp.
+        self.stamps.remove(&key);
+    }
+
+    /// Removes the entry for `id` at `point`; returns whether it was found.
+    pub fn remove(&mut self, id: PointId, point: Point<D>) -> bool {
+        let key = self.key_of(&point);
+        let Ok(row) = self.locate(key, id) else {
+            return false;
+        };
+        self.keys.remove(row);
+        self.epochs.remove(row);
+        self.rows.remove_row(row);
+        self.stats.removes += 1;
+        true
+    }
+
+    /// Bulk construction/merge: sorts the batch by (key, id) and merges it
+    /// into the resident rows backward in place — one pass, every resident
+    /// row moves at most once, no per-item binary search.
+    pub fn bulk_insert(&mut self, items: Vec<(PointId, Point<D>)>) {
+        if items.is_empty() {
+            return;
+        }
+        self.stats.bulk_insert_batches += 1;
+        self.stats.bulk_nodes_visited += items.len() as u64;
+        self.stats.inserts += items.len() as u64;
+        let mut batch: Vec<(u64, PointId, Point<D>)> = items
+            .into_iter()
+            .map(|(id, p)| {
+                debug_assert!(p.is_finite(), "refusing to index a non-finite point");
+                (self.key_of(&p), id, p)
+            })
+            .collect();
+        batch.sort_unstable_by_key(|&(key, id, _)| (key, id.raw()));
+        for &(key, _, _) in &batch {
+            self.stamps.remove(&key);
+        }
+        // Arrival ticks are handed out in batch (sorted) order.
+        let first_tick = self.arrivals;
+        self.arrivals += batch.len() as u64;
+
+        let n = self.keys.len();
+        let m = batch.len();
+        self.keys.resize(n + m, 0);
+        self.epochs.resize(n + m, Epoch::CLEAR);
+        self.rows.resize_rows(n + m);
+        let mut i = n; // resident rows left to place
+        let mut j = m; // batch rows left to place
+        let mut w = n + m; // next write position (exclusive)
+        while j > 0 {
+            let b = &batch[j - 1];
+            if i > 0 && (self.keys[i - 1], self.rows.id_at(i - 1)) > (b.0, b.1.raw()) {
+                w -= 1;
+                i -= 1;
+                if w != i {
+                    self.keys[w] = self.keys[i];
+                    self.epochs[w] = self.epochs[i];
+                    self.rows.copy_row_within(i, w);
+                }
+            } else {
+                w -= 1;
+                j -= 1;
+                self.keys[w] = b.0;
+                self.epochs[w] = Epoch::CLEAR;
+                self.rows.set_row(w, b.1.raw(), first_tick + j as u64, &b.2);
+            }
+        }
+    }
+
+    /// Teardown-style bulk removal; returns how many entries were found and
+    /// removed.
+    ///
+    /// The batch is sorted by (key, id), each item located in its run (the
+    /// per-item cell access and entry scans are counted exactly like the
+    /// grid's: one `bulk_nodes_visited` per item, `bulk_leaf_scans` for the
+    /// entries examined), and then the survivors are compacted in a single
+    /// left-to-right pass over all columns — O(batch·log n + shift), with
+    /// every survivor moving at most once regardless of how the evicted
+    /// stride is scattered across the curve.
+    pub fn bulk_remove(&mut self, items: &[(PointId, Point<D>)]) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        self.stats.bulk_remove_batches += 1;
+        if let Some(removed) = self.teardown_contiguous(items) {
+            return removed;
+        }
+        let mut keep = vec![true; self.keys.len()];
+        let mut removed = 0usize;
+        for (id, p) in items {
+            self.stats.bulk_nodes_visited += 1;
+            let key = self.key_of(p);
+            let (start, end) = self.run_of(key);
+            let mut found = None;
+            let mut scanned = 0u64;
+            for (row, &kept) in keep.iter().enumerate().take(end).skip(start) {
+                if !kept {
+                    continue; // already claimed by this batch
+                }
+                scanned += 1;
+                if self.rows.id_at(row) == id.raw() {
+                    found = Some(row);
+                    break;
+                }
+            }
+            self.stats.bulk_leaf_scans += scanned;
+            if let Some(row) = found {
+                keep[row] = false;
+                self.stats.removes += 1;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            let mut w = 0usize;
+            for (r, &k) in keep.iter().enumerate() {
+                if k {
+                    if w != r {
+                        self.keys[w] = self.keys[r];
+                        self.epochs[w] = self.epochs[r];
+                    }
+                    w += 1;
+                }
+            }
+            self.keys.truncate(w);
+            self.epochs.truncate(w);
+            self.rows.compact_retain(&keep);
+        }
+        removed
+    }
+
+    /// Stride-teardown fast path for [`bulk_remove`](Self::bulk_remove):
+    /// when the batch's ids form a contiguous, duplicate-free arrival
+    /// range — the shape every window eviction has, since the driver
+    /// always evicts the oldest stride — the per-item `(key, id)` binary
+    /// searches collapse into one branch-light sweep over the id column
+    /// that emits the survivor runs directly, and the compaction becomes
+    /// one memmove per run per column. A candidate row is dropped only
+    /// when its stored key matches the key derived from the batch's point
+    /// for that id, the same check the per-item path performs through its
+    /// run scan, so a stale coordinate skips the row identically. Returns
+    /// `None` (with the index and stats untouched) when the batch does
+    /// not have the teardown shape.
+    fn teardown_contiguous(&mut self, items: &[(PointId, Point<D>)]) -> Option<usize> {
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for (id, _) in items {
+            lo = lo.min(id.raw());
+            hi = hi.max(id.raw());
+        }
+        if hi - lo + 1 != items.len() as u64 {
+            return None;
+        }
+        // One expected key per arrival slot; a duplicate id means the
+        // range has a hole elsewhere, so fall back to the general path.
+        let mut batch_keys = vec![0u64; items.len()];
+        let mut seen = vec![false; items.len()];
+        for (id, p) in items {
+            let slot = (id.raw() - lo) as usize;
+            if seen[slot] {
+                return None;
+            }
+            seen[slot] = true;
+            batch_keys[slot] = self.key_of(p);
+        }
+        self.stats.bulk_nodes_visited += items.len() as u64;
+        let n = self.keys.len();
+        let mut runs: Vec<(usize, usize)> = Vec::with_capacity(items.len() + 1);
+        let mut run_start = 0usize;
+        let mut removed = 0usize;
+        let mut leaf_scans = 0u64;
+        let span = hi - lo;
+        {
+            // Two-phase sweep per 64-row block: a branchless in-range
+            // bitmask over the id column (one compare for both bounds —
+            // ids below `lo` wrap to huge), then only the set bits walk
+            // the key check. Candidate rows are a scattered minority, so
+            // folding the range test into data flow instead of a
+            // mispredicted branch per row pays for the extra pass.
+            let ids = self.rows.ids();
+            for (w, chunk) in ids.chunks(64).enumerate() {
+                let mut word = 0u64;
+                for (b, &id) in chunk.iter().enumerate() {
+                    word |= ((id.wrapping_sub(lo) <= span) as u64) << b;
+                }
+                leaf_scans += u64::from(word.count_ones());
+                while word != 0 {
+                    let row = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if self.keys[row] == batch_keys[(ids[row] - lo) as usize] {
+                        if run_start < row {
+                            runs.push((run_start, row));
+                        }
+                        run_start = row + 1;
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        self.stats.bulk_leaf_scans += leaf_scans;
+        self.stats.removes += removed as u64;
+        if removed == 0 {
+            return Some(0);
+        }
+        if run_start < n {
+            runs.push((run_start, n));
+        }
+        let mut w = 0usize;
+        for &(s, e) in &runs {
+            if w != s {
+                self.keys.copy_within(s..e, w);
+            }
+            w += e - s;
+        }
+        self.keys.truncate(w);
+        // Epoch stamps are deliberately *not* realigned: a stamp is only
+        // ever read back under the tick that wrote it, `begin_epoch`
+        // monotonically outruns every stored tick, and no probe is live
+        // across a bulk removal (removal and MS-BFS are separate slide
+        // phases), so the stale stamps left behind read as unvisited.
+        self.epochs.truncate(w);
+        self.rows.compact_runs(&runs);
+        Some(removed)
+    }
+
+    /// The biased cell-coordinate box covering the ε-ball around `center`.
+    #[inline]
+    fn query_box(&self, center: &Point<D>, eps: f64) -> ([u32; D], [u32; D]) {
+        let bits = morton_bits(D);
+        let lo = std::array::from_fn(|d| morton_cell_coord(center[d] - eps, self.inv_cell, bits));
+        let hi = std::array::from_fn(|d| morton_cell_coord(center[d] + eps, self.inv_cell, bits));
+        (lo, hi)
+    }
+
+    /// Walks every key run intersecting the ε-ball's cell box, calling
+    /// `visit(key, start, end)` per run. Runs are *not* corner-rejected
+    /// here — callers do that so they control the counter accounting.
+    fn for_each_run_in_range(
+        keys: &[u64],
+        ranges: &[(u64, u64)],
+        mut visit: impl FnMut(u64, usize, usize),
+    ) {
+        for &(rlo, rhi) in ranges {
+            let mut i = keys.partition_point(|&k| k < rlo);
+            let span_end = keys.partition_point(|&k| k <= rhi);
+            while i < span_end {
+                let key = keys[i];
+                let mut j = i + 1;
+                while j < span_end && keys[j] == key {
+                    j += 1;
+                }
+                visit(key, i, j);
+                i = j;
+            }
+        }
+    }
+
+    /// Calls `f(id, point)` for every stored point within `eps` of `center`
+    /// (inclusive), in unspecified order.
+    pub fn for_each_in_ball(
+        &mut self,
+        center: &Point<D>,
+        eps: f64,
+        f: impl FnMut(PointId, &Point<D>),
+    ) {
+        let mut stats = self.stats;
+        self.scan_ball(center, eps, f, &mut stats);
+        self.stats = stats;
+    }
+
+    /// Read-only flavour of [`for_each_in_ball`](Self::for_each_in_ball)
+    /// with caller-supplied counters; shareable across workers on `&self`
+    /// (see the R-tree counterpart for the parallel-engine contract).
+    pub fn scan_ball(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        mut f: impl FnMut(PointId, &Point<D>),
+        stats: &mut Stats,
+    ) {
+        stats.range_searches += 1;
+        let (runs, checks) = self.scan_one(center, eps, &mut f);
+        stats.nodes_visited += runs;
+        stats.distance_checks += checks;
+    }
+
+    /// Shared single-center scan core; returns (runs visited, distance
+    /// checks) so callers can file them under per-point or bulk counters.
+    fn scan_one(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        f: &mut impl FnMut(PointId, &Point<D>),
+    ) -> (u64, u64) {
+        let eps2 = eps * eps;
+        let (lo, hi) = self.query_box(center, eps);
+        let mut ranges = Vec::with_capacity(16);
+        morton_ranges(&lo, &hi, MAX_QUERY_RANGES, &mut ranges);
+        let cols = self.rows.col_slices();
+        let mut runs_visited = 0u64;
+        let mut dist_checks = 0u64;
+        Self::for_each_run_in_range(&self.keys, &ranges, |key, start, end| {
+            let cell = morton_decode::<D>(key);
+            if cell_min_dist2(&cell, self.cell, center) > eps2 {
+                return; // corner run of the box, entirely out of range
+            }
+            runs_visited += 1;
+            dist_checks += (end - start) as u64;
+            let mut at = start;
+            while at < end {
+                let n = (end - at).min(64);
+                let mut mask = eps_mask_block(&cols, at, n, center, eps2);
+                while mask != 0 {
+                    let bit = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let row = at + bit;
+                    let p = self.rows.point_at(row);
+                    f(PointId(self.rows.id_at(row)), &p);
+                }
+                at += n;
+            }
+        });
+        (runs_visited, dist_checks)
+    }
+
+    /// Clears `out` and fills it with the ids within `eps` of `center`.
+    pub fn ball_ids_into(&mut self, center: &Point<D>, eps: f64, out: &mut Vec<PointId>) {
+        out.clear();
+        self.for_each_in_ball(center, eps, |id, _| out.push(id));
+    }
+
+    /// Counts the points within `eps` of `center`.
+    pub fn ball_count(&mut self, center: &Point<D>, eps: f64) -> usize {
+        let mut n = 0usize;
+        self.for_each_in_ball(center, eps, |_, _| n += 1);
+        n
+    }
+
+    /// Multi-center ε-ball traversal; see
+    /// [`SpatialBackend::for_each_in_balls`](crate::SpatialBackend::for_each_in_balls).
+    ///
+    /// Served center by center (curve ranges per center are already
+    /// contiguous scans); counts as `centers.len()` range searches plus one
+    /// batched traversal, matching the other backends' accounting.
+    pub fn for_each_in_balls(
+        &mut self,
+        centers: &[Point<D>],
+        eps: f64,
+        f: impl FnMut(usize, PointId, &Point<D>),
+    ) {
+        let mut stats = self.stats;
+        self.scan_balls(centers, eps, f, &mut stats);
+        self.stats = stats;
+    }
+
+    /// Read-only flavour of [`for_each_in_balls`](Self::for_each_in_balls)
+    /// with caller-supplied counters; same sharing contract as
+    /// [`scan_ball`](Self::scan_ball).
+    pub fn scan_balls(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
+        mut f: impl FnMut(usize, PointId, &Point<D>),
+        stats: &mut Stats,
+    ) {
+        if centers.is_empty() {
+            return;
+        }
+        stats.range_searches += centers.len() as u64;
+        stats.multi_ball_queries += 1;
+        stats.multi_ball_centers += centers.len() as u64;
+        for (ci, center) in centers.iter().enumerate() {
+            let (runs, checks) = self.scan_one(center, eps, &mut |id, p| f(ci, id, p));
+            stats.bulk_nodes_visited += runs;
+            stats.bulk_leaf_scans += checks;
+        }
+    }
+
+    /// Iterates over every stored `(id, point)` pair (diagnostics/tests).
+    pub fn for_each(&self, mut f: impl FnMut(PointId, &Point<D>)) {
+        for row in 0..self.keys.len() {
+            let p = self.rows.point_at(row);
+            f(PointId(self.rows.id_at(row)), &p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch probing (curve-native marks)
+    // ------------------------------------------------------------------
+
+    /// Starts a new MS-BFS instance (fresh tick; prior marks become stale).
+    pub fn begin_epoch(&mut self) -> EpochProbe {
+        self.tick_counter += 1;
+        self.stamps.clear();
+        EpochProbe::with_tick(self.tick_counter)
+    }
+
+    /// Marks the entry for `id` (stored at `center`) as visited by `owner`.
+    pub fn mark_visited(
+        &mut self,
+        probe: EpochProbe,
+        center: &Point<D>,
+        id: PointId,
+        owner: u32,
+    ) -> bool {
+        let key = self.key_of(center);
+        let Ok(row) = self.locate(key, id) else {
+            return false;
+        };
+        self.epochs[row] = Epoch {
+            tick: probe.tick(),
+            owner,
+        };
+        // The mark may break a same-tick uniform-ownership stamp (a starter
+        // seeded into a run another thread already swept), so drop it.
+        self.stamps.remove(&key);
+        true
+    }
+
+    /// One epoch-based ε-range search for MS-BFS thread `thread`; same
+    /// fresh/foreign/prune contract as the other backends (see
+    /// [`crate::epoch`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn epoch_probe(
+        &mut self,
+        probe: EpochProbe,
+        center: &Point<D>,
+        eps: f64,
+        thread: u32,
+        resolve: &mut dyn FnMut(u32) -> u32,
+        is_vertex: &mut dyn FnMut(PointId) -> bool,
+        out: &mut ProbeOutcome<D>,
+    ) {
+        self.stats.range_searches += 1;
+        self.stats.epoch_probes += 1;
+        let tick = probe.tick();
+        let eps2 = eps * eps;
+        let (lo, hi) = self.query_box(center, eps);
+        let mut ranges = Vec::with_capacity(16);
+        morton_ranges(&lo, &hi, MAX_QUERY_RANGES, &mut ranges);
+        let mut runs_visited = 0u64;
+        let mut dist_checks = 0u64;
+        let mut pruned = 0u64;
+        // Collect run bounds first: the scan below mutates the epoch column.
+        let mut run_bounds: Vec<(u64, usize, usize)> = Vec::new();
+        Self::for_each_run_in_range(&self.keys, &ranges, |key, start, end| {
+            run_bounds.push((key, start, end));
+        });
+        for (key, start, end) in run_bounds {
+            let cell = morton_decode::<D>(key);
+            if cell_min_dist2(&cell, self.cell, center) > eps2 {
+                continue;
+            }
+            runs_visited += 1;
+            let stamp = self.stamps.get(&key).copied().unwrap_or(Epoch::CLEAR);
+            // Whole run already visited by this (merged) thread: nothing
+            // new inside.
+            if stamp.tick == tick && resolve(stamp.owner) == thread {
+                pruned += 1;
+                continue;
+            }
+            dist_checks += (end - start) as u64;
+            for row in start..end {
+                let p = self.rows.point_at(row);
+                let id = PointId(self.rows.id_at(row));
+                if center.dist2(&p) > eps2 || !is_vertex(id) {
+                    continue;
+                }
+                let e = &mut self.epochs[row];
+                if e.tick == tick {
+                    let owner = resolve(e.owner);
+                    if owner != thread {
+                        out.foreign.push((id, owner));
+                    }
+                    // Same thread: already in its visited set, skip.
+                } else {
+                    *e = Epoch {
+                        tick,
+                        owner: thread,
+                    };
+                    out.fresh.push((id, p));
+                }
+            }
+            // Stamp the run when every entry now carries this tick and one
+            // resolved owner — only worth scanning when the ball covered the
+            // whole cell or a stamp at this tick already existed, mirroring
+            // the grid's rule.
+            let covered = cell_max_dist2(&cell, self.cell, center) <= eps2;
+            if covered || stamp.tick == tick {
+                let mut owner: Option<u32> = None;
+                for e in &self.epochs[start..end] {
+                    if e.tick != tick {
+                        owner = None;
+                        break;
+                    }
+                    let o = resolve(e.owner);
+                    match owner {
+                        None => owner = Some(o),
+                        Some(prev) if prev != o => {
+                            owner = None;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if let Some(owner) = owner {
+                    self.stamps.insert(key, Epoch { tick, owner });
+                }
+            }
+        }
+        self.stats.nodes_visited += runs_visited;
+        self.stats.distance_checks += dist_checks;
+        self.stats.subtrees_pruned += pruned;
+    }
+
+    /// Validates internal invariants exhaustively (test helper).
+    pub fn check_invariants(&self) {
+        assert_eq!(self.keys.len(), self.rows.len(), "keys/rows desync");
+        assert_eq!(self.keys.len(), self.epochs.len(), "keys/epochs desync");
+        for row in 0..self.keys.len() {
+            let p = self.rows.point_at(row);
+            assert_eq!(
+                self.keys[row],
+                self.key_of(&p),
+                "row {row} filed under the wrong curve key"
+            );
+            if row > 0 {
+                let prev = (self.keys[row - 1], self.rows.id_at(row - 1));
+                let here = (self.keys[row], self.rows.id_at(row));
+                assert!(prev < here, "curve order violated at row {row}");
+            }
+        }
+    }
+}
+
+impl<const D: usize> crate::SpatialBackend<D> for CurveIndex<D> {
+    const NAME: &'static str = "curve";
+
+    fn with_eps_hint(eps_hint: f64) -> Self {
+        CurveIndex::with_cell(eps_hint)
+    }
+
+    fn len(&self) -> usize {
+        CurveIndex::len(self)
+    }
+
+    fn stats(&self) -> &Stats {
+        CurveIndex::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        CurveIndex::reset_stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut Stats {
+        CurveIndex::stats_mut(self)
+    }
+
+    fn insert(&mut self, id: PointId, point: Point<D>) {
+        CurveIndex::insert(self, id, point)
+    }
+
+    fn remove(&mut self, id: PointId, point: Point<D>) -> bool {
+        CurveIndex::remove(self, id, point)
+    }
+
+    fn bulk_insert(&mut self, items: Vec<(PointId, Point<D>)>) {
+        CurveIndex::bulk_insert(self, items)
+    }
+
+    fn bulk_remove(&mut self, items: &[(PointId, Point<D>)]) -> usize {
+        CurveIndex::bulk_remove(self, items)
+    }
+
+    fn for_each_in_ball<F: FnMut(PointId, &Point<D>)>(
+        &mut self,
+        center: &Point<D>,
+        eps: f64,
+        f: F,
+    ) {
+        CurveIndex::for_each_in_ball(self, center, eps, f)
+    }
+
+    fn scan_ball<F: FnMut(PointId, &Point<D>)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    ) {
+        CurveIndex::scan_ball(self, center, eps, f, stats)
+    }
+
+    fn ball_ids_into(&mut self, center: &Point<D>, eps: f64, out: &mut Vec<PointId>) {
+        CurveIndex::ball_ids_into(self, center, eps, out)
+    }
+
+    fn ball_count(&mut self, center: &Point<D>, eps: f64) -> usize {
+        CurveIndex::ball_count(self, center, eps)
+    }
+
+    fn for_each_in_balls<F: FnMut(usize, PointId, &Point<D>)>(
+        &mut self,
+        centers: &[Point<D>],
+        eps: f64,
+        f: F,
+    ) {
+        CurveIndex::for_each_in_balls(self, centers, eps, f)
+    }
+
+    fn scan_balls<F: FnMut(usize, PointId, &Point<D>)>(
+        &self,
+        centers: &[Point<D>],
+        eps: f64,
+        f: F,
+        stats: &mut Stats,
+    ) {
+        CurveIndex::scan_balls(self, centers, eps, f, stats)
+    }
+
+    fn for_each<F: FnMut(PointId, &Point<D>)>(&self, f: F) {
+        CurveIndex::for_each(self, f)
+    }
+
+    fn begin_epoch(&mut self) -> EpochProbe {
+        CurveIndex::begin_epoch(self)
+    }
+
+    fn mark_visited(
+        &mut self,
+        probe: EpochProbe,
+        center: &Point<D>,
+        id: PointId,
+        owner: u32,
+    ) -> bool {
+        CurveIndex::mark_visited(self, probe, center, id, owner)
+    }
+
+    fn epoch_probe(
+        &mut self,
+        probe: EpochProbe,
+        center: &Point<D>,
+        eps: f64,
+        thread: u32,
+        resolve: &mut dyn FnMut(u32) -> u32,
+        is_vertex: &mut dyn FnMut(PointId) -> bool,
+        out: &mut ProbeOutcome<D>,
+    ) {
+        CurveIndex::epoch_probe(self, probe, center, eps, thread, resolve, is_vertex, out)
+    }
+
+    fn check_invariants(&self) {
+        CurveIndex::check_invariants(self)
+    }
+}
+
+/// Squared distance from `center` to the closed box of the cell with biased
+/// coordinates `cell` (0 when inside). Boundary (clamped) coordinates stand
+/// for a half-unbounded region, so their dimension contributes nothing —
+/// conservative and exact, since every candidate is distance-filtered.
+#[inline]
+fn cell_min_dist2<const D: usize>(cell: &[u32; D], width: f64, center: &Point<D>) -> f64 {
+    let bits = morton_bits(D);
+    let bias = 1i64 << (bits - 1);
+    let top = (1u32 << bits) - 1;
+    let mut acc = 0.0;
+    for d in 0..D {
+        if cell[d] == 0 || cell[d] == top {
+            continue;
+        }
+        let lo = (cell[d] as i64 - bias) as f64 * width;
+        let hi = lo + width;
+        let c = center[d];
+        let delta = if c < lo {
+            lo - c
+        } else if c > hi {
+            c - hi
+        } else {
+            0.0
+        };
+        acc += delta * delta;
+    }
+    acc
+}
+
+/// Squared distance from `center` to the farthest corner of the cell;
+/// infinite for boundary (clamped) cells, which are never "covered".
+#[inline]
+fn cell_max_dist2<const D: usize>(cell: &[u32; D], width: f64, center: &Point<D>) -> f64 {
+    let bits = morton_bits(D);
+    let bias = 1i64 << (bits - 1);
+    let top = (1u32 << bits) - 1;
+    let mut acc = 0.0;
+    for d in 0..D {
+        if cell[d] == 0 || cell[d] == top {
+            return f64::INFINITY;
+        }
+        let lo = (cell[d] as i64 - bias) as f64 * width;
+        let hi = lo + width;
+        let c = center[d];
+        let delta = (c - lo).abs().max((c - hi).abs());
+        acc += delta * delta;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn curve_of(n: usize) -> CurveIndex<2> {
+        // n x n unit-spaced points, cell width 1.5.
+        let mut g = CurveIndex::with_cell(1.5);
+        let mut id = 0u64;
+        for x in 0..n {
+            for y in 0..n {
+                g.insert(PointId(id), Point::new([x as f64, y as f64]));
+                id += 1;
+            }
+        }
+        g
+    }
+
+    /// Brute-force oracle for ball answers.
+    fn oracle(g: &CurveIndex<2>, center: Point<2>, eps: f64) -> Vec<PointId> {
+        let mut out = Vec::new();
+        g.for_each(|id, p| {
+            if center.within(p, eps) {
+                out.push(id);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn ball_answers_match_brute_force() {
+        let mut g = curve_of(12);
+        for (cx, cy, eps) in [
+            (5.5, 5.5, 1.5),
+            (0.0, 0.0, 2.0),
+            (11.0, 11.0, 1.0),
+            (-3.0, 4.0, 5.0),
+            (6.0, 6.0, 0.0),
+            (3.3, 8.7, 4.25),
+        ] {
+            let c = Point::new([cx, cy]);
+            let want = oracle(&g, c, eps);
+            let mut got = Vec::new();
+            g.ball_ids_into(&c, eps, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, want, "center {c:?} eps {eps}");
+            assert_eq!(g.ball_count(&c, eps), want.len());
+        }
+    }
+
+    #[test]
+    fn ball_answers_are_exact_for_negative_coordinates() {
+        let mut g = CurveIndex::<2>::with_cell(1.0);
+        for (i, xy) in [(-2.5, -2.5), (-0.5, -0.5), (0.5, 0.5), (-1.0, 0.0)]
+            .iter()
+            .enumerate()
+        {
+            g.insert(PointId(i as u64), Point::new([xy.0, xy.1]));
+        }
+        let c = Point::new([-0.75, -0.25]);
+        let want = oracle(&g, c, 1.1);
+        let mut got = Vec::new();
+        g.ball_ids_into(&c, 1.1, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_keeps_invariants() {
+        let mut g = curve_of(6);
+        assert_eq!(g.len(), 36);
+        g.check_invariants();
+        for id in 0..18u64 {
+            let p = Point::new([(id / 6) as f64, (id % 6) as f64]);
+            assert!(g.remove(PointId(id), p));
+        }
+        assert_eq!(g.len(), 18);
+        g.check_invariants();
+        assert!(!g.remove(PointId(0), Point::new([0.0, 0.0])));
+        assert!(!g.remove(PointId(999), Point::new([50.0, 50.0])));
+    }
+
+    #[test]
+    fn bulk_insert_merges_into_curve_order() {
+        let mut g = CurveIndex::<2>::with_cell(1.0);
+        // Pre-populate incrementally, then merge a shuffled batch on top.
+        for i in 0..8u64 {
+            g.insert(PointId(i * 2), Point::new([i as f64, i as f64]));
+        }
+        let batch: Vec<(PointId, Point<2>)> = (0..8u64)
+            .rev()
+            .map(|i| (PointId(i * 2 + 1), Point::new([i as f64 + 0.5, i as f64])))
+            .collect();
+        g.bulk_insert(batch);
+        assert_eq!(g.len(), 16);
+        g.check_invariants();
+        assert_eq!(g.stats().bulk_insert_batches, 1);
+        assert_eq!(g.stats().inserts, 16);
+    }
+
+    #[test]
+    fn bulk_paths_count_batches() {
+        let mut g = CurveIndex::<2>::with_cell(1.0);
+        let items: Vec<(PointId, Point<2>)> = (0..10u64)
+            .map(|i| (PointId(i), Point::new([i as f64, 0.0])))
+            .collect();
+        g.bulk_insert(items.clone());
+        assert_eq!(g.stats().bulk_insert_batches, 1);
+        assert_eq!(g.stats().inserts, 10);
+        assert_eq!(g.bulk_remove(&items), 10);
+        assert_eq!(g.stats().bulk_remove_batches, 1);
+        assert!(g.is_empty());
+        assert_eq!(g.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn multi_center_traversal_matches_per_center_queries() {
+        let mut g = curve_of(10);
+        let centers = [
+            Point::new([2.0, 2.0]),
+            Point::new([7.5, 7.5]),
+            Point::new([2.0, 2.0]), // duplicate center: reported twice
+        ];
+        let mut got: Vec<Vec<PointId>> = vec![Vec::new(); centers.len()];
+        g.for_each_in_balls(&centers, 1.6, |ci, id, _| got[ci].push(id));
+        for (ci, c) in centers.iter().enumerate() {
+            let mut want = Vec::new();
+            g.ball_ids_into(c, 1.6, &mut want);
+            want.sort_unstable();
+            got[ci].sort_unstable();
+            assert_eq!(got[ci], want, "center {ci}");
+        }
+        assert_eq!(g.stats().multi_ball_queries, 1);
+        assert_eq!(g.stats().multi_ball_centers, 3);
+    }
+
+    #[test]
+    fn probe_returns_each_vertex_once_per_instance() {
+        let mut g = curve_of(8);
+        let probe = g.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        let c = Point::new([3.5, 3.5]);
+        g.epoch_probe(probe, &c, 2.0, 0, &mut resolve, &mut all, &mut out);
+        let first = out.fresh.len();
+        assert!(first > 0);
+        assert!(out.foreign.is_empty());
+        out.clear();
+        g.epoch_probe(probe, &c, 2.0, 0, &mut resolve, &mut all, &mut out);
+        assert_eq!(out.fresh.len(), 0, "second probe must see nothing fresh");
+        assert!(out.foreign.is_empty(), "same thread never reports foreign");
+    }
+
+    #[test]
+    fn new_instance_sees_everything_again() {
+        let mut g = curve_of(6);
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        let c = Point::new([2.0, 2.0]);
+        let p1 = g.begin_epoch();
+        g.epoch_probe(p1, &c, 1.5, 0, &mut resolve, &mut all, &mut out);
+        let n1 = out.fresh.len();
+        out.clear();
+        let p2 = g.begin_epoch();
+        g.epoch_probe(p2, &c, 1.5, 0, &mut resolve, &mut all, &mut out);
+        assert_eq!(out.fresh.len(), n1);
+    }
+
+    #[test]
+    fn foreign_thread_is_reported_not_hidden() {
+        let mut g = curve_of(8);
+        let probe = g.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        g.epoch_probe(
+            probe,
+            &Point::new([2.0, 2.0]),
+            1.5,
+            0,
+            &mut resolve,
+            &mut all,
+            &mut out,
+        );
+        let visited_by_0: Vec<PointId> = out.fresh.iter().map(|(id, _)| *id).collect();
+        out.clear();
+        g.epoch_probe(
+            probe,
+            &Point::new([3.0, 2.0]),
+            1.5,
+            1,
+            &mut resolve,
+            &mut all,
+            &mut out,
+        );
+        assert!(
+            !out.foreign.is_empty(),
+            "overlap with thread 0 must surface as foreign hits"
+        );
+        for (id, owner) in &out.foreign {
+            assert_eq!(*owner, 0);
+            assert!(visited_by_0.contains(id));
+        }
+        for (id, _) in &out.fresh {
+            assert!(!visited_by_0.contains(id));
+        }
+    }
+
+    #[test]
+    fn merged_threads_prune_each_others_runs() {
+        let mut g = curve_of(8);
+        let probe = g.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut all = |_: PointId| true;
+        {
+            let mut resolve = |o: u32| o;
+            g.epoch_probe(
+                probe,
+                &Point::new([2.0, 2.0]),
+                2.0,
+                0,
+                &mut resolve,
+                &mut all,
+                &mut out,
+            );
+        }
+        out.clear();
+        {
+            // After a merge both slots resolve to 0: re-probing the same
+            // region yields nothing fresh and nothing foreign.
+            let mut resolve = |_: u32| 0;
+            g.epoch_probe(
+                probe,
+                &Point::new([2.0, 2.0]),
+                2.0,
+                0,
+                &mut resolve,
+                &mut all,
+                &mut out,
+            );
+        }
+        assert!(out.fresh.is_empty());
+        assert!(out.foreign.is_empty());
+    }
+
+    #[test]
+    fn non_vertices_are_invisible_to_probes() {
+        let mut g = curve_of(4);
+        let probe = g.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut even = |id: PointId| id.raw().is_multiple_of(2);
+        g.epoch_probe(
+            probe,
+            &Point::new([1.5, 1.5]),
+            5.0,
+            0,
+            &mut resolve,
+            &mut even,
+            &mut out,
+        );
+        assert!(out.fresh.iter().all(|(id, _)| id.raw() % 2 == 0));
+        assert_eq!(out.fresh.len(), 8, "16 grid points, half are vertices");
+        out.clear();
+        let mut all = |_: PointId| true;
+        g.epoch_probe(
+            probe,
+            &Point::new([1.5, 1.5]),
+            5.0,
+            0,
+            &mut resolve,
+            &mut all,
+            &mut out,
+        );
+        assert_eq!(out.fresh.len(), 8, "the odd half is still fresh");
+    }
+
+    #[test]
+    fn pruning_happens_for_repeat_probes() {
+        let mut g = curve_of(16);
+        let probe = g.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        // A ball covering the whole extent guarantees every run is fully
+        // visited and therefore stamped for pruning.
+        let c = Point::new([8.0, 8.0]);
+        g.epoch_probe(probe, &c, 25.0, 0, &mut resolve, &mut all, &mut out);
+        assert_eq!(out.fresh.len(), 256);
+        let before = g.stats().subtrees_pruned;
+        out.clear();
+        g.epoch_probe(probe, &c, 25.0, 0, &mut resolve, &mut all, &mut out);
+        let after = g.stats().subtrees_pruned;
+        assert!(
+            after > before,
+            "a repeat probe over a fully-visited region must prune runs"
+        );
+    }
+
+    #[test]
+    fn insert_into_stamped_run_unstamps_it() {
+        let mut g = curve_of(4);
+        let probe = g.begin_epoch();
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        let c = Point::new([2.0, 2.0]);
+        // Cover everything so runs get stamped.
+        g.epoch_probe(probe, &c, 10.0, 0, &mut resolve, &mut all, &mut out);
+        assert_eq!(out.fresh.len(), 16);
+        // A new arrival lands in a stamped run; the same instance must
+        // still discover it.
+        g.insert(PointId(99), Point::new([2.1, 2.1]));
+        out.clear();
+        g.epoch_probe(probe, &c, 10.0, 0, &mut resolve, &mut all, &mut out);
+        assert_eq!(out.fresh.len(), 1);
+        assert_eq!(out.fresh[0].0, PointId(99));
+    }
+
+    #[test]
+    fn mark_visited_seeds_starters() {
+        let mut g = curve_of(4);
+        let probe = g.begin_epoch();
+        let p = Point::new([1.0, 1.0]);
+        assert!(g.mark_visited(probe, &p, PointId(5), 3));
+        assert!(!g.mark_visited(probe, &p, PointId(77), 3), "unknown id");
+        let mut out = ProbeOutcome::default();
+        let mut resolve = |o: u32| o;
+        let mut all = |_: PointId| true;
+        g.epoch_probe(probe, &p, 1.0, 0, &mut resolve, &mut all, &mut out);
+        // The marked starter shows up as a foreign hit of thread 3.
+        assert!(out.foreign.contains(&(PointId(5), 3)));
+        assert!(out.fresh.iter().all(|(id, _)| *id != PointId(5)));
+    }
+
+    /// The teardown fast path (contiguous ids) must behave exactly like
+    /// the general path even when an item carries stale coordinates: the
+    /// stored key no longer matches, so the row stays — the same outcome
+    /// the per-item `(key, id)` search produces.
+    #[test]
+    fn teardown_fast_path_skips_stale_points_like_the_general_path() {
+        let pts: Vec<(PointId, Point<2>)> = (0..50)
+            .map(|i| (PointId(i), Point::new([i as f64 * 0.7, 1.0])))
+            .collect();
+        let mut bulk = CurveIndex::<2>::with_cell(1.0);
+        let mut one_by_one = CurveIndex::<2>::with_cell(1.0);
+        bulk.bulk_insert(pts.clone());
+        one_by_one.bulk_insert(pts.clone());
+
+        // Oldest stride, but item 3's coordinates moved to another cell.
+        let mut batch: Vec<(PointId, Point<2>)> = pts[..10].to_vec();
+        batch[3].1 = Point::new([500.0, 500.0]);
+        assert_eq!(bulk.bulk_remove(&batch), 9, "stale item must be skipped");
+        for (id, p) in &batch {
+            let found = one_by_one.remove(*id, *p);
+            assert_eq!(found, id.raw() != 3);
+        }
+        assert_eq!(bulk.len(), one_by_one.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        bulk.for_each(|id, p| a.push((id, *p)));
+        one_by_one.for_each(|id, p| b.push((id, *p)));
+        assert_eq!(a, b);
+        bulk.check_invariants();
+        one_by_one.check_invariants();
+    }
+
+    #[test]
+    fn arrival_ticks_are_monotone_in_insertion_order() {
+        let mut g = CurveIndex::<2>::with_cell(1.0);
+        g.insert(PointId(10), Point::new([5.0, 5.0]));
+        g.insert(PointId(3), Point::new([-5.0, 2.0]));
+        g.bulk_insert(vec![
+            (PointId(20), Point::new([1.0, 1.0])),
+            (PointId(21), Point::new([2.0, 2.0])),
+        ]);
+        // Ticks 0..4 were handed out; every row carries one of them, all
+        // distinct.
+        let mut ticks: Vec<u64> = (0..g.len()).map(|r| g.rows.tick_at(r)).collect();
+        ticks.sort_unstable();
+        assert_eq!(ticks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_width_is_rejected() {
+        let _ = CurveIndex::<2>::with_cell(0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Teardown bulk eviction is equivalent to removing the same batch
+        /// per point: identical survivors, identical structure.
+        #[test]
+        fn bulk_eviction_equals_per_point_removal(
+            xs in prop::collection::vec(-8.0..8.0f64, 20..120),
+            evict_frac in 1usize..4,
+        ) {
+            let pts: Vec<(PointId, Point<2>)> = xs
+                .chunks_exact(2)
+                .enumerate()
+                .map(|(i, c)| (PointId(i as u64), Point::new([c[0], c[1]])))
+                .collect();
+            let mut bulk = CurveIndex::<2>::with_cell(1.0);
+            let mut one_by_one = CurveIndex::<2>::with_cell(1.0);
+            bulk.bulk_insert(pts.clone());
+            one_by_one.bulk_insert(pts.clone());
+            // Evict the oldest stride, the way the window driver does.
+            let k = pts.len() / (evict_frac + 1) + 1;
+            let batch: Vec<(PointId, Point<2>)> = pts[..k].to_vec();
+            prop_assert_eq!(bulk.bulk_remove(&batch), k);
+            for (id, p) in &batch {
+                prop_assert!(one_by_one.remove(*id, *p));
+            }
+            bulk.check_invariants();
+            one_by_one.check_invariants();
+            prop_assert_eq!(bulk.len(), one_by_one.len());
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            bulk.for_each(|id, p| a.push((id, *p)));
+            one_by_one.for_each(|id, p| b.push((id, *p)));
+            prop_assert_eq!(a, b);
+            // And the survivors still answer queries exactly.
+            let c = Point::new([0.0, 0.0]);
+            let mut ia = Vec::new();
+            let mut ib = Vec::new();
+            bulk.ball_ids_into(&c, 2.5, &mut ia);
+            one_by_one.ball_ids_into(&c, 2.5, &mut ib);
+            ia.sort_unstable();
+            ib.sort_unstable();
+            prop_assert_eq!(ia, ib);
+        }
+
+        /// Curve ball answers agree with the grid's on random data — the
+        /// two cell-based backends share their cell geometry exactly.
+        #[test]
+        fn curve_answers_match_grid_answers(
+            xs in prop::collection::vec(-10.0..10.0f64, 30..160),
+            eps in 0.3..3.0f64,
+        ) {
+            let pts: Vec<(PointId, Point<2>)> = xs
+                .chunks_exact(2)
+                .enumerate()
+                .map(|(i, c)| (PointId(i as u64), Point::new([c[0], c[1]])))
+                .collect();
+            let mut curve = CurveIndex::<2>::with_cell(eps);
+            let mut grid = crate::GridIndex::<2>::with_cell(eps);
+            curve.bulk_insert(pts.clone());
+            grid.bulk_insert(pts.clone());
+            for (_, c) in pts.iter().step_by(7) {
+                let mut ia = Vec::new();
+                let mut ib = Vec::new();
+                curve.ball_ids_into(c, eps, &mut ia);
+                grid.ball_ids_into(c, eps, &mut ib);
+                ia.sort_unstable();
+                ib.sort_unstable();
+                prop_assert_eq!(ia, ib);
+            }
+        }
+    }
+}

@@ -427,6 +427,11 @@ mod tests {
         exercise::<crate::GridIndex<2>>();
     }
 
+    #[test]
+    fn curve_satisfies_the_contract() {
+        exercise::<crate::CurveIndex<2>>();
+    }
+
     /// Runs one identical instrumented workload — bulk load, plain and
     /// multi-center queries, epoch probes over a fully-visited region (so
     /// pruning fires), point mutation, bulk removal — and returns the
@@ -476,56 +481,40 @@ mod tests {
     #[test]
     fn backends_populate_the_same_counters() {
         // Counter symmetry: after the same workload, every Stats field a
-        // backend can meaningfully report is nonzero for BOTH backends —
-        // a grid/rtree ablation never compares a populated counter against
-        // an unpopulated zero.
+        // backend can meaningfully report is nonzero for ALL backends —
+        // an ablation never compares a populated counter against an
+        // unpopulated zero.
         let r = counter_workload::<RTree<2>>();
         let g = counter_workload::<crate::GridIndex<2>>();
-        for (name, rv, gv) in [
-            ("range_searches", r.range_searches, g.range_searches),
-            ("epoch_probes", r.epoch_probes, g.epoch_probes),
-            ("nodes_visited", r.nodes_visited, g.nodes_visited),
-            ("distance_checks", r.distance_checks, g.distance_checks),
-            ("subtrees_pruned", r.subtrees_pruned, g.subtrees_pruned),
-            ("inserts", r.inserts, g.inserts),
-            ("removes", r.removes, g.removes),
-            (
-                "bulk_insert_batches",
-                r.bulk_insert_batches,
-                g.bulk_insert_batches,
-            ),
-            (
-                "bulk_remove_batches",
-                r.bulk_remove_batches,
-                g.bulk_remove_batches,
-            ),
-            (
-                "multi_ball_queries",
-                r.multi_ball_queries,
-                g.multi_ball_queries,
-            ),
-            (
-                "multi_ball_centers",
-                r.multi_ball_centers,
-                g.multi_ball_centers,
-            ),
-            (
-                "bulk_nodes_visited",
-                r.bulk_nodes_visited,
-                g.bulk_nodes_visited,
-            ),
-            ("bulk_leaf_scans", r.bulk_leaf_scans, g.bulk_leaf_scans),
-        ] {
-            assert!(rv > 0, "rtree left {name} unpopulated");
-            assert!(gv > 0, "grid left {name} unpopulated");
+        let c = counter_workload::<crate::CurveIndex<2>>();
+        for (backend, s) in [("rtree", &r), ("grid", &g), ("curve", &c)] {
+            for (name, v) in [
+                ("range_searches", s.range_searches),
+                ("epoch_probes", s.epoch_probes),
+                ("nodes_visited", s.nodes_visited),
+                ("distance_checks", s.distance_checks),
+                ("subtrees_pruned", s.subtrees_pruned),
+                ("inserts", s.inserts),
+                ("removes", s.removes),
+                ("bulk_insert_batches", s.bulk_insert_batches),
+                ("bulk_remove_batches", s.bulk_remove_batches),
+                ("multi_ball_queries", s.multi_ball_queries),
+                ("multi_ball_centers", s.multi_ball_centers),
+                ("bulk_nodes_visited", s.bulk_nodes_visited),
+                ("bulk_leaf_scans", s.bulk_leaf_scans),
+            ] {
+                assert!(v > 0, "{backend} left {name} unpopulated");
+            }
         }
         // Exact-count symmetry where the unit is backend-independent.
-        assert_eq!(r.range_searches, g.range_searches);
-        assert_eq!(r.epoch_probes, g.epoch_probes);
-        assert_eq!(r.inserts, g.inserts);
-        assert_eq!(r.removes, g.removes);
-        assert_eq!(r.multi_ball_queries, g.multi_ball_queries);
-        assert_eq!(r.multi_ball_centers, g.multi_ball_centers);
+        for s in [&g, &c] {
+            assert_eq!(r.range_searches, s.range_searches);
+            assert_eq!(r.epoch_probes, s.epoch_probes);
+            assert_eq!(r.inserts, s.inserts);
+            assert_eq!(r.removes, s.removes);
+            assert_eq!(r.multi_ball_queries, s.multi_ball_queries);
+            assert_eq!(r.multi_ball_centers, s.multi_ball_centers);
+        }
     }
 
     #[test]
@@ -534,15 +523,21 @@ mod tests {
             .map(|i| (PointId(i), Point::new([(i % 7) as f64, (i / 7) as f64])))
             .collect();
         let mut a = RTree::<2>::from_batch(1.0, items.clone());
-        let mut b = crate::GridIndex::<2>::from_batch(1.0, items);
+        let mut b = crate::GridIndex::<2>::from_batch(1.0, items.clone());
+        let mut v = crate::CurveIndex::<2>::from_batch(1.0, items);
         let c = Point::new([3.0, 3.0]);
         let mut ia = Vec::new();
         let mut ib = Vec::new();
+        let mut iv = Vec::new();
         a.ball_ids_into(&c, 2.0, &mut ia);
         b.ball_ids_into(&c, 2.0, &mut ib);
+        v.ball_ids_into(&c, 2.0, &mut iv);
         ia.sort_unstable();
         ib.sort_unstable();
+        iv.sort_unstable();
         assert_eq!(ia, ib);
+        assert_eq!(ia, iv);
         assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), v.len());
     }
 }

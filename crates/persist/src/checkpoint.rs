@@ -76,6 +76,7 @@ fn encode_config(cfg: &DiscConfig) -> Vec<u8> {
     e.u8(match cfg.backend {
         IndexBackend::RTree => 0,
         IndexBackend::Grid => 1,
+        IndexBackend::Curve => 2,
     });
     e.into_bytes()
 }
@@ -94,6 +95,7 @@ fn decode_config(bytes: &[u8]) -> Result<DiscConfig, PersistError> {
     let backend = match d.u8()? {
         0 => IndexBackend::RTree,
         1 => IndexBackend::Grid,
+        2 => IndexBackend::Curve,
         other => {
             return Err(PersistError::Corrupt {
                 section: "config".into(),

@@ -16,7 +16,7 @@
 
 use disc_core::{Disc, DiscConfig};
 use disc_geom::PointId;
-use disc_index::{GridIndex, RTree, SpatialBackend};
+use disc_index::{CurveIndex, GridIndex, RTree, SpatialBackend};
 use disc_persist::{
     checkpoint_path, read_wal, recover_engine, save_checkpoint, Checkpoint, FsyncPolicy, WalWriter,
 };
@@ -166,6 +166,12 @@ fn blobs_recovery_is_exact_on_grid() {
 }
 
 #[test]
+fn blobs_recovery_is_exact_on_curve() {
+    let recs = datasets::gaussian_blobs::<2>(450, 4, 0.6, 7);
+    assert_recovery_exact::<2, CurveIndex<2>>("blobs-curve", recs, 150, 30, 1.0, 5);
+}
+
+#[test]
 fn maze_recovery_is_exact_on_rtree() {
     let recs = datasets::maze(500, 12, 3);
     assert_recovery_exact::<2, RTree<2>>("maze-rtree", recs, 180, 40, 0.6, 5);
@@ -184,10 +190,11 @@ fn covid_heavy_noise_recovery_is_exact() {
 }
 
 #[test]
-fn iris_4d_recovery_is_exact_on_both_backends() {
+fn iris_4d_recovery_is_exact_on_all_backends() {
     let recs = datasets::iris_like(400, 13);
     assert_recovery_exact::<4, RTree<4>>("iris-rtree", recs.clone(), 150, 30, 2.0, 5);
-    assert_recovery_exact::<4, GridIndex<4>>("iris-grid", recs, 150, 30, 2.0, 5);
+    assert_recovery_exact::<4, GridIndex<4>>("iris-grid", recs.clone(), 150, 30, 2.0, 5);
+    assert_recovery_exact::<4, CurveIndex<4>>("iris-curve", recs, 150, 30, 2.0, 5);
 }
 
 #[test]
@@ -203,23 +210,64 @@ fn full_turnover_recovery_is_exact() {
     assert_recovery_exact::<2, RTree<2>>("turnover-rtree", recs, 100, 100, 1.0, 5);
 }
 
-/// A checkpoint written by a grid-backend run restores into an R-tree
-/// instantiation (and vice versa): the index is rebuilt from points, so
-/// the image is backend-portable, and the declared backend travels in the
-/// config for drivers that want to honour it.
+/// A checkpoint written under one backend restores into an engine over any
+/// other: the index is rebuilt from points, so the image is
+/// backend-portable, and the declared backend travels in the config for
+/// drivers that want to honour it. Every *ordered* pair of
+/// {rtree, grid, curve} is exercised — checkpoint under the source, move,
+/// resume under the destination — plus a replayed tail (`resume_at`-style)
+/// so portability covers both the restore point and continued evolution.
 #[test]
-fn checkpoints_are_backend_portable() {
-    let recs = datasets::gaussian_blobs::<2>(450, 4, 0.6, 7);
-    let mut w = SlidingWindow::new(recs, 150, 30);
-    let cfg = DiscConfig::new(1.0, 5).with_backend(disc_core::IndexBackend::Grid);
-    let mut grid: Disc<2, GridIndex<2>> = Disc::with_index(cfg);
-    grid.apply(&w.fill());
-    for _ in 0..3 {
-        grid.apply(&w.advance().unwrap());
+fn checkpoints_are_backend_portable_across_all_ordered_pairs() {
+    use disc_core::IndexBackend;
+
+    /// Runs the stream under `SRC`, checkpoints mid-stream, finishes the
+    /// run; then restores the checkpoint into `DST` and replays the same
+    /// tail, asserting identity at the restore point and at the end.
+    fn portability_pair<S: SpatialBackend<2>, T: SpatialBackend<2>>(src: IndexBackend) {
+        let recs = datasets::gaussian_blobs::<2>(450, 4, 0.6, 7);
+        let mut w = SlidingWindow::new(recs, 150, 30);
+        let cfg = DiscConfig::new(1.0, 5).with_backend(src);
+        let mut source: Disc<2, S> = Disc::with_index(cfg);
+        source.apply(&w.fill());
+        for _ in 0..3 {
+            source.apply(&w.advance().unwrap());
+        }
+        let state = source.export_state();
+        assert_eq!(disc_core::backend_of(&state), src);
+
+        // Restore point: raw-identical observables under the other backend.
+        let restored: Disc<2, T> = Disc::recover(state.clone(), Vec::new()).unwrap().0;
+        assert_eq!(restored.assignments(), source.assignments());
+        assert_eq!(restored.census(), source.census());
+
+        // Continue both engines over the same tail (the `resume_at` path
+        // re-pins the stream and replays batches exactly like this).
+        let mut tail = Vec::new();
+        while let Some(batch) = w.advance() {
+            tail.push(batch);
+        }
+        assert!(tail.len() >= 3, "stream too short for a meaningful tail");
+        let (mut moved, replayed) = Disc::<2, T>::recover(state, tail.clone()).unwrap();
+        assert_eq!(replayed, tail.len() as u64);
+        for batch in &tail {
+            source.apply(batch);
+        }
+        assert_eq!(
+            canonical(&moved.assignments()),
+            canonical(&source.assignments()),
+            "{}->{} final partition diverged",
+            S::NAME,
+            T::NAME
+        );
+        assert_eq!(moved.census(), source.census());
+        moved.check_invariants();
     }
-    let state = grid.export_state();
-    assert_eq!(disc_core::backend_of(&state), disc_core::IndexBackend::Grid);
-    let rtree: Disc<2, RTree<2>> = Disc::recover(state, Vec::new()).unwrap().0;
-    assert_eq!(rtree.assignments(), grid.assignments());
-    assert_eq!(rtree.census(), grid.census());
+
+    portability_pair::<RTree<2>, GridIndex<2>>(IndexBackend::RTree);
+    portability_pair::<RTree<2>, CurveIndex<2>>(IndexBackend::RTree);
+    portability_pair::<GridIndex<2>, RTree<2>>(IndexBackend::Grid);
+    portability_pair::<GridIndex<2>, CurveIndex<2>>(IndexBackend::Grid);
+    portability_pair::<CurveIndex<2>, RTree<2>>(IndexBackend::Curve);
+    portability_pair::<CurveIndex<2>, GridIndex<2>>(IndexBackend::Curve);
 }
