@@ -237,6 +237,41 @@ impl<const D: usize, B: SpatialBackend<D>> ExtraN<D, B> {
     }
 }
 
+impl<const D: usize, B: SpatialBackend<D>> disc_telemetry::MemoryFootprint for ExtraN<D, B> {
+    /// EXTRA-N's bytes, decomposed to show where the `O(L)` blow-up lives:
+    /// the stored neighborhoods (cached adjacency, kept for the whole
+    /// lifespan) and the predicted views (`pred` + `mem`, one slot per
+    /// remaining window snapshot) — the components Fig. 5 is about — plus
+    /// the entry table, index and shared DSU.
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::{map_bytes, FootprintNode};
+        let table = map_bytes(
+            self.points.capacity(),
+            std::mem::size_of::<(PointId, Entry)>(),
+        );
+        let mut neighborhoods = 0usize;
+        let mut views = 0usize;
+        for e in self.points.values() {
+            neighborhoods += e.neigh.capacity() * std::mem::size_of::<PointId>();
+            views += (e.pred.capacity() + e.mem.capacity()) * std::mem::size_of::<u32>();
+        }
+        FootprintNode::branch(
+            "extran",
+            vec![
+                FootprintNode::leaf("entries", table),
+                FootprintNode::leaf("neighborhoods", neighborhoods),
+                FootprintNode::leaf("views", views),
+                self.tree.footprint(),
+                self.clusters.footprint(),
+                FootprintNode::leaf(
+                    "labels",
+                    self.labels.capacity() * std::mem::size_of::<(PointId, i64)>(),
+                ),
+            ],
+        )
+    }
+}
+
 impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
     fn name(&self) -> &'static str {
         "EXTRA-N"
@@ -264,6 +299,15 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
         self.slide_seq += 1;
         let rec = self.recorder.as_ref();
         if rec.enabled() {
+            use disc_telemetry::MemoryFootprint;
+            let fp = self.footprint();
+            let mem_bytes = fp.total();
+            for (component, bytes) in fp.flatten() {
+                rec.gauge_set_labeled("disc_mem_bytes", "component", &component, bytes as f64);
+            }
+            if let Some(rss) = disc_telemetry::rss_bytes() {
+                rec.gauge_set("disc_rss_bytes", rss as f64);
+            }
             let elapsed = start.elapsed();
             rec.counter_add("disc_slides_total", 1);
             rec.counter_add("disc_points_inserted_total", batch.incoming.len() as u64);
@@ -285,6 +329,7 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
                 nodes_visited: index.nodes_visited,
                 distance_checks: index.distance_checks,
                 subtrees_pruned: index.subtrees_pruned,
+                mem_bytes,
                 ..disc_telemetry::SlideEvent::default()
             });
         }
@@ -299,16 +344,8 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for ExtraN<D, B> {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.points
-            .values()
-            .map(|e| {
-                std::mem::size_of::<Entry>()
-                    + e.neigh.capacity() * std::mem::size_of::<PointId>()
-                    + e.pred.capacity() * std::mem::size_of::<u32>()
-                    + e.mem.capacity() * std::mem::size_of::<u32>()
-            })
-            .sum::<usize>()
-            + self.clusters.len() * 8
+        use disc_telemetry::MemoryFootprint;
+        self.mem_bytes() as usize
     }
 
     fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {

@@ -80,8 +80,11 @@ impl<const D: usize, B: SpatialBackend<D>> WindowClusterer<D> for Disc<D, B> {
     }
 
     fn memory_bytes(&self) -> usize {
-        // Point record + map/index overhead, rough but comparable.
-        self.window_len() * (std::mem::size_of::<disc_geom::Point<D>>() + 64)
+        // The real accounted footprint (points + index + DSU + sets), not
+        // the old per-point guess — comparable against EXTRA-N's equally
+        // accounted total.
+        use disc_telemetry::MemoryFootprint;
+        self.mem_bytes() as usize
     }
 
     fn set_recorder(&mut self, recorder: disc_telemetry::SharedRecorder) {

@@ -9,7 +9,7 @@
 
 use disc_bench::{compare, suites, Scale};
 
-const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|backend|evolution|all]... [--scale X]
+const USAGE: &str = "usage: experiments [table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|graph|backend|memory|evolution|all]... [--scale X]
        experiments compare [--baseline F.json] [--fresh F.json]
                            [--tolerance FRACTION] [--scale X]
 
@@ -106,6 +106,9 @@ fn main() {
     }
     if wants("backend") {
         suites::backend_ablation::run(scale);
+    }
+    if wants("memory") {
+        suites::memory_ablation::run(scale);
     }
     if wants("evolution") {
         suites::evolution_stats::run(scale);

@@ -49,6 +49,12 @@ pub struct BenchRow {
     /// Stride-eviction cost (ns per evicted point). Informational, and
     /// absent from summaries written before the curve backend (0.0 then).
     pub evict_ns_per_point: f64,
+    /// Peak accounted engine footprint over the run (bytes). Informational;
+    /// 0.0 in summaries written before byte accounting.
+    pub peak_bytes: f64,
+    /// `peak_bytes / window` — the paper-style memory curve's y-axis.
+    /// 0.0 in summaries written before byte accounting.
+    pub bytes_per_point: f64,
 }
 
 impl BenchRow {
@@ -121,6 +127,11 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
                 .get("evict_ns_per_point")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            peak_bytes: item.get("peak_bytes").and_then(Json::as_f64).unwrap_or(0.0),
+            bytes_per_point: item
+                .get("bytes_per_point")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         });
     }
     Ok(rows)
@@ -160,6 +171,11 @@ pub struct CompareReport {
     /// Tail (p99) moves beyond the tolerance, either direction. Advisory:
     /// the tail of a small sample is too noisy to gate, but worth eyes.
     pub tail_drift: Vec<Delta>,
+    /// Peak-memory moves beyond the tolerance, either direction (values in
+    /// bytes, not µs). Advisory: byte accounting is an estimate and only
+    /// rows measured since accounting landed carry it, but a footprint
+    /// quietly doubling deserves eyes just like a tail spike.
+    pub mem_drift: Vec<Delta>,
     /// Baseline rows with no fresh counterpart (gate failures), spelled
     /// out as full `(suite, backend, window, stride, threads)` tuples.
     pub missing: Vec<String>,
@@ -228,6 +244,16 @@ impl CompareReport {
                 d.ratio()
             );
         }
+        for d in &self.mem_drift {
+            let _ = writeln!(
+                out,
+                "  mem peak   {}: {} -> {} ({:.2}x) — advisory, memory is not gated",
+                d.key,
+                crate::report::fmt_bytes(d.baseline_us as usize),
+                crate::report::fmt_bytes(d.fresh_us as usize),
+                d.ratio()
+            );
+        }
         for key in &self.added {
             let _ = writeln!(out, "  new row    {key}: not in the baseline");
         }
@@ -277,10 +303,24 @@ pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> Com
         }
         if f.p99_us > b.p99_us * (1.0 + tolerance) || f.p99_us < b.p99_us * (1.0 - tolerance) {
             report.tail_drift.push(Delta {
-                key,
+                key: key.clone(),
                 metric: "p99",
                 baseline_us: b.p99_us,
                 fresh_us: f.p99_us,
+            });
+        }
+        // Memory is only comparable when both sides carry the accounting
+        // column; a zero baseline just means it predates byte accounting.
+        if b.peak_bytes > 0.0
+            && f.peak_bytes > 0.0
+            && (f.peak_bytes > b.peak_bytes * (1.0 + tolerance)
+                || f.peak_bytes < b.peak_bytes * (1.0 - tolerance))
+        {
+            report.mem_drift.push(Delta {
+                key,
+                metric: "peak_bytes",
+                baseline_us: b.peak_bytes,
+                fresh_us: f.peak_bytes,
             });
         }
     }
@@ -321,6 +361,8 @@ mod tests {
             searches_per_slide: 100.0,
             cpu_util: 1.0,
             evict_ns_per_point: 50.0,
+            peak_bytes: 1_000_000.0,
+            bytes_per_point: 125.0,
         }
     }
 
@@ -336,6 +378,14 @@ mod tests {
             assert_eq!(r.suite, "backend_ablation");
             assert!(r.p50_us > 0.0 && r.p50_us <= r.p99_us);
             assert!(r.p99_us <= r.max_us + 1e-9);
+            // Byte accounting landed with the memory-observability PR; a
+            // baseline regenerated since then always carries the columns.
+            assert!(r.peak_bytes > 0.0, "{}: no peak_bytes", r.key());
+            assert!(
+                (r.bytes_per_point - r.peak_bytes / r.window as f64).abs() < 1.0,
+                "{}: bytes_per_point inconsistent",
+                r.key()
+            );
         }
         // Keys are unique — the matcher relies on it.
         let mut keys: Vec<String> = rows.iter().map(BenchRow::key).collect();
@@ -408,6 +458,30 @@ mod tests {
         assert!(text.contains("tail p99"), "{text}");
         assert!(text.contains("advisory"), "{text}");
         assert!(text.contains("PASS"), "{text}");
+    }
+
+    /// A memory blow-up alone is advisory — it must surface in the report
+    /// without failing the gate, and baselines that predate byte
+    /// accounting (peak_bytes 0) must stay silent rather than divide by
+    /// zero into an ∞-ratio finding.
+    #[test]
+    fn memory_drift_reports_but_does_not_fail() {
+        let base = vec![row("rtree", 400, 1000.0, 2000.0)];
+        let mut bloated = row("rtree", 400, 1000.0, 2000.0);
+        bloated.peak_bytes = 3_000_000.0;
+        let report = compare(&base, &[bloated.clone()], 0.25);
+        assert!(report.passed());
+        assert_eq!(report.mem_drift.len(), 1);
+        assert!((report.mem_drift[0].ratio() - 3.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("mem peak"), "{text}");
+        assert!(text.contains("976.6KiB -> 2.9MiB"), "{text}");
+        assert!(text.contains("PASS"), "{text}");
+        // Accounting-era fresh rows vs a pre-accounting baseline: silent.
+        let mut old = row("rtree", 400, 1000.0, 2000.0);
+        old.peak_bytes = 0.0;
+        let report = compare(&[old], &[bloated], 0.25);
+        assert!(report.mem_drift.is_empty());
     }
 
     #[test]

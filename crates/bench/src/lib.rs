@@ -17,6 +17,7 @@
 //! | `fig12` | cluster snapshots | [`suites::fig12`] |
 //! | `graph` | materialised-graph strawman | [`suites::graph_ablation`] |
 //! | `backend` | R-tree vs uniform-grid index | [`suites::backend_ablation`] |
+//! | `memory` | DISC vs EXTRA-N peak footprint | [`suites::memory_ablation`] |
 //!
 //! Workloads are the synthetic substitutes documented in `DESIGN.md` §4,
 //! at laptop scale; `--scale` multiplies every window size. Absolute times

@@ -25,6 +25,11 @@ pub struct Measurement {
     pub searches_per_slide: f64,
     /// Resident state estimate after the last slide.
     pub memory: usize,
+    /// Largest resident state estimate observed at any slide boundary
+    /// (sampled after the fill and after every measured slide). The paper's
+    /// memory claim is about growth *during* the run, so the peak — not the
+    /// final value — is what the memory curves report.
+    pub peak_memory: usize,
     /// Slides measured.
     pub slides: u32,
     /// Final assignments (for quality measurements).
@@ -50,6 +55,7 @@ struct Pass {
     max_slide: Duration,
     slides: u32,
     searches: u64,
+    peak_memory: usize,
 }
 
 fn drive_pass<const D: usize, M: WindowClusterer<D>>(
@@ -63,6 +69,9 @@ fn drive_pass<const D: usize, M: WindowClusterer<D>>(
     let mut total = Duration::ZERO;
     let mut max_slide = Duration::ZERO;
     let mut slides = 0u32;
+    // Sampled outside the timed region: byte accounting is capacity
+    // arithmetic, but it must not leak into the latency histogram.
+    let mut peak_memory = method.memory_bytes();
     while slides < max_slides {
         let Some(batch) = w.advance() else { break };
         let t = Instant::now();
@@ -71,6 +80,7 @@ fn drive_pass<const D: usize, M: WindowClusterer<D>>(
         total += dt;
         max_slide = max_slide.max(dt);
         hist.record(dt.as_nanos() as u64);
+        peak_memory = peak_memory.max(method.memory_bytes());
         slides += 1;
     }
     Pass {
@@ -78,6 +88,7 @@ fn drive_pass<const D: usize, M: WindowClusterer<D>>(
         max_slide,
         slides,
         searches: method.range_searches() - searches_before,
+        peak_memory,
     }
 }
 
@@ -104,6 +115,7 @@ fn finish<const D: usize, M: WindowClusterer<D>>(
             0.0
         },
         memory: method.memory_bytes(),
+        peak_memory: pass.peak_memory.max(method.memory_bytes()),
         slides: pass.slides,
         assignments: method.assignments(),
     }
@@ -168,6 +180,7 @@ where
         max_slide: Duration::ZERO,
         slides: 0,
         searches: 0,
+        peak_memory: 0,
     };
     let mut last: Option<M> = None;
     for _ in 0..reps {
@@ -180,6 +193,7 @@ where
         combined.max_slide = combined.max_slide.max(pass.max_slide);
         combined.slides += pass.slides;
         combined.searches += pass.searches;
+        combined.peak_memory = combined.peak_memory.max(pass.peak_memory);
         last = Some(method);
     }
     let method = last.expect("reps > 0");
@@ -237,6 +251,10 @@ mod tests {
         assert!(m.latency.p99 <= m.latency.max);
         // The direct accumulator agrees with the histogram's exact max.
         assert_eq!(m.max_slide.as_nanos() as u64, m.latency.max);
+        // Peak memory is sampled at every slide boundary, so it can never
+        // read below the final resident estimate.
+        assert!(m.peak_memory >= m.memory);
+        assert!(m.memory > 0, "DISC accounts its bytes");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::Scale;
 use disc_core::{Disc, DiscConfig, SlideStats};
 use disc_geom::PointId;
 use disc_index::{CurveIndex, GridIndex, SpatialBackend};
-use disc_telemetry::{HistSnapshot, LogHistogram};
+use disc_telemetry::{HistSnapshot, LogHistogram, MemoryFootprint};
 use disc_window::{datasets, Record, SlidingWindow};
 use std::io::Write;
 use std::time::Duration;
@@ -53,6 +53,17 @@ struct Run {
     /// number reflects the backend's bulk-remove path alone — the curve
     /// backend's teardown-vs-per-node-delete claim lives here.
     evict_ns_per_point: f64,
+    /// Largest accounted engine footprint observed at any slide boundary
+    /// across the repetitions (the `MemoryFootprint` estimate, bytes).
+    peak_bytes: u64,
+}
+
+impl Run {
+    /// Peak footprint normalised per window point — the paper-style memory
+    /// curve's y-axis, comparable across window sizes.
+    fn bytes_per_point(&self) -> f64 {
+        self.peak_bytes as f64 / self.window.max(1) as f64
+    }
 }
 
 /// Process CPU time (user + system) from procfs; `None` where there is no
@@ -125,11 +136,13 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
     let mut adoption = Duration::ZERO;
     let mut searches = 0u64;
     let mut visits = 0u64;
+    let mut peak_bytes = 0u64;
     for _ in 0..REPS {
         let mut w = SlidingWindow::new(recs.to_vec(), window, stride);
         let mut disc: Disc<D, B> =
             Disc::with_index(DiscConfig::new(eps, tau).with_threads(threads));
         disc.apply(&w.fill());
+        peak_bytes = peak_bytes.max(disc.mem_bytes());
         let mut rep_slides = 0u32;
         while rep_slides < max_slides {
             let Some(batch) = w.advance() else { break };
@@ -142,6 +155,8 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
             adoption += s.adoption_time;
             searches += s.index.range_searches;
             visits += s.index.nodes_visited + s.index.bulk_nodes_visited;
+            // Outside the timed section: accounting must not cost latency.
+            peak_bytes = peak_bytes.max(disc.mem_bytes());
             rep_slides += 1;
         }
         slides += rep_slides;
@@ -170,6 +185,7 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
         searches_per_slide: searches as f64 / n as f64,
         visits_per_slide: visits as f64 / n as f64,
         evict_ns_per_point: 0.0,
+        peak_bytes,
     }
 }
 
@@ -233,7 +249,7 @@ pub fn run(scale: Scale) -> Table {
         "Extension: R-tree vs grid vs curve backend (DTG)",
         &[
             "backend", "window", "stride", "thr", "cpu", "slide", "p50", "p99", "collect",
-            "cluster", "adoption", "searches", "visits", "evict/pt",
+            "cluster", "adoption", "searches", "visits", "evict/pt", "peak mem", "B/pt",
         ],
     );
     let runs = measure_configs(scale);
@@ -254,6 +270,8 @@ pub fn run(scale: Scale) -> Table {
             format!("{:.0}", r.searches_per_slide),
             format!("{:.0}", r.visits_per_slide),
             format!("{:.0}ns", r.evict_ns_per_point),
+            crate::report::fmt_bytes(r.peak_bytes as usize),
+            format!("{:.0}", r.bytes_per_point()),
         ]);
     }
     t.print();
@@ -341,7 +359,8 @@ fn summary_string(runs: &[Run]) -> String {
             "  {{\"suite\": \"backend_ablation\", \"backend\": \"{}\", \"window\": {}, \
              \"stride\": {}, \"threads\": {}, \"slides\": {}, \"p50_slide_us\": {:.3}, \
              \"p99_slide_us\": {:.3}, \"max_slide_us\": {:.3}, \"searches_per_slide\": {:.1}, \
-             \"cpu_util\": {:.2}, \"evict_ns_per_point\": {:.1}}}{}",
+             \"cpu_util\": {:.2}, \"evict_ns_per_point\": {:.1}, \"peak_bytes\": {}, \
+             \"bytes_per_point\": {:.1}}}{}",
             r.backend,
             r.window,
             r.stride,
@@ -353,6 +372,8 @@ fn summary_string(runs: &[Run]) -> String {
             r.searches_per_slide,
             r.cpu_util,
             r.evict_ns_per_point,
+            r.peak_bytes,
+            r.bytes_per_point(),
             sep,
         );
     }
@@ -427,9 +448,13 @@ mod tests {
             "searches_per_slide",
             "cpu_util",
             "evict_ns_per_point",
+            "peak_bytes",
+            "bytes_per_point",
         ] {
             assert!(summary.contains(&format!("\"{key}\"")), "missing {key}");
         }
+        // Every backend accounts its memory, so no row may report zero.
+        assert!(!summary.contains("\"peak_bytes\": 0,"), "{summary}");
     }
 
     /// On Linux the CPU clock is available and a busy measurement reads a

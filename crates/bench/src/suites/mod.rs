@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod graph_ablation;
+pub mod memory_ablation;
 pub mod table2;
 
 /// RNG seed used by every suite, so results are reproducible run-to-run.

@@ -5,8 +5,8 @@ use disc_baselines::{Dbscan, ExtraN, IncDbscan, RhoDbscan, WindowClusterer};
 use disc_core::{kdistance, Disc, DiscConfig, IndexBackend};
 use disc_index::{CurveIndex, GridIndex};
 use disc_telemetry::{
-    chrome_trace_json, folded_stacks, JsonlProvenanceSink, JsonlSink, PromServer, ProvenanceEvent,
-    ProvenanceKind, Registry, SpanRecord,
+    chrome_trace_json, folded_stacks, JsonlProvenanceSink, JsonlSink, MemoryFootprint, PromServer,
+    ProvenanceEvent, ProvenanceKind, Recorder, Registry, SpanRecord,
 };
 use disc_window::{csv, datasets, Record, SlidingWindow};
 use std::path::Path;
@@ -161,8 +161,16 @@ impl DimCommand for ClusterCmd {
         };
 
         let mut w = SlidingWindow::new(records, window, stride);
+        // The raw window buffer is CLI state, not engine state: its gauge
+        // row is published here, next to the engine's own components.
+        let publish_window = |w: &SlidingWindow<D>| {
+            for (component, bytes) in w.footprint().flatten() {
+                registry.gauge_set_labeled("disc_mem_bytes", "component", &component, bytes as f64);
+            }
+        };
         let start = std::time::Instant::now();
         method.apply(&w.fill());
+        publish_window(&w);
         drain(&mut method, &mut spans);
         let mut slides = 0u64;
         if opts.stats_every == 1 {
@@ -170,6 +178,7 @@ impl DimCommand for ClusterCmd {
         }
         while let Some(batch) = w.advance() {
             method.apply(&batch);
+            publish_window(&w);
             drain(&mut method, &mut spans);
             slides += 1;
             // The fill counts as slide 1, so the human cadence is 1-based.
@@ -378,11 +387,29 @@ fn stats_summary(registry: &Registry, slide: u64, workers: usize) {
     let ex_classes = registry.counter_value("disc_ex_classes_total");
     let pruned = registry.counter_value("disc_index_subtrees_pruned_total");
     let visited = registry.counter_value("disc_index_nodes_visited_total");
+    // Root component gauges (paths without a '/') partition the accounted
+    // state, so their sum is the total without double-counting subtrees.
+    let accounted: u64 = registry
+        .labeled_gauge_samples("disc_mem_bytes")
+        .iter()
+        .filter(|((_, component), _)| !component.contains('/'))
+        .map(|(_, bytes)| *bytes as u64)
+        .sum();
+    let mem = if accounted == 0 {
+        "n/a".to_string()
+    } else {
+        disc_telemetry::fmt_bytes(accounted)
+    };
+    let rss = match registry.gauge_value("disc_rss_bytes") {
+        Some(b) => disc_telemetry::fmt_bytes(b as u64),
+        None => "n/a".to_string(),
+    };
     eprintln!(
         "stats @ slide {slide}: workers {workers} | \
          latency p50 {:?} p99 {:?} max {:?} | \
          range searches {} (epoch probes {}) | \
-         theorem-1 savings {ex_classes}/{ex_cores} = {} | epoch-prune ratio {}",
+         theorem-1 savings {ex_classes}/{ex_cores} = {} | epoch-prune ratio {} | \
+         mem {mem} (rss {rss})",
         std::time::Duration::from_nanos(lat.p50),
         std::time::Duration::from_nanos(lat.p99),
         std::time::Duration::from_nanos(lat.max),

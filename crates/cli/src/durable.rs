@@ -33,6 +33,15 @@ fn registry_from(opts: &Opts) -> Result<Arc<Registry>, String> {
     Ok(Arc::new(registry))
 }
 
+/// Publishes the raw window buffer's gauge row — the one stateful piece
+/// the durable loop owns directly rather than through the engine.
+fn publish_window_gauge<const D: usize>(registry: &Registry, w: &SlidingWindow<D>) {
+    use disc_telemetry::{MemoryFootprint, Recorder};
+    for (component, bytes) in w.footprint().flatten() {
+        registry.gauge_set_labeled("disc_mem_bytes", "component", &component, bytes as f64);
+    }
+}
+
 fn fsync_policy(opts: &Opts) -> Result<FsyncPolicy, String> {
     FsyncPolicy::parse(&opts.fsync).ok_or_else(|| {
         format!(
@@ -78,7 +87,7 @@ fn append_then_apply<const D: usize, B: SpatialBackend<D>>(
         let bytes = wal
             .append(disc.slide_seq() + 1, batch)
             .map_err(|e| format!("WAL append failed: {e}"))?;
-        metrics::publish_wal_append(registry, bytes);
+        metrics::publish_wal_append(registry, bytes, wal.len_bytes());
     }
     disc.try_apply(batch)
         .map_err(|e| format!("slide {} rejected: {e}", disc.slide_seq() + 1))?;
@@ -100,6 +109,7 @@ fn drain_stream<const D: usize, B: SpatialBackend<D>>(
     let started = std::time::Instant::now();
     while let Some(batch) = w.advance() {
         append_then_apply(&mut disc, &mut wal, &batch, registry)?;
+        publish_window_gauge(registry, &w);
         if disc.slide_seq().is_multiple_of(every) {
             write_checkpoint(&disc, &w, dir, registry)?;
         }
@@ -187,6 +197,7 @@ pub fn run_durable<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<
     let mut w = SlidingWindow::new(records, window, stride);
     let fill = w.fill();
     append_then_apply(&mut disc, &mut wal, &fill, &registry)?;
+    publish_window_gauge(&registry, &w);
     if opts.checkpoint_every.max(1) == 1 {
         write_checkpoint(&disc, &w, dir, &registry)?;
     }

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 mod cmd;
 mod durable;
+mod top;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +45,8 @@ usage:
                 [--threads N] [--out F] [--quiet]
   disc diffsnap --a F --b F [--dim D]
   disc explain  --trace F.jsonl [--slide N]
+  disc top      --metrics F.jsonl | --prom-addr HOST:PORT
+                [--refresh MS] [--once]
   disc estimate --input F --dim D [--sample N]
   disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
                 [--seed N]
@@ -59,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "resume" => dispatch_dim(&opts, durable::ResumeCmd),
         "diffsnap" => dispatch_dim(&opts, durable::DiffsnapCmd),
         "explain" => cmd::explain(&opts),
+        "top" => top::top(&opts),
         "estimate" => dispatch_dim(&opts, cmd::EstimateCmd),
         "generate" => cmd::generate(&opts),
         "--help" | "-h" | "help" => {
@@ -118,6 +122,12 @@ pub struct Opts {
     pub snap_a: Option<PathBuf>,
     /// Second snapshot for `disc diffsnap` (`--b`).
     pub snap_b: Option<PathBuf>,
+    /// Slide-event JSONL for `disc top` to tail (`--metrics`).
+    pub metrics: Option<PathBuf>,
+    /// `disc top` refresh cadence in milliseconds (`--refresh`).
+    pub refresh: u64,
+    /// Render one `disc top` frame and exit (`--once`).
+    pub once: bool,
 }
 
 impl Opts {
@@ -153,6 +163,9 @@ impl Opts {
             fsync: "always".to_string(),
             snap_a: None,
             snap_b: None,
+            metrics: None,
+            refresh: 1000,
+            once: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -191,6 +204,9 @@ impl Opts {
                 "--fsync" => o.fsync = value()?,
                 "--a" => o.snap_a = Some(PathBuf::from(value()?)),
                 "--b" => o.snap_b = Some(PathBuf::from(value()?)),
+                "--metrics" => o.metrics = Some(PathBuf::from(value()?)),
+                "--refresh" => o.refresh = parse_num(flag, &value()?)?,
+                "--once" => o.once = true,
                 "--quiet" => o.quiet = true,
                 other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
             }
@@ -527,7 +543,31 @@ mod tests {
             assert_eq!(ev.backend, "rtree");
             assert!(ev.total_ns > 0);
             assert!(ev.range_searches > 0);
+            assert!(ev.mem_bytes > 0, "engine must account its memory");
         }
+        // The produced stream is immediately `disc top`-able.
+        let args: Vec<String> = ["top", "--metrics", metrics.to_str().unwrap(), "--once"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn top_flags_parse_and_require_a_source() {
+        let o = parse(&["--metrics", "m.jsonl", "--refresh", "250", "--once"]).unwrap();
+        assert_eq!(o.metrics.as_ref().unwrap().to_str(), Some("m.jsonl"));
+        assert_eq!(o.refresh, 250);
+        assert!(o.once);
+        let o = parse(&[]).unwrap();
+        assert!(o.metrics.is_none());
+        assert_eq!(o.refresh, 1000);
+        assert!(!o.once);
+        let err = run(&["top".to_string()]).unwrap_err();
+        assert!(
+            err.contains("--metrics") && err.contains("--prom-addr"),
+            "{err}"
+        );
     }
 
     #[test]

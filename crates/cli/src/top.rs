@@ -1,0 +1,474 @@
+//! `disc top` — a live terminal view of a running stream.
+//!
+//! Two sources, zero dependencies:
+//!
+//! * `--metrics F.jsonl` tails the per-slide [`SlideEvent`] stream a
+//!   `disc cluster --metrics-out` run is appending to, and renders
+//!   per-phase latency tails (p50/p99/max over a rolling window of
+//!   slides) plus the engine's accounted memory curve.
+//! * `--prom-addr HOST:PORT` scrapes a running `PromServer` over plain
+//!   HTTP and renders the `disc_mem_bytes{component=...}` gauge tree
+//!   next to the cumulative latency histogram.
+//!
+//! Rendering is plain ANSI (clear-screen + home between frames); pass
+//! `--once` to print a single frame and exit (what the tests and CI do),
+//! `--refresh MS` to change the cadence (default one second).
+
+use crate::Opts;
+use disc_telemetry::mem::fmt_bytes;
+use disc_telemetry::{parse_prometheus, Sample, SlideEvent};
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// How many recent slides feed the rolling latency/memory view.
+const ROLLING: usize = 512;
+
+/// `disc top` entry point.
+pub fn top(opts: &Opts) -> Result<(), String> {
+    let refresh = std::time::Duration::from_millis(opts.refresh.max(50));
+    match (&opts.metrics, &opts.prom_addr) {
+        (Some(path), _) => tail_jsonl(path, refresh, opts.once),
+        (None, Some(addr)) => watch_prom(addr, refresh, opts.once),
+        (None, None) => Err("disc top needs --metrics F.jsonl or --prom-addr HOST:PORT".into()),
+    }
+}
+
+/// Tail mode: follow a growing `--metrics-out` JSONL file.
+fn tail_jsonl(
+    path: &std::path::Path,
+    refresh: std::time::Duration,
+    once: bool,
+) -> Result<(), String> {
+    let mut file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut offset = 0u64;
+    let mut partial = String::new();
+    let mut events: Vec<SlideEvent> = Vec::new();
+    loop {
+        offset = drain_new_lines(&mut file, offset, &mut partial, &mut events, path)?;
+        events.drain(..events.len().saturating_sub(ROLLING));
+        emit_frame(&render_events(&events, &path.display().to_string()), once);
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(refresh);
+    }
+}
+
+/// Reads everything appended since `offset`, parsing complete lines into
+/// `events` and carrying an unterminated tail over in `partial`.
+fn drain_new_lines(
+    file: &mut std::fs::File,
+    offset: u64,
+    partial: &mut String,
+    events: &mut Vec<SlideEvent>,
+    path: &std::path::Path,
+) -> Result<u64, String> {
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut chunk = String::new();
+    file.read_to_string(&mut chunk)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let next = offset + chunk.len() as u64;
+    partial.push_str(&chunk);
+    // Only consume terminated lines; the writer may be mid-append.
+    while let Some(nl) = partial.find('\n') {
+        let line: String = partial.drain(..=nl).collect();
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = SlideEvent::from_jsonl(line).map_err(|e| format!("{}: {e}", path.display()))?;
+        events.push(ev);
+    }
+    Ok(next)
+}
+
+/// One frame of the JSONL view.
+fn render_events(events: &[SlideEvent], source: &str) -> String {
+    let mut out = String::new();
+    let Some(last) = events.last() else {
+        out.push_str(&format!(
+            "disc top — {source}\n(waiting for the first slide event)\n"
+        ));
+        return out;
+    };
+    out.push_str(&format!(
+        "disc top — {source}\n{} on {} | slide {} | window {} pts | last {} slides in view\n\n",
+        last.engine,
+        if last.backend.is_empty() {
+            "-"
+        } else {
+            last.backend
+        },
+        last.seq,
+        last.window_len,
+        events.len(),
+    ));
+    out.push_str("phase      p50         p99         max\n");
+    for (name, pick) in [
+        (
+            "collect",
+            &(|e: &SlideEvent| e.collect_ns) as &dyn Fn(&SlideEvent) -> u64,
+        ),
+        ("cluster", &|e: &SlideEvent| e.cluster_ns),
+        ("adoption", &|e: &SlideEvent| e.adoption_ns),
+        ("slide", &|e: &SlideEvent| e.total_ns),
+    ] {
+        let mut vals: Vec<u64> = events.iter().map(pick).collect();
+        vals.sort_unstable();
+        out.push_str(&format!(
+            "{name:<9}  {:<10}  {:<10}  {:<10}\n",
+            fmt_ns(pct(&vals, 0.50)),
+            fmt_ns(pct(&vals, 0.99)),
+            fmt_ns(*vals.last().unwrap()),
+        ));
+    }
+    let mems: Vec<u64> = events.iter().map(|e| e.mem_bytes).collect();
+    let peak = mems.iter().copied().max().unwrap_or(0);
+    out.push_str(&format!(
+        "\nmemory     {:<10}  peak {:<10}  {}\n",
+        fmt_bytes(last.mem_bytes),
+        fmt_bytes(peak),
+        spark(&mems),
+    ));
+    out.push_str(&format!(
+        "activity   +{} -{} pts | {} range searches | {} ex / {} neo cores\n",
+        last.inserted, last.removed, last.range_searches, last.ex_cores, last.neo_cores,
+    ));
+    out
+}
+
+/// Scrape mode: poll a `PromServer` `/metrics` endpoint.
+fn watch_prom(addr: &str, refresh: std::time::Duration, once: bool) -> Result<(), String> {
+    loop {
+        let body = scrape(addr)?;
+        let samples =
+            parse_prometheus(&body).map_err(|e| format!("{addr}: bad exposition: {e}"))?;
+        emit_frame(&render_prom(&samples, addr), once);
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(refresh);
+    }
+}
+
+/// One plain-HTTP GET against `addr`'s `/metrics`, returning the body.
+fn scrape(addr: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("{addr}: scrape failed: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// One frame of the Prometheus view.
+fn render_prom(samples: &[Sample], source: &str) -> String {
+    let mut out = String::new();
+    let slides = value_of(samples, "disc_slides_total").unwrap_or(0.0);
+    out.push_str(&format!(
+        "disc top — scraping {source}\n{slides:.0} slides committed\n\n"
+    ));
+
+    // Cumulative latency from the histogram series.
+    let count = value_of(samples, "disc_slide_seconds_count").unwrap_or(0.0);
+    let sum = value_of(samples, "disc_slide_seconds_sum").unwrap_or(0.0);
+    if count > 0.0 {
+        let buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| s.name == "disc_slide_seconds_bucket")
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().ok()?
+                };
+                Some((bound, s.value))
+            })
+            .collect();
+        out.push_str(&format!(
+            "slide latency  mean {}  p50 ≤{}  p99 ≤{}\n\n",
+            fmt_ns((sum / count * 1e9) as u64),
+            fmt_ns((bucket_quantile(&buckets, count, 0.50) * 1e9) as u64),
+            fmt_ns((bucket_quantile(&buckets, count, 0.99) * 1e9) as u64),
+        ));
+    }
+
+    // The per-component memory tree, indented by path depth.
+    let mut components: Vec<(&str, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "disc_mem_bytes")
+        .filter_map(|s| Some((s.label("component")?, s.value)))
+        .collect();
+    components.sort_by(|a, b| a.0.cmp(b.0));
+    if components.is_empty() {
+        out.push_str("memory: no disc_mem_bytes gauges yet (has a slide committed?)\n");
+    } else {
+        out.push_str("memory by component\n");
+        for (path, bytes) in &components {
+            let depth = path.matches('/').count();
+            let label = path.rsplit('/').next().unwrap_or(path);
+            out.push_str(&format!(
+                "{:indent$}{label:<14} {}\n",
+                "",
+                fmt_bytes(*bytes as u64),
+                indent = 2 + depth * 2,
+            ));
+        }
+    }
+    if let Some(rss) = value_of(samples, "disc_rss_bytes") {
+        out.push_str(&format!("  process RSS    {}\n", fmt_bytes(rss as u64)));
+    }
+    out
+}
+
+fn value_of(samples: &[Sample], name: &str) -> Option<f64> {
+    samples.iter().find(|s| s.name == name).map(|s| s.value)
+}
+
+/// Upper bound of the first cumulative bucket covering quantile `q`
+/// (the classic Prometheus `histogram_quantile` upper-bound estimate;
+/// the last finite bound stands in for the `+Inf` bucket).
+fn bucket_quantile(buckets: &[(f64, f64)], count: f64, q: f64) -> f64 {
+    let rank = q * count;
+    let mut last_finite = 0.0;
+    for &(bound, cumulative) in buckets {
+        if bound.is_finite() {
+            last_finite = bound;
+        }
+        if cumulative >= rank {
+            return if bound.is_finite() {
+                bound
+            } else {
+                last_finite
+            };
+        }
+    }
+    last_finite
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A block-character sparkline of `values`, scaled to the observed max.
+fn spark(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    // One glyph per slide, downsampled (max per cell) to fit a terminal.
+    const WIDTH: usize = 48;
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    let cell = values.len().div_ceil(WIDTH);
+    values
+        .chunks(cell)
+        .map(|c| {
+            let v = c.iter().copied().max().unwrap_or(0);
+            BARS[((v * 7).div_ceil(max) as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Humanises a nanosecond latency.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Prints one frame: clear-and-home ANSI in live mode, plain in `--once`
+/// mode so piped/captured output stays readable.
+fn emit_frame(frame: &str, once: bool) {
+    if once {
+        print!("{frame}");
+    } else {
+        print!("\x1b[2J\x1b[H{frame}");
+    }
+    let _ = std::io::stdout().flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, total_ns: u64, mem: u64) -> SlideEvent {
+        SlideEvent {
+            seq,
+            engine: "disc",
+            backend: "rtree",
+            window_len: 1000,
+            inserted: 50,
+            removed: 50,
+            collect_ns: total_ns / 2,
+            cluster_ns: total_ns / 3,
+            adoption_ns: total_ns / 6,
+            total_ns,
+            range_searches: 120,
+            mem_bytes: mem,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn jsonl_frame_shows_tails_and_memory() {
+        let events: Vec<SlideEvent> = (1..=100)
+            .map(|i| ev(i, i * 1_000, 1_000_000 + i * 10_000))
+            .collect();
+        let frame = render_events(&events, "m.jsonl");
+        assert!(frame.contains("disc top — m.jsonl"), "{frame}");
+        assert!(frame.contains("disc on rtree | slide 100"), "{frame}");
+        // p50 of 1..=100 µs is 50µs; p99 is 99µs; max 100µs.
+        assert!(
+            frame.contains("slide      50.0µs      99.0µs      100.0µs"),
+            "{frame}"
+        );
+        // Latest and peak memory are the same here (monotone growth).
+        assert!(frame.contains("peak 1.91 MiB"), "{frame}");
+        assert!(frame.contains('█'), "sparkline present: {frame}");
+        assert!(
+            frame.contains("+50 -50 pts | 120 range searches"),
+            "{frame}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_renders_a_waiting_frame() {
+        let frame = render_events(&[], "m.jsonl");
+        assert!(
+            frame.contains("waiting for the first slide event"),
+            "{frame}"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(pct(&v, 0.50), 50);
+        assert_eq!(pct(&v, 0.99), 99);
+        assert_eq!(pct(&v, 1.0), 100);
+        assert_eq!(pct(&[7], 0.5), 7);
+        assert_eq!(pct(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        assert_eq!(spark(&[]), "");
+        let s = spark(&[0, 50, 100]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+        // 1000 values still fit the fixed width.
+        let long: Vec<u64> = (0..1000).collect();
+        assert!(spark(&long).chars().count() <= 48);
+    }
+
+    #[test]
+    fn prom_frame_renders_the_component_tree() {
+        use disc_telemetry::{Recorder, Registry};
+        let reg = Registry::new();
+        reg.counter_add("disc_slides_total", 12);
+        reg.record_nanos("disc_slide_seconds", 2_000_000);
+        reg.gauge_set_labeled("disc_mem_bytes", "component", "engine", 3_000_000.0);
+        reg.gauge_set_labeled("disc_mem_bytes", "component", "engine/points", 1_000_000.0);
+        reg.gauge_set_labeled("disc_mem_bytes", "component", "engine/index", 2_000_000.0);
+        reg.gauge_set("disc_rss_bytes", 64.0 * 1024.0 * 1024.0);
+        let samples = parse_prometheus(&reg.render_prometheus()).unwrap();
+        let frame = render_prom(&samples, "127.0.0.1:9");
+        assert!(frame.contains("12 slides committed"), "{frame}");
+        assert!(frame.contains("slide latency  mean 2.0ms"), "{frame}");
+        assert!(frame.contains("engine         2.86 MiB"), "{frame}");
+        // Children are indented under their parent path.
+        assert!(frame.contains("\n    points         976.6 KiB"), "{frame}");
+        assert!(frame.contains("process RSS    64.00 MiB"), "{frame}");
+    }
+
+    #[test]
+    fn prom_frame_flags_missing_memory_gauges() {
+        use disc_telemetry::{Recorder, Registry};
+        let reg = Registry::new();
+        reg.counter_add("disc_slides_total", 1);
+        let samples = parse_prometheus(&reg.render_prometheus()).unwrap();
+        let frame = render_prom(&samples, "x");
+        assert!(frame.contains("no disc_mem_bytes gauges yet"), "{frame}");
+    }
+
+    #[test]
+    fn bucket_quantile_uses_upper_bounds() {
+        // 10 samples: 4 ≤ 0.001, 9 ≤ 0.01, 10 ≤ +Inf.
+        let b = vec![(0.001, 4.0), (0.01, 9.0), (f64::INFINITY, 10.0)];
+        assert_eq!(bucket_quantile(&b, 10.0, 0.50), 0.01);
+        assert_eq!(bucket_quantile(&b, 10.0, 0.30), 0.001);
+        // The +Inf bucket reports the last finite bound.
+        assert_eq!(bucket_quantile(&b, 10.0, 0.999), 0.01);
+    }
+
+    #[test]
+    fn tailing_resumes_mid_line_appends() {
+        let dir = std::env::temp_dir().join("disc_top_tail_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        let line = ev(1, 1000, 500).to_jsonl();
+        // First write: one full line plus the head of a second.
+        let second = ev(2, 2000, 600).to_jsonl();
+        let (head, tail) = second.split_at(20);
+        std::fs::write(&path, format!("{line}\n{head}")).unwrap();
+        let mut file = std::fs::File::open(&path).unwrap();
+        let mut partial = String::new();
+        let mut events = Vec::new();
+        let off = drain_new_lines(&mut file, 0, &mut partial, &mut events, &path).unwrap();
+        assert_eq!(events.len(), 1, "partial line must not parse yet");
+        // The writer finishes the second line; the tail picks it up.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{tail}").unwrap();
+        drop(f);
+        let mut file = std::fs::File::open(&path).unwrap();
+        drain_new_lines(&mut file, off, &mut partial, &mut events, &path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].seq, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrape_reads_a_live_prom_server() {
+        use disc_telemetry::{PromServer, Recorder, Registry};
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        reg.gauge_set_labeled("disc_mem_bytes", "component", "engine", 1234.0);
+        let server = PromServer::spawn("127.0.0.1:0", reg).unwrap();
+        let addr = server.local_addr().to_string();
+        let body = scrape(&addr).unwrap();
+        assert!(body.contains("# TYPE disc_mem_bytes gauge"), "{body}");
+        let samples = parse_prometheus(&body).unwrap();
+        let frame = render_prom(&samples, &addr);
+        assert!(frame.contains("engine         1.2 KiB"), "{frame}");
+        server.shutdown();
+    }
+}

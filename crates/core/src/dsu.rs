@@ -162,6 +162,15 @@ impl Dsu {
     }
 }
 
+impl disc_telemetry::MemoryFootprint for Dsu {
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        disc_telemetry::FootprintNode::leaf(
+            "dsu",
+            (self.parent.capacity() + self.size.capacity()) * std::mem::size_of::<u32>(),
+        )
+    }
+}
+
 /// A lock-free union-find over a **fixed** element universe, safe to hammer
 /// from many threads at once.
 ///

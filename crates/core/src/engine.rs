@@ -8,6 +8,7 @@ use crate::stats::SlideStats;
 use crate::store::PointStore;
 use disc_geom::{FxHashMap, FxHashSet, Point, PointId};
 use disc_index::{RTree, SpatialBackend};
+use disc_telemetry::MemoryFootprint;
 use disc_window::SlideBatch;
 use std::cell::RefCell;
 
@@ -395,6 +396,12 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
 
         stats.index = self.tree.stats().since(&index_before);
         stats.elapsed = start.elapsed();
+        // Byte accounting rides the same enabled() gate as the rest of the
+        // telemetry: an uninstrumented engine never walks its footprint.
+        let footprint = self.recorder.enabled().then(|| self.footprint());
+        if let Some(fp) = &footprint {
+            stats.mem_bytes = fp.total();
+        }
         self.last_stats = stats;
         self.slide_seq += 1;
         self.tracer.end_with_args(
@@ -406,6 +413,19 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 ("window", self.points.len() as u64),
             ],
         );
+        if let Some(fp) = &footprint {
+            for (component, bytes) in fp.flatten() {
+                self.recorder.gauge_set_labeled(
+                    "disc_mem_bytes",
+                    "component",
+                    &component,
+                    bytes as f64,
+                );
+            }
+            if let Some(rss) = disc_telemetry::rss_bytes() {
+                self.recorder.gauge_set("disc_rss_bytes", rss as f64);
+            }
+        }
         stats.publish_to(
             self.recorder.as_ref(),
             self.slide_seq,
@@ -604,6 +624,34 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
                 }
             }
         }
+    }
+}
+
+impl<const D: usize, B: SpatialBackend<D>> disc_telemetry::MemoryFootprint for Disc<D, B> {
+    /// Engine-state heap bytes, decomposed into the components the
+    /// `disc_mem_bytes{component=...}` gauges publish: point store, spatial
+    /// index, cluster DSU, the per-slide bookkeeping sets, and the memoised
+    /// root cache. Thread-pool stacks and transient slide scratch are out of
+    /// scope — this accounts for what the window *retains*.
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::{map_bytes, FootprintNode};
+        let set_entry = std::mem::size_of::<(PointId, ())>();
+        let sets = map_bytes(self.needs_adoption.capacity(), set_entry)
+            + map_bytes(self.touched.capacity(), set_entry);
+        let cache = map_bytes(
+            self.root_cache.borrow().capacity(),
+            std::mem::size_of::<(u32, u32)>(),
+        );
+        FootprintNode::branch(
+            "engine",
+            vec![
+                self.points.footprint(),
+                self.tree.footprint(),
+                self.clusters.footprint(),
+                FootprintNode::leaf("sets", sets),
+                FootprintNode::leaf("root_cache", cache),
+            ],
+        )
     }
 }
 

@@ -154,15 +154,11 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
     }
 
     /// Materialised-graph memory estimate in bytes — the quantity the
-    /// paper's O(n²) warning is about.
+    /// paper's O(n²) warning is about. The footprint total over the vertex
+    /// table, adjacency lists, index and DSU.
     pub fn memory_bytes(&self) -> usize {
-        self.vertices
-            .values()
-            .map(|v| {
-                std::mem::size_of::<Vertex<D>>()
-                    + v.neigh.capacity() * std::mem::size_of::<PointId>()
-            })
-            .sum()
+        use disc_telemetry::MemoryFootprint;
+        self.mem_bytes() as usize
     }
 
     fn is_core(&self, v: &Vertex<D>) -> bool {
@@ -383,8 +379,22 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
         self.slide_seq += 1;
         self.tracer
             .end_with_args(sp_slide, &[("seq", self.slide_seq)]);
-        let rec = self.recorder.as_ref();
-        if rec.enabled() {
+        if self.recorder.enabled() {
+            use disc_telemetry::MemoryFootprint;
+            let fp = self.footprint();
+            let mem_bytes = fp.total();
+            for (component, bytes) in fp.flatten() {
+                self.recorder.gauge_set_labeled(
+                    "disc_mem_bytes",
+                    "component",
+                    &component,
+                    bytes as f64,
+                );
+            }
+            if let Some(rss) = disc_telemetry::rss_bytes() {
+                self.recorder.gauge_set("disc_rss_bytes", rss as f64);
+            }
+            let rec = self.recorder.as_ref();
             let elapsed = start.elapsed();
             rec.counter_add("disc_slides_total", 1);
             rec.counter_add("disc_points_inserted_total", batch.incoming.len() as u64);
@@ -406,6 +416,7 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
                 nodes_visited: index.nodes_visited,
                 distance_checks: index.distance_checks,
                 subtrees_pruned: index.subtrees_pruned,
+                mem_bytes,
                 ..disc_telemetry::SlideEvent::default()
             });
             for ev in self.prov.drain(..) {
@@ -518,6 +529,34 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             }
         }
         roots.len()
+    }
+}
+
+impl<const D: usize, B: SpatialBackend<D>> disc_telemetry::MemoryFootprint for GraphDisc<D, B> {
+    /// The materialised graph's bytes: the vertex table, the adjacency
+    /// lists (the component the paper's O(n²) warning targets), and the
+    /// shared index + DSU. Decomposed so the `disc_mem_bytes` gauges show
+    /// the adjacency blow-up as its own line.
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::{map_bytes, FootprintNode};
+        let table = map_bytes(
+            self.vertices.capacity(),
+            std::mem::size_of::<(PointId, Vertex<D>)>(),
+        );
+        let adjacency: usize = self
+            .vertices
+            .values()
+            .map(|v| v.neigh.capacity() * std::mem::size_of::<PointId>())
+            .sum();
+        FootprintNode::branch(
+            "graph",
+            vec![
+                FootprintNode::leaf("vertices", table),
+                FootprintNode::leaf("adjacency", adjacency),
+                self.tree.footprint(),
+                self.clusters.footprint(),
+            ],
+        )
     }
 }
 

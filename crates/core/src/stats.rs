@@ -52,6 +52,11 @@ pub struct SlideStats {
     pub cluster_time: std::time::Duration,
     /// Time spent in the final adoption pass (§V label maintenance).
     pub adoption_time: std::time::Duration,
+    /// Estimated engine-state heap bytes after the slide committed (the
+    /// [`MemoryFootprint`](disc_telemetry::MemoryFootprint) total over
+    /// points, index, DSU and bookkeeping sets). Zero when the engine does
+    /// not account (recorder disabled skips the walk).
+    pub mem_bytes: u64,
 }
 
 impl SlideStats {
@@ -97,6 +102,7 @@ impl SlideStats {
             nodes_visited: self.index.nodes_visited,
             distance_checks: self.index.distance_checks,
             subtrees_pruned: self.index.subtrees_pruned,
+            mem_bytes: self.mem_bytes,
         }
     }
 

@@ -197,6 +197,22 @@ impl<const D: usize> PointStore<D> {
     }
 }
 
+impl<const D: usize> disc_telemetry::MemoryFootprint for PointStore<D> {
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::FootprintNode;
+        FootprintNode::branch(
+            "points",
+            vec![
+                FootprintNode::leaf("coords", self.coords.heap_bytes()),
+                FootprintNode::leaf(
+                    "meta",
+                    self.meta.capacity() * std::mem::size_of::<PointMeta>(),
+                ),
+            ],
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

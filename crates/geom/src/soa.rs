@@ -87,6 +87,12 @@ impl<const D: usize> PointStore<D> {
         self.ids.is_empty()
     }
 
+    /// Heap bytes held across all columns (capacity accounting).
+    pub fn heap_bytes(&self) -> usize {
+        let f64s: usize = self.cols.iter().map(Vec::capacity).sum();
+        (f64s + self.ids.capacity() + self.ticks.capacity()) * std::mem::size_of::<u64>()
+    }
+
     /// Reserves room for `n` additional rows.
     pub fn reserve(&mut self, n: usize) {
         for c in &mut self.cols {
@@ -249,6 +255,12 @@ impl<const D: usize> PointStore<D> {
             w += e - s;
         }
         self.truncate(w);
+    }
+}
+
+impl<const D: usize> disc_telemetry::MemoryFootprint for PointStore<D> {
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        disc_telemetry::FootprintNode::leaf("soa", self.heap_bytes())
     }
 }
 
@@ -605,6 +617,20 @@ fn morton_ranges_rec<const D: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn heap_bytes_counts_every_column_capacity() {
+        use disc_telemetry::MemoryFootprint;
+        let mut s: PointStore<3> = PointStore::with_capacity(100);
+        // 3 coord columns + ids + ticks, all 8-byte elements.
+        assert_eq!(s.heap_bytes(), 100 * 8 * 5);
+        for i in 0..10u64 {
+            s.push(i, 0, &Point::new([i as f64, 0.0, 0.0]));
+        }
+        assert_eq!(s.heap_bytes(), 100 * 8 * 5, "pushes within capacity");
+        assert_eq!(s.mem_bytes(), s.heap_bytes() as u64);
+        assert_eq!(PointStore::<2>::new().heap_bytes(), 0);
+    }
 
     /// Deterministic xorshift so tests need no RNG dependency.
     struct Rng(u64);

@@ -713,6 +713,26 @@ impl<const D: usize> CurveIndex<D> {
     }
 }
 
+impl<const D: usize> disc_telemetry::MemoryFootprint for CurveIndex<D> {
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::FootprintNode;
+        // The flat vec is the curve key column plus the SoA geometry rows
+        // that ride in lockstep with it.
+        let flat = self.keys.capacity() * std::mem::size_of::<u64>() + self.rows.heap_bytes();
+        let epochs = self.epochs.capacity() * std::mem::size_of::<Epoch>();
+        let stamps =
+            disc_telemetry::map_bytes(self.stamps.capacity(), std::mem::size_of::<(u64, Epoch)>());
+        FootprintNode::branch(
+            "curve",
+            vec![
+                FootprintNode::leaf("flat", flat),
+                FootprintNode::leaf("epochs", epochs),
+                FootprintNode::leaf("stamps", stamps),
+            ],
+        )
+    }
+}
+
 impl<const D: usize> crate::SpatialBackend<D> for CurveIndex<D> {
     const NAME: &'static str = "curve";
 

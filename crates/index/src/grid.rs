@@ -545,6 +545,33 @@ impl<const D: usize> GridIndex<D> {
     }
 }
 
+impl<const D: usize> disc_telemetry::MemoryFootprint for GridIndex<D> {
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::FootprintNode;
+        let epoch = std::mem::size_of::<Epoch>();
+        let per_entry = std::mem::size_of::<GridEntry<D>>();
+        // The map's own table (keys + Cell headers, including the cell-level
+        // stamp which lives inline in the Cell struct).
+        let table = disc_telemetry::map_bytes(
+            self.cells.capacity(),
+            std::mem::size_of::<([i64; D], Cell<D>)>(),
+        );
+        // Per-cell entry vectors, split so epoch marks show up as their own
+        // line while the sum stays exact: every slot is (payload + mark).
+        let mut slots = 0usize;
+        for cell in self.cells.values() {
+            slots += cell.entries.capacity();
+        }
+        FootprintNode::branch(
+            "grid",
+            vec![
+                FootprintNode::leaf("cells", table + slots * (per_entry - epoch)),
+                FootprintNode::leaf("stamps", slots * epoch),
+            ],
+        )
+    }
+}
+
 impl<const D: usize> crate::SpatialBackend<D> for GridIndex<D> {
     const NAME: &'static str = "grid";
 

@@ -48,7 +48,12 @@ use disc_geom::{Point, PointId};
 /// frozen `&B` snapshot across workers during its read-only scan phases
 /// ([`scan_ball`](Self::scan_ball) / [`scan_balls`](Self::scan_balls)). Both
 /// shipped backends are plain owned data, so the bounds are free.
-pub trait SpatialBackend<const D: usize>: Send + Sync {
+///
+/// [`MemoryFootprint`](disc_telemetry::MemoryFootprint) is likewise part of
+/// the contract: the engine publishes per-component byte gauges every slide,
+/// and the paper's headline claim is a *memory* comparison — a backend that
+/// cannot account for its own bytes cannot participate in the ablation.
+pub trait SpatialBackend<const D: usize>: Send + Sync + disc_telemetry::MemoryFootprint {
     /// Short name for reports and ablation tables (e.g. `"rtree"`).
     const NAME: &'static str;
 
@@ -412,6 +417,16 @@ mod tests {
         ix.for_each(|_, _| seen += 1);
         assert_eq!(seen, 19);
         ix.check_invariants();
+
+        // Every backend accounts for its bytes: a populated index reports a
+        // nonzero footprint whose root total equals the sum over the tree,
+        // and flatten() exposes at least one child component.
+        let fp = ix.footprint();
+        assert!(fp.total() > 0, "populated {} reports zero bytes", B::NAME);
+        assert_eq!(fp.total(), ix.mem_bytes());
+        let flat = fp.flatten();
+        assert!(flat.len() > 1, "{} footprint has no components", B::NAME);
+        assert_eq!(flat[0].1, fp.total());
         assert!(ix.stats().range_searches > 0);
         ix.reset_stats();
         assert_eq!(ix.stats().range_searches, 0);

@@ -800,6 +800,36 @@ where
     out
 }
 
+impl<const D: usize> disc_telemetry::MemoryFootprint for RTree<D> {
+    /// Arena accounting: the node slab (plus free list), per-node entry
+    /// vectors, and the epoch marks embedded in every entry (reported
+    /// separately so their overhead is visible, though they live inline).
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::FootprintNode;
+        let epoch = std::mem::size_of::<Epoch>();
+        let mut entry_bytes = 0usize;
+        let mut marks = 0usize;
+        for n in &self.nodes {
+            let (cap, each) = match &n.kind {
+                NodeKind::Leaf(v) => (v.capacity(), std::mem::size_of::<LeafEntry<D>>()),
+                NodeKind::Internal(v) => (v.capacity(), std::mem::size_of::<Branch<D>>()),
+            };
+            entry_bytes += cap * (each - epoch);
+            marks += cap * epoch;
+        }
+        let arena = self.nodes.capacity() * std::mem::size_of::<Node<D>>()
+            + self.free.capacity() * std::mem::size_of::<NodeIdx>();
+        FootprintNode::branch(
+            "rtree",
+            vec![
+                FootprintNode::leaf("nodes", arena),
+                FootprintNode::leaf("entries", entry_bytes),
+                FootprintNode::leaf("epoch_marks", marks),
+            ],
+        )
+    }
+}
+
 trait StrSortable {
     fn sort_key(&self) -> f64;
 }

@@ -7,35 +7,46 @@
 //! |---|---|---|
 //! | `disc_checkpoints_total` | counter | checkpoints written |
 //! | `disc_checkpoint_bytes_total` | counter | bytes written across all checkpoints |
-//! | `disc_checkpoint_bytes` | histogram | size of each checkpoint |
+//! | `disc_checkpoint_bytes` | gauge | size of the latest checkpoint file |
+//! | `disc_checkpoint_write_bytes` | histogram | size of each checkpoint write |
 //! | `disc_checkpoint_seconds` | histogram | wall time of each save |
 //! | `disc_wal_records_total` | counter | slide records appended |
 //! | `disc_wal_bytes_total` | counter | bytes appended to the WAL |
+//! | `disc_wal_bytes` | gauge | current WAL on-disk size |
 //! | `disc_recoveries_total` | counter | successful recoveries |
 //! | `disc_recovery_replayed_slides` | histogram | WAL records replayed per recovery |
+//!
+//! The two gauges are the durability layer's rows in the memory/footprint
+//! accounting: they track *current on-disk state* (latest checkpoint, live
+//! WAL), where the `*_total` counters track cumulative write traffic.
 
 use crate::recover::RecoveryReport;
 use disc_telemetry::Recorder;
 use std::time::Duration;
 
-/// Publishes one completed checkpoint save.
+/// Publishes one completed checkpoint save. `bytes` is the size of the
+/// newly written checkpoint file; since saves replace the previous file, it
+/// doubles as the current on-disk checkpoint footprint.
 pub fn publish_checkpoint(rec: &dyn Recorder, bytes: u64, elapsed: Duration) {
     if !rec.enabled() {
         return;
     }
     rec.counter_add("disc_checkpoints_total", 1);
     rec.counter_add("disc_checkpoint_bytes_total", bytes);
-    rec.record_nanos("disc_checkpoint_bytes", bytes);
+    rec.record_nanos("disc_checkpoint_write_bytes", bytes);
     rec.record_duration("disc_checkpoint_seconds", elapsed);
+    rec.gauge_set("disc_checkpoint_bytes", bytes as f64);
 }
 
-/// Publishes one WAL append.
-pub fn publish_wal_append(rec: &dyn Recorder, bytes: u64) {
+/// Publishes one WAL append. `bytes` is the record size just appended;
+/// `wal_len` the WAL's resulting on-disk size (header + all records).
+pub fn publish_wal_append(rec: &dyn Recorder, bytes: u64, wal_len: u64) {
     if !rec.enabled() {
         return;
     }
     rec.counter_add("disc_wal_records_total", 1);
     rec.counter_add("disc_wal_bytes_total", bytes);
+    rec.gauge_set("disc_wal_bytes", wal_len as f64);
 }
 
 /// Publishes one successful recovery.
@@ -57,7 +68,7 @@ mod tests {
         let reg = Registry::new();
         publish_checkpoint(&reg, 1024, Duration::from_millis(2));
         publish_checkpoint(&reg, 512, Duration::from_millis(1));
-        publish_wal_append(&reg, 96);
+        publish_wal_append(&reg, 96, 16 + 96);
         publish_recovery(
             &reg,
             &RecoveryReport {
@@ -79,9 +90,33 @@ mod tests {
     }
 
     #[test]
+    fn size_gauges_track_current_state_not_traffic() {
+        let reg = Registry::new();
+        publish_checkpoint(&reg, 1024, Duration::from_millis(2));
+        publish_checkpoint(&reg, 512, Duration::from_millis(1));
+        // The gauge holds the *latest* checkpoint size, not the sum.
+        assert_eq!(reg.gauge_value("disc_checkpoint_bytes"), Some(512.0));
+        publish_wal_append(&reg, 96, 112);
+        publish_wal_append(&reg, 40, 152);
+        // The gauge holds the WAL's current on-disk length.
+        assert_eq!(reg.gauge_value("disc_wal_bytes"), Some(152.0));
+        // Both gauges render with gauge TYPE headers and survive the strict
+        // parser.
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE disc_wal_bytes gauge"));
+        assert!(text.contains("# TYPE disc_checkpoint_bytes gauge"));
+        disc_telemetry::parse_prometheus_strict(&text).unwrap();
+        // The per-write histogram keeps its distinct name.
+        let snap = reg
+            .histogram_snapshot("disc_checkpoint_write_bytes")
+            .unwrap();
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
     fn disabled_recorders_cost_nothing() {
         let noop = disc_telemetry::NoopRecorder;
         publish_checkpoint(&noop, 1, Duration::ZERO);
-        publish_wal_append(&noop, 1);
+        publish_wal_append(&noop, 1, 17);
     }
 }

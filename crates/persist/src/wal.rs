@@ -118,6 +118,9 @@ pub struct WalWriter<const D: usize> {
     appended_since_sync: u64,
     /// Total records appended through this writer.
     appended: u64,
+    /// Current on-disk size: header plus every record written or inherited
+    /// (maintained incrementally; feeds the `disc_wal_bytes` gauge).
+    len_bytes: u64,
 }
 
 impl<const D: usize> WalWriter<D> {
@@ -134,6 +137,7 @@ impl<const D: usize> WalWriter<D> {
             policy,
             appended_since_sync: 0,
             appended: 0,
+            len_bytes: (MAGIC.len() + 8) as u64,
         })
     }
 
@@ -152,13 +156,14 @@ impl<const D: usize> WalWriter<D> {
         }
         let mut file = file;
         use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0))?;
+        let len_bytes = file.seek(std::io::SeekFrom::End(0))?;
         Ok((
             WalWriter {
                 file: BufWriter::new(file),
                 policy,
                 appended_since_sync: 0,
                 appended: 0,
+                len_bytes,
             },
             scan,
         ))
@@ -182,6 +187,7 @@ impl<const D: usize> WalWriter<D> {
         if due {
             self.sync()?;
         }
+        self.len_bytes += payload.len() as u64 + 8;
         Ok(payload.len() as u64 + 8)
     }
 
@@ -196,6 +202,28 @@ impl<const D: usize> WalWriter<D> {
     /// Records appended through this writer (excludes pre-existing ones).
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Current WAL on-disk size in bytes (header + every record, including
+    /// ones inherited through [`open_append`](WalWriter::open_append)).
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+}
+
+impl<const D: usize> disc_telemetry::MemoryFootprint for WalWriter<D> {
+    /// The writer's resident state is one `BufWriter` buffer; the on-disk
+    /// length rides along as a child so a full-system footprint tree shows
+    /// durable bytes next to heap bytes.
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        use disc_telemetry::FootprintNode;
+        FootprintNode::branch(
+            "wal",
+            vec![
+                FootprintNode::leaf("buffer", self.file.capacity()),
+                FootprintNode::leaf("disk", self.len_bytes as usize),
+            ],
+        )
     }
 }
 
@@ -435,6 +463,38 @@ mod tests {
                 found: 3
             })
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn len_bytes_tracks_the_real_file_size() {
+        use disc_telemetry::MemoryFootprint;
+        let path = tmp("lenbytes.wal");
+        let mut w = WalWriter::<2>::create(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(w.len_bytes(), (MAGIC.len() + 8) as u64);
+        for seq in 1..=4 {
+            w.append(seq, &batch(seq)).unwrap();
+            let on_disk = std::fs::metadata(&path).unwrap().len();
+            assert_eq!(w.len_bytes(), on_disk, "after append {seq}");
+        }
+        // The footprint tree exposes the on-disk length as wal/disk.
+        let disk = w
+            .footprint()
+            .flatten()
+            .into_iter()
+            .find(|(p, _)| p == "wal/disk")
+            .unwrap()
+            .1;
+        assert_eq!(disk, w.len_bytes());
+        drop(w);
+        // Reopening inherits the existing length.
+        let (mut w, _) = WalWriter::<2>::open_append(&path, FsyncPolicy::Always).unwrap();
+        let before = w.len_bytes();
+        assert_eq!(before, std::fs::metadata(&path).unwrap().len());
+        w.append(5, &batch(5)).unwrap();
+        assert_eq!(w.len_bytes(), std::fs::metadata(&path).unwrap().len());
+        assert!(w.len_bytes() > before);
+        drop(w);
         std::fs::remove_file(&path).unwrap();
     }
 

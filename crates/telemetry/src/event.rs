@@ -67,6 +67,9 @@ pub struct SlideEvent {
     pub distance_checks: u64,
     /// Subtrees / cells skipped by epoch pruning.
     pub subtrees_pruned: u64,
+    /// Engine-state heap footprint after the slide, in bytes (the
+    /// `MemoryFootprint` estimate; 0 when the engine does not account).
+    pub mem_bytes: u64,
 }
 
 /// The JSONL schema: every emitted line carries exactly these keys.
@@ -75,7 +78,7 @@ pub struct SlideEvent {
 pub const SCHEMA_STR_KEYS: [&str; 2] = ["engine", "backend"];
 
 /// Numeric keys of the JSONL schema (see [`SCHEMA_STR_KEYS`]).
-pub const SCHEMA_NUM_KEYS: [&str; 24] = [
+pub const SCHEMA_NUM_KEYS: [&str; 25] = [
     "seq",
     "window_len",
     "inserted",
@@ -100,6 +103,7 @@ pub const SCHEMA_NUM_KEYS: [&str; 24] = [
     "nodes_visited",
     "distance_checks",
     "subtrees_pruned",
+    "mem_bytes",
 ];
 
 impl SlideEvent {
@@ -113,7 +117,7 @@ impl SlideEvent {
              \"msbfs_starters\":{},\"msbfs_rounds\":{},\"collect_ns\":{},\
              \"cluster_ns\":{},\"adoption_ns\":{},\"total_ns\":{},\
              \"range_searches\":{},\"epoch_probes\":{},\"nodes_visited\":{},\
-             \"distance_checks\":{},\"subtrees_pruned\":{}}}",
+             \"distance_checks\":{},\"subtrees_pruned\":{},\"mem_bytes\":{}}}",
             self.seq,
             crate::json::escape(self.engine),
             crate::json::escape(self.backend),
@@ -140,6 +144,7 @@ impl SlideEvent {
             self.nodes_visited,
             self.distance_checks,
             self.subtrees_pruned,
+            self.mem_bytes,
         )
     }
 
@@ -197,6 +202,7 @@ impl SlideEvent {
                 "extran" => "extran",
                 "rtree" => "rtree",
                 "grid" => "grid",
+                "curve" => "curve",
                 _ => "",
             }
         };
@@ -227,6 +233,7 @@ impl SlideEvent {
             nodes_visited: num("nodes_visited"),
             distance_checks: num("distance_checks"),
             subtrees_pruned: num("subtrees_pruned"),
+            mem_bytes: num("mem_bytes"),
         })
     }
 }
@@ -263,6 +270,7 @@ mod tests {
             nodes_visited: 900,
             distance_checks: 4_000,
             subtrees_pruned: 12,
+            mem_bytes: 1_048_576,
         }
     }
 
@@ -291,6 +299,11 @@ mod tests {
         assert!(SlideEvent::validate_jsonl(&unknown)
             .unwrap_err()
             .contains("bogus"));
+        // A pre-mem_bytes (schema 24-key) line no longer validates.
+        let old_schema = line.replace(",\"mem_bytes\":1048576", "");
+        assert!(SlideEvent::validate_jsonl(&old_schema)
+            .unwrap_err()
+            .contains("mem_bytes"));
         let wrong_type = line.replace("\"splits\":1", "\"splits\":\"one\"");
         assert!(SlideEvent::validate_jsonl(&wrong_type).is_err());
         assert!(SlideEvent::validate_jsonl("[1,2]").is_err());

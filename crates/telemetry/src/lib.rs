@@ -51,6 +51,7 @@ pub mod hist;
 #[cfg(feature = "http")]
 pub mod http;
 pub mod json;
+pub mod mem;
 pub mod prom;
 pub mod provenance;
 pub mod recorder;
@@ -65,7 +66,8 @@ pub use hist::{HistSnapshot, LogHistogram};
 #[cfg(feature = "http")]
 pub use http::PromServer;
 pub use json::Json;
-pub use prom::{parse_prometheus, Sample};
+pub use mem::{fmt_bytes, map_bytes, rss_bytes, FootprintNode, MemoryFootprint};
+pub use prom::{parse_prometheus, parse_prometheus_strict, MetricKind, Sample};
 pub use provenance::{
     JsonlProvenanceSink, MemoryProvenanceSink, MsBfsReason, ProvenanceEvent, ProvenanceKind,
     ProvenanceSink,

@@ -28,14 +28,64 @@ impl Sample {
     }
 }
 
+/// A metric kind declared by a `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotone counter.
+    Counter,
+    /// A settable gauge (the kind `disc_mem_bytes{component=...}` uses).
+    Gauge,
+    /// A bucketed histogram (`_bucket`/`_sum`/`_count` series).
+    Histogram,
+    /// A quantile summary (accepted, not produced by our exporter).
+    Summary,
+    /// Explicitly untyped.
+    Untyped,
+}
+
+impl MetricKind {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            "summary" => Some(MetricKind::Summary),
+            "untyped" => Some(MetricKind::Untyped),
+            _ => None,
+        }
+    }
+}
+
 /// Parses Prometheus text exposition, returning every sample line.
 ///
-/// Enforces: comment lines are `# HELP`/`# TYPE`; sample lines have a valid
-/// metric name, optional `{k="v",...}` labels and a float value; for every
-/// `<name>_bucket` series, cumulative counts are non-decreasing in `le`
-/// order of appearance and the `+Inf` bucket equals `<name>_count`.
+/// Enforces: comment lines are `# HELP`/`# TYPE`; `# TYPE` lines declare a
+/// valid metric name with a known kind (`counter`, `gauge`, `histogram`,
+/// `summary`, `untyped`), at most once per family; sample lines have a
+/// valid metric name, optional `{k="v",...}` labels and a float value;
+/// samples of a counter- or gauge-typed family use the declared name
+/// exactly (no histogram suffixes), and histogram-typed families only the
+/// `_bucket`/`_sum`/`_count` series; for every `<name>_bucket` series,
+/// cumulative counts are non-decreasing in `le` order of appearance and
+/// the `+Inf` bucket equals `<name>_count`.
+///
+/// Samples with *no* `# TYPE` header are tolerated (real exporters elide
+/// them); [`parse_prometheus_strict`] rejects those too.
 pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    parse_inner(text, false)
+}
+
+/// [`parse_prometheus`], additionally requiring every sample to belong to
+/// a family declared by a preceding `# TYPE` line. This is the form the
+/// round-trip tests hold our own exporter to: `Registry` always declares.
+pub fn parse_prometheus_strict(text: &str) -> Result<Vec<Sample>, String> {
+    parse_inner(text, true)
+}
+
+fn parse_inner(text: &str, strict: bool) -> Result<Vec<Sample>, String> {
+    use std::collections::BTreeMap;
     let mut samples = Vec::new();
+    let mut types: BTreeMap<String, MetricKind> = BTreeMap::new();
+    let mut sample_lines: Vec<usize> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -43,15 +93,76 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
         }
         if let Some(comment) = line.strip_prefix('#') {
             let comment = comment.trim_start();
-            if !(comment.starts_with("HELP") || comment.starts_with("TYPE")) {
+            if let Some(decl) = comment.strip_prefix("TYPE") {
+                let mut it = decl.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: TYPE without a metric name", lineno + 1))?;
+                if !valid_name(name) {
+                    return Err(format!(
+                        "line {}: TYPE declares invalid name {name:?}",
+                        lineno + 1
+                    ));
+                }
+                let kind_text = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: TYPE {name} without a kind", lineno + 1))?;
+                let kind = MetricKind::parse(kind_text).ok_or_else(|| {
+                    format!("line {}: unknown metric kind {kind_text:?}", lineno + 1)
+                })?;
+                if types.insert(name.to_string(), kind).is_some() {
+                    return Err(format!("line {}: duplicate TYPE for {name:?}", lineno + 1));
+                }
+            } else if !comment.starts_with("HELP") {
                 return Err(format!("line {}: unknown comment kind", lineno + 1));
             }
             continue;
         }
         samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        sample_lines.push(lineno + 1);
+    }
+    for (s, lineno) in samples.iter().zip(&sample_lines) {
+        validate_sample_kind(s, &types, strict).map_err(|e| format!("line {lineno}: {e}"))?;
     }
     validate_histograms(&samples)?;
     Ok(samples)
+}
+
+/// Checks one sample against the declared `# TYPE` table: counter/gauge
+/// samples use the declared name verbatim, histogram samples one of the
+/// three series suffixes; in strict mode an undeclared family is an error.
+fn validate_sample_kind(
+    s: &Sample,
+    types: &std::collections::BTreeMap<String, MetricKind>,
+    strict: bool,
+) -> Result<(), String> {
+    if let Some(kind) = types.get(&s.name) {
+        return match kind {
+            MetricKind::Histogram => Err(format!(
+                "{}: histogram-typed family sampled without _bucket/_sum/_count",
+                s.name
+            )),
+            _ => Ok(()),
+        };
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = s.name.strip_suffix(suffix) {
+            match types.get(base) {
+                Some(MetricKind::Histogram) | Some(MetricKind::Summary) => return Ok(()),
+                Some(kind) => {
+                    return Err(format!(
+                        "{}: series suffix on a {kind:?}-typed family",
+                        s.name
+                    ))
+                }
+                None => {}
+            }
+        }
+    }
+    if strict {
+        return Err(format!("{}: sample without a # TYPE header", s.name));
+    }
+    Ok(())
 }
 
 fn valid_name(s: &str) -> bool {
@@ -245,6 +356,68 @@ mod tests {
         // le values must increase.
         let bad = "h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n";
         assert!(parse_prometheus(bad).unwrap_err().contains("increasing"));
+    }
+
+    #[test]
+    fn gauge_typed_families_parse_and_round_trip() {
+        let r = Registry::new();
+        r.gauge_set("disc_window_points", 1000.0);
+        r.gauge_set_labeled("disc_mem_bytes", "component", "points", 4096.0);
+        r.gauge_set_labeled("disc_mem_bytes", "component", "index", 2048.0);
+        r.counter_add("disc_slides_total", 3);
+        r.record_nanos("disc_slide_seconds", 5_000);
+        let text = r.render_prometheus();
+        // The registry declares every family, so even the strict parser
+        // accepts its render.
+        let samples = parse_prometheus_strict(&text).unwrap();
+        let mem: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "disc_mem_bytes")
+            .collect();
+        assert_eq!(mem.len(), 2);
+        assert!(mem
+            .iter()
+            .any(|s| s.label("component") == Some("points") && s.value == 4096.0));
+    }
+
+    #[test]
+    fn hostile_gauge_without_type_header() {
+        // The hostile-corpus case: a gauge sample with no `# TYPE` header.
+        // Lenient parsing tolerates it (exporters in the wild elide
+        // headers); strict parsing names the offender.
+        let headerless = "disc_mem_bytes{component=\"points\"} 4096\n";
+        assert_eq!(parse_prometheus(headerless).unwrap().len(), 1);
+        let err = parse_prometheus_strict(headerless).unwrap_err();
+        assert!(err.contains("disc_mem_bytes"), "{err}");
+        assert!(err.contains("# TYPE"), "{err}");
+        // With the header, both accept.
+        let headed = format!("# TYPE disc_mem_bytes gauge\n{headerless}");
+        assert_eq!(parse_prometheus_strict(&headed).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn type_declarations_are_validated() {
+        // Unknown kind, nameless/kindless declarations, duplicates.
+        assert!(parse_prometheus("# TYPE m widget\nm 1\n")
+            .unwrap_err()
+            .contains("widget"));
+        assert!(parse_prometheus("# TYPE\n").unwrap_err().contains("TYPE"));
+        assert!(parse_prometheus("# TYPE m\n").unwrap_err().contains("kind"));
+        assert!(parse_prometheus("# TYPE 1bad gauge\n")
+            .unwrap_err()
+            .contains("invalid name"));
+        let dup = "# TYPE m gauge\n# TYPE m counter\nm 1\n";
+        assert!(parse_prometheus(dup).unwrap_err().contains("duplicate"));
+        // A histogram-typed family sampled without a series suffix.
+        let bare = "# TYPE h histogram\nh 3\n";
+        assert!(parse_prometheus(bare).unwrap_err().contains("_bucket"));
+        // A series suffix hanging off a gauge-typed family.
+        let suffixed = "# TYPE g_bytes gauge\ng_bytes_count 3\n";
+        assert!(parse_prometheus(suffixed).unwrap_err().contains("Gauge"));
+        // Gauges may be negative or non-integral; counters with a header
+        // still parse any float (the format does not forbid it).
+        let ok = "# TYPE g gauge\ng -2.5\n";
+        assert_eq!(parse_prometheus_strict(ok).unwrap()[0].value, -2.5);
     }
 
     #[test]

@@ -30,6 +30,19 @@ pub trait Recorder: Send + Sync {
     /// Sets gauge `name` to `value`.
     fn gauge_set(&self, name: &'static str, value: f64);
 
+    /// Sets the `{label_key="label_value"}` sample of gauge family `name`
+    /// to `value` (e.g. `disc_mem_bytes{component="points"}`). Default:
+    /// dropped, so recorders that predate labels need not opt in.
+    fn gauge_set_labeled(
+        &self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+        value: f64,
+    ) {
+        let _ = (name, label_key, label_value, value);
+    }
+
     /// Records one duration sample (nanoseconds) into histogram `name`.
     fn record_nanos(&self, name: &'static str, nanos: u64);
 
@@ -82,6 +95,7 @@ mod tests {
         assert!(!r.enabled());
         r.counter_add("x_total", 5);
         r.gauge_set("g", 1.0);
+        r.gauge_set_labeled("g_bytes", "component", "points", 2.0);
         r.record_nanos("h_seconds", 100);
         r.record_duration("h_seconds", std::time::Duration::from_micros(3));
         r.emit(&SlideEvent::default());

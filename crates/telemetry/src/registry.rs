@@ -12,6 +12,8 @@ use std::sync::Mutex;
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    /// Labeled gauge families: name → (label_key, label_value) → sample.
+    labeled_gauges: BTreeMap<&'static str, BTreeMap<(&'static str, String), f64>>,
     histograms: BTreeMap<&'static str, LogHistogram>,
     events_emitted: u64,
     provenance_emitted: u64,
@@ -66,6 +68,32 @@ impl Registry {
         self.lock().gauges.get(name).copied()
     }
 
+    /// Current value of the `{label_key="label_value"}` sample of gauge
+    /// family `name`.
+    pub fn labeled_gauge_value(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> Option<f64> {
+        self.lock()
+            .labeled_gauges
+            .get(name)?
+            .iter()
+            .find(|((k, v), _)| *k == label_key && v == label_value)
+            .map(|(_, value)| *value)
+    }
+
+    /// All samples of gauge family `name`, as
+    /// `((label_key, label_value), sample)` in label order.
+    pub fn labeled_gauge_samples(&self, name: &str) -> Vec<((&'static str, String), f64)> {
+        self.lock()
+            .labeled_gauges
+            .get(name)
+            .map(|family| family.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
     /// Summary snapshot of histogram `name`.
     pub fn histogram_snapshot(&self, name: &str) -> Option<HistSnapshot> {
         self.lock().histograms.get(name).map(|h| h.snapshot())
@@ -97,6 +125,12 @@ impl Registry {
         }
         for (name, value) in &inner.gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, family) in &inner.labeled_gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for ((key, label), value) in family {
+                out.push_str(&format!("{name}{{{key}=\"{label}\"}} {value}\n"));
+            }
         }
         for (name, hist) in &inner.histograms {
             let scale = if name.ends_with("_seconds") {
@@ -142,6 +176,22 @@ impl Recorder for Registry {
 
     fn gauge_set(&self, name: &'static str, value: f64) {
         self.lock().gauges.insert(name, value);
+    }
+
+    fn gauge_set_labeled(
+        &self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+        value: f64,
+    ) {
+        // A family must be plain or labeled, never both, or the exposition
+        // would carry two `# TYPE` headers for one name.
+        self.lock()
+            .labeled_gauges
+            .entry(name)
+            .or_default()
+            .insert((label_key, label_value.to_string()), value);
     }
 
     fn record_nanos(&self, name: &'static str, nanos: u64) {
@@ -191,6 +241,30 @@ mod tests {
         assert_eq!(h.sum, 600);
         assert_eq!(h.max, 300);
         assert_eq!(r.counter_names(), vec!["a_total"]);
+    }
+
+    #[test]
+    fn labeled_gauges_store_and_render_per_label() {
+        let r = Registry::new();
+        r.gauge_set_labeled("disc_mem_bytes", "component", "points", 100.0);
+        r.gauge_set_labeled("disc_mem_bytes", "component", "index", 50.0);
+        r.gauge_set_labeled("disc_mem_bytes", "component", "points", 120.0);
+        assert_eq!(
+            r.labeled_gauge_value("disc_mem_bytes", "component", "points"),
+            Some(120.0)
+        );
+        assert_eq!(
+            r.labeled_gauge_value("disc_mem_bytes", "component", "missing"),
+            None
+        );
+        let samples = r.labeled_gauge_samples("disc_mem_bytes");
+        assert_eq!(samples.len(), 2);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE disc_mem_bytes gauge").count(), 1);
+        assert!(text.contains("disc_mem_bytes{component=\"points\"} 120\n"));
+        assert!(text.contains("disc_mem_bytes{component=\"index\"} 50\n"));
+        // The render round-trips through the workspace's own parser.
+        crate::prom::parse_prometheus(&text).unwrap();
     }
 
     #[test]

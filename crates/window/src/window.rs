@@ -184,6 +184,20 @@ impl<const D: usize> SlidingWindow<D> {
     }
 }
 
+impl<const D: usize> disc_telemetry::MemoryFootprint for SlidingWindow<D> {
+    /// The driver buffers the whole backing stream (it replays arrival
+    /// indices), so its footprint is the record vector — dominated by the
+    /// stream length, not the window size. The CLI publishes this as the
+    /// `window` component so memory curves separate driver buffer from
+    /// engine state.
+    fn footprint(&self) -> disc_telemetry::FootprintNode {
+        disc_telemetry::FootprintNode::leaf(
+            "window",
+            self.records.capacity() * std::mem::size_of::<Record<D>>(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
