@@ -55,6 +55,14 @@ pub struct BenchRow {
     /// `peak_bytes / window` — the paper-style memory curve's y-axis.
     /// 0.0 in summaries written before byte accounting.
     pub bytes_per_point: f64,
+    /// Final-window ARI against a from-scratch DBSCAN oracle. Advisory
+    /// only (the engine is exact, so anything below 1.0 is a finding for
+    /// a human, never a gate); 0.0 in summaries written before the
+    /// stream-health PR.
+    pub quality_ari: f64,
+    /// Final-window noise fraction. Advisory context for the quality
+    /// column; 0.0 in older summaries.
+    pub noise_frac: f64,
 }
 
 impl BenchRow {
@@ -132,6 +140,11 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
                 .get("bytes_per_point")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            quality_ari: item
+                .get("quality_ari")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            noise_frac: item.get("noise_frac").and_then(Json::as_f64).unwrap_or(0.0),
         });
     }
     Ok(rows)
@@ -363,6 +376,8 @@ mod tests {
             evict_ns_per_point: 50.0,
             peak_bytes: 1_000_000.0,
             bytes_per_point: 125.0,
+            quality_ari: 1.0,
+            noise_frac: 0.05,
         }
     }
 

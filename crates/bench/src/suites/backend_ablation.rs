@@ -56,6 +56,14 @@ struct Run {
     /// Largest accounted engine footprint observed at any slide boundary
     /// across the repetitions (the `MemoryFootprint` estimate, bytes).
     peak_bytes: u64,
+    /// ARI of the engine's final window against a from-scratch DBSCAN
+    /// oracle over the same points — an advisory quality column (the
+    /// engine is exact, so anything below 1.0 is a finding, but the gate
+    /// never judges it).
+    quality_ari: f64,
+    /// Noise fraction of the final window. Advisory context for the ARI:
+    /// a stream that is mostly noise makes agreement cheap.
+    noise_frac: f64,
 }
 
 impl Run {
@@ -137,6 +145,8 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
     let mut searches = 0u64;
     let mut visits = 0u64;
     let mut peak_bytes = 0u64;
+    let mut last_window: Option<Vec<(PointId, disc_geom::Point<D>)>> = None;
+    let mut last_assignments: Option<Vec<(PointId, i64)>> = None;
     for _ in 0..REPS {
         let mut w = SlidingWindow::new(recs.to_vec(), window, stride);
         let mut disc: Disc<D, B> =
@@ -160,6 +170,8 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
             rep_slides += 1;
         }
         slides += rep_slides;
+        last_window = Some(w.current().collect());
+        last_assignments = Some(disc.assignments());
     }
     let wall = wall.elapsed();
     let cpu_util = match (cpu_before, proc_cpu_time()) {
@@ -167,6 +179,25 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
             b.saturating_sub(a).as_secs_f64() / wall.as_secs_f64()
         }
         _ => 0.0,
+    };
+    // Advisory quality: score the last rep's final window against a
+    // from-scratch DBSCAN oracle (outside the timed section).
+    let (quality_ari, noise_frac) = match (&last_window, &last_assignments) {
+        (Some(window), Some(assignments)) if !window.is_empty() => {
+            let (oracle, _) = disc_baselines::Dbscan::<D>::run(window, eps, tau);
+            let engine_of: disc_geom::FxHashMap<PointId, i64> =
+                assignments.iter().copied().collect();
+            let (mut truth, mut pred) = (Vec::new(), Vec::new());
+            for (id, _) in window {
+                truth.push(oracle.get(id).copied().unwrap_or(-1));
+                pred.push(engine_of.get(id).copied().unwrap_or(-1));
+            }
+            (
+                disc_metrics::ari(&truth, &pred),
+                disc_metrics::noise_fraction(assignments),
+            )
+        }
+        _ => (0.0, 0.0),
     };
     let n = slides.max(1);
     Run {
@@ -186,6 +217,8 @@ fn drive<const D: usize, B: SpatialBackend<D>>(
         visits_per_slide: visits as f64 / n as f64,
         evict_ns_per_point: 0.0,
         peak_bytes,
+        quality_ari,
+        noise_frac,
     }
 }
 
@@ -360,7 +393,7 @@ fn summary_string(runs: &[Run]) -> String {
              \"stride\": {}, \"threads\": {}, \"slides\": {}, \"p50_slide_us\": {:.3}, \
              \"p99_slide_us\": {:.3}, \"max_slide_us\": {:.3}, \"searches_per_slide\": {:.1}, \
              \"cpu_util\": {:.2}, \"evict_ns_per_point\": {:.1}, \"peak_bytes\": {}, \
-             \"bytes_per_point\": {:.1}}}{}",
+             \"bytes_per_point\": {:.1}, \"quality_ari\": {:.4}, \"noise_frac\": {:.4}}}{}",
             r.backend,
             r.window,
             r.stride,
@@ -374,6 +407,8 @@ fn summary_string(runs: &[Run]) -> String {
             r.evict_ns_per_point,
             r.peak_bytes,
             r.bytes_per_point(),
+            r.quality_ari,
+            r.noise_frac,
             sep,
         );
     }
@@ -450,6 +485,8 @@ mod tests {
             "evict_ns_per_point",
             "peak_bytes",
             "bytes_per_point",
+            "quality_ari",
+            "noise_frac",
         ] {
             assert!(summary.contains(&format!("\"{key}\"")), "missing {key}");
         }

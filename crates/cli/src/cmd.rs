@@ -6,7 +6,7 @@ use disc_core::{kdistance, Disc, DiscConfig, IndexBackend};
 use disc_index::{CurveIndex, GridIndex};
 use disc_telemetry::{
     chrome_trace_json, folded_stacks, JsonlProvenanceSink, JsonlSink, MemoryFootprint, PromServer,
-    ProvenanceEvent, ProvenanceKind, Recorder, Registry, SpanRecord,
+    ProvenanceEvent, ProvenanceKind, ProvenanceSink, Recorder, Registry, SpanRecord,
 };
 use disc_window::{csv, datasets, Record, SlidingWindow};
 use std::path::Path;
@@ -118,6 +118,7 @@ impl DimCommand for ClusterCmd {
 
         // Telemetry: one shared registry feeds the JSONL sink, the scrape
         // endpoint, the provenance stream and the periodic summary alike.
+        let mut health = crate::health::Health::<D>::from_opts(opts, eps, tau)?;
         let mut registry = match &opts.metrics_out {
             Some(path) => {
                 let sink = JsonlSink::create(path)
@@ -126,10 +127,20 @@ impl DimCommand for ClusterCmd {
             }
             None => Registry::new(),
         };
-        if let Some(path) = &opts.provenance_out {
-            let sink = JsonlProvenanceSink::create(path)
-                .map_err(|e| format!("--provenance-out {}: {e}", path.display()))?;
-            registry = registry.with_provenance(Box::new(sink));
+        let prov_sink: Option<Box<dyn ProvenanceSink>> = match &opts.provenance_out {
+            Some(path) => {
+                let sink = JsonlProvenanceSink::create(path)
+                    .map_err(|e| format!("--provenance-out {}: {e}", path.display()))?;
+                Some(Box::new(sink))
+            }
+            None => None,
+        };
+        // The health driver tees the provenance stream through its
+        // lifecycle fold before (optionally) reaching the JSONL export.
+        match (&health, prov_sink) {
+            (Some(h), inner) => registry = registry.with_provenance(h.provenance_tee(inner)),
+            (None, Some(sink)) => registry = registry.with_provenance(sink),
+            (None, None) => {}
         }
         let registry: Arc<Registry> = Arc::new(registry);
         let prom = match &opts.prom_addr {
@@ -169,21 +180,33 @@ impl DimCommand for ClusterCmd {
             }
         };
         let start = std::time::Instant::now();
-        method.apply(&w.fill());
+        let fill = w.fill();
+        method.apply(&fill);
         publish_window(&w);
         drain(&mut method, &mut spans);
+        if let Some(h) = &mut health {
+            h.observe(1, &method.assignments(), &w, &fill, &registry)?;
+        }
         let mut slides = 0u64;
         if opts.stats_every == 1 {
-            stats_summary(&registry, 1, workers);
+            stats_summary(&registry, 1, workers, health.as_ref().map(|h| h.summary()));
         }
         while let Some(batch) = w.advance() {
             method.apply(&batch);
             publish_window(&w);
             drain(&mut method, &mut spans);
             slides += 1;
+            if let Some(h) = &mut health {
+                h.observe(slides + 1, &method.assignments(), &w, &batch, &registry)?;
+            }
             // The fill counts as slide 1, so the human cadence is 1-based.
             if opts.stats_every > 0 && (slides + 1).is_multiple_of(opts.stats_every) {
-                stats_summary(&registry, slides + 1, workers);
+                stats_summary(
+                    &registry,
+                    slides + 1,
+                    workers,
+                    health.as_ref().map(|h| h.summary()),
+                );
             }
             if !opts.quiet {
                 let clusters: std::collections::HashSet<i64> = method
@@ -250,6 +273,11 @@ impl DimCommand for ClusterCmd {
                 registry.provenance_emitted(),
                 path.display()
             );
+        }
+        // Last, so a fatal alert still leaves every output (snapshot,
+        // traces, JSONL streams) complete on disk for CI to inspect.
+        if let Some(h) = &mut health {
+            h.finish(&registry)?;
         }
         Ok(())
     }
@@ -379,7 +407,12 @@ fn narrate(kind: &ProvenanceKind) -> String {
 /// rather than per ex-core (`ex_classes / ex_cores`, lower is better), and
 /// epoch-based probing (Alg. 4) skips index subtrees whole (`pruned /
 /// (visited + pruned)`, higher is better).
-fn stats_summary(registry: &Registry, slide: u64, workers: usize) {
+pub(crate) fn stats_summary(
+    registry: &Registry,
+    slide: u64,
+    workers: usize,
+    health: Option<String>,
+) {
     let lat = registry
         .histogram_snapshot("disc_slide_seconds")
         .unwrap_or_default();
@@ -404,12 +437,16 @@ fn stats_summary(registry: &Registry, slide: u64, workers: usize) {
         Some(b) => disc_telemetry::fmt_bytes(b as u64),
         None => "n/a".to_string(),
     };
+    let health = match health {
+        Some(fragment) => format!(" | {fragment}"),
+        None => String::new(),
+    };
     eprintln!(
         "stats @ slide {slide}: workers {workers} | \
          latency p50 {:?} p99 {:?} max {:?} | \
          range searches {} (epoch probes {}) | \
          theorem-1 savings {ex_classes}/{ex_cores} = {} | epoch-prune ratio {} | \
-         mem {mem} (rss {rss})",
+         mem {mem} (rss {rss}){health}",
         std::time::Duration::from_nanos(lat.p50),
         std::time::Duration::from_nanos(lat.p99),
         std::time::Duration::from_nanos(lat.max),
@@ -461,6 +498,7 @@ pub fn generate(opts: &Opts) -> Result<(), String> {
         "iris" => write(out, &datasets::iris_like(n, seed)),
         "netflow" => write(out, &datasets::netflow_like(n, seed)),
         "blobs" => write(out, &datasets::gaussian_blobs::<2>(n, 4, 0.5, seed)),
+        "split_merge" => write(out, &datasets::split_merge(n, seed)),
         other => Err(format!("unknown --dataset {other:?}")),
     }
 }

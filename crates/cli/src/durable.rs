@@ -21,16 +21,17 @@ use disc_window::{csv, SlidingWindow};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-fn registry_from(opts: &Opts) -> Result<Arc<Registry>, String> {
-    let registry = match &opts.metrics_out {
+/// The durable registry, pre-`Arc` so the caller can still attach the
+/// health driver's provenance tee before sharing it with the engine.
+fn registry_from(opts: &Opts) -> Result<Registry, String> {
+    Ok(match &opts.metrics_out {
         Some(path) => {
             let sink = JsonlSink::create(path)
                 .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
             Registry::with_sink(Box::new(sink))
         }
         None => Registry::new(),
-    };
-    Ok(Arc::new(registry))
+    })
 }
 
 /// Publishes the raw window buffer's gauge row — the one stateful piece
@@ -103,15 +104,28 @@ fn drain_stream<const D: usize, B: SpatialBackend<D>>(
     mut wal: Option<WalWriter<D>>,
     dir: &Path,
     registry: &Arc<Registry>,
+    mut health: Option<crate::health::Health<D>>,
     opts: &Opts,
 ) -> Result<(), String> {
     let every = opts.checkpoint_every.max(1);
+    let workers = crate::cmd::effective_workers(opts);
     let started = std::time::Instant::now();
     while let Some(batch) = w.advance() {
         append_then_apply(&mut disc, &mut wal, &batch, registry)?;
         publish_window_gauge(registry, &w);
         if disc.slide_seq().is_multiple_of(every) {
             write_checkpoint(&disc, &w, dir, registry)?;
+        }
+        if let Some(h) = &mut health {
+            h.observe(disc.slide_seq(), &disc.assignments(), &w, &batch, registry)?;
+        }
+        if opts.stats_every > 0 && disc.slide_seq().is_multiple_of(opts.stats_every) {
+            crate::cmd::stats_summary(
+                registry,
+                disc.slide_seq(),
+                workers,
+                health.as_ref().map(|h| h.summary()),
+            );
         }
         if !opts.quiet {
             eprintln!(
@@ -150,6 +164,11 @@ fn drain_stream<const D: usize, B: SpatialBackend<D>>(
     if let Some(path) = &opts.metrics_out {
         println!("wrote per-slide metrics to {}", path.display());
     }
+    // Last, so a fatal alert still leaves the snapshot and checkpoints
+    // complete on disk.
+    if let Some(h) = &mut health {
+        h.finish(registry)?;
+    }
     Ok(())
 }
 
@@ -180,7 +199,12 @@ pub fn run_durable<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<
     let backend = IndexBackend::parse(&opts.index)
         .ok_or_else(|| format!("unknown --index {:?} (rtree, grid, or curve)", opts.index))?;
 
-    let registry = registry_from(opts)?;
+    let mut health = crate::health::Health::<D>::from_opts(opts, eps, tau)?;
+    let mut registry = registry_from(opts)?;
+    if let Some(h) = &health {
+        registry = registry.with_provenance(h.provenance_tee(None));
+    }
+    let registry = Arc::new(registry);
     let mut disc: Disc<D, B> = Disc::with_index(
         DiscConfig::new(eps, tau)
             .with_backend(backend)
@@ -201,7 +225,10 @@ pub fn run_durable<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<
     if opts.checkpoint_every.max(1) == 1 {
         write_checkpoint(&disc, &w, dir, &registry)?;
     }
-    drain_stream(disc, w, wal, dir, &registry, opts)
+    if let Some(h) = &mut health {
+        h.observe(disc.slide_seq(), &disc.assignments(), &w, &fill, &registry)?;
+    }
+    drain_stream(disc, w, wal, dir, &registry, health, opts)
 }
 
 /// `disc resume --checkpoint-dir DIR [--wal F] --input F`.
@@ -230,10 +257,16 @@ impl DimCommand for ResumeCmd {
 
 fn resume_with<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<(), String> {
     let dir = opts.checkpoint_dir.as_ref().expect("checked by caller");
-    let registry = registry_from(opts)?;
     let started = std::time::Instant::now();
     let (mut disc, driver, report) = recover_engine::<D, B>(dir, opts.wal.as_deref())
         .map_err(|e| format!("recovery failed: {e}"))?;
+    // The audit oracle inherits the recovered engine's own thresholds.
+    let health = crate::health::Health::<D>::from_opts(opts, disc.config().eps, disc.config().tau)?;
+    let mut registry = registry_from(opts)?;
+    if let Some(h) = &health {
+        registry = registry.with_provenance(h.provenance_tee(None));
+    }
+    let registry = Arc::new(registry);
     // Worker width is deliberately not part of the checkpoint image, so a
     // run checkpointed on one machine can resume at another's width.
     disc.set_threads(crate::cmd::effective_workers(opts));
@@ -277,7 +310,7 @@ fn resume_with<const D: usize, B: SpatialBackend<D>>(opts: &Opts) -> Result<(), 
         }
         None => None,
     };
-    drain_stream(disc, w, wal, dir, &registry, opts)
+    drain_stream(disc, w, wal, dir, &registry, health, opts)
 }
 
 /// `disc diffsnap --a F --b F [--dim D]` — canonical snapshot comparison.

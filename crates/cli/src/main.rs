@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 mod cmd;
 mod durable;
+mod health;
 mod top;
 
 fn main() -> ExitCode {
@@ -38,18 +39,21 @@ usage:
                 [--stats-every N]
                 [--trace-out F.json] [--folded-out F.txt]
                 [--provenance-out F.jsonl]
+                [--audit-every K] [--alerts RULES.toml|.json]
+                [--alerts-out F.jsonl] [--alerts-fatal]
+                [--health-out F.jsonl]
                 [--checkpoint-dir DIR] [--checkpoint-every N]
                 [--wal F] [--fsync always|never|every=N]
                 (`disc run` is an alias for `disc cluster`)
   disc resume   --checkpoint-dir DIR --input F [--dim D] [--wal F]
-                [--threads N] [--out F] [--quiet]
+                [--threads N] [--out F] [--quiet] [health flags as above]
   disc diffsnap --a F --b F [--dim D]
   disc explain  --trace F.jsonl [--slide N]
   disc top      --metrics F.jsonl | --prom-addr HOST:PORT
-                [--refresh MS] [--once]
+                [--health F.jsonl] [--refresh MS] [--once]
   disc estimate --input F --dim D [--sample N]
-  disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs --n N --out F
-                [--seed N]
+  disc generate --dataset maze|dtg|geolife|covid|iris|netflow|blobs|split_merge
+                --n N --out F [--seed N]
   disc --help";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -128,6 +132,18 @@ pub struct Opts {
     pub refresh: u64,
     /// Render one `disc top` frame and exit (`--once`).
     pub once: bool,
+    /// Quality-audit cadence in slides (`--audit-every`, 0 = off).
+    pub audit_every: u64,
+    /// Declarative alert rules file, TOML or JSON (`--alerts`).
+    pub alerts: Option<PathBuf>,
+    /// Alert-event JSONL sink (`--alerts-out`; needs `--alerts`).
+    pub alerts_out: Option<PathBuf>,
+    /// Exit non-zero if any alert fired (`--alerts-fatal`; for CI).
+    pub alerts_fatal: bool,
+    /// Per-slide health-event JSONL sink (`--health-out`).
+    pub health_out: Option<PathBuf>,
+    /// Health-event JSONL for `disc top` to tail (`--health`).
+    pub health: Option<PathBuf>,
 }
 
 impl Opts {
@@ -166,6 +182,12 @@ impl Opts {
             metrics: None,
             refresh: 1000,
             once: false,
+            audit_every: 0,
+            alerts: None,
+            alerts_out: None,
+            alerts_fatal: false,
+            health_out: None,
+            health: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -207,6 +229,12 @@ impl Opts {
                 "--metrics" => o.metrics = Some(PathBuf::from(value()?)),
                 "--refresh" => o.refresh = parse_num(flag, &value()?)?,
                 "--once" => o.once = true,
+                "--audit-every" => o.audit_every = parse_num(flag, &value()?)?,
+                "--alerts" => o.alerts = Some(PathBuf::from(value()?)),
+                "--alerts-out" => o.alerts_out = Some(PathBuf::from(value()?)),
+                "--alerts-fatal" => o.alerts_fatal = true,
+                "--health-out" => o.health_out = Some(PathBuf::from(value()?)),
+                "--health" => o.health = Some(PathBuf::from(value()?)),
                 "--quiet" => o.quiet = true,
                 other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
             }
@@ -705,6 +733,144 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn health_flags_parse() {
+        let o = parse(&[
+            "--audit-every",
+            "8",
+            "--alerts",
+            "rules.toml",
+            "--alerts-out",
+            "a.jsonl",
+            "--alerts-fatal",
+            "--health-out",
+            "h.jsonl",
+            "--health",
+            "h.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(o.audit_every, 8);
+        assert_eq!(o.alerts.as_ref().unwrap().to_str(), Some("rules.toml"));
+        assert_eq!(o.alerts_out.as_ref().unwrap().to_str(), Some("a.jsonl"));
+        assert!(o.alerts_fatal);
+        assert_eq!(o.health_out.as_ref().unwrap().to_str(), Some("h.jsonl"));
+        assert_eq!(o.health.as_ref().unwrap().to_str(), Some("h.jsonl"));
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.audit_every, 0);
+        assert!(o.alerts.is_none() && o.alerts_out.is_none() && o.health_out.is_none());
+        assert!(!o.alerts_fatal);
+    }
+
+    /// The tentpole, end to end: a `disc run` over the adversarial
+    /// split-merge stream with the auditor, alert engine and health sink
+    /// on. The alert JSONL must hold at least one firing→resolved cycle,
+    /// every health line must validate, `--alerts-fatal` must flip the
+    /// exit into an error, and the streams must feed `disc top`'s health
+    /// pane in tail mode.
+    #[test]
+    fn health_pipeline_end_to_end() {
+        let dir = std::env::temp_dir().join("disc_cli_health_e2e_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("sm.csv");
+        let rules = dir.join("rules.toml");
+        let metrics = dir.join("m.jsonl");
+        let alerts = dir.join("alerts.jsonl");
+        let health = dir.join("health.jsonl");
+        run_strs(&[
+            "generate",
+            "--dataset",
+            "split_merge",
+            "--n",
+            "4000",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The two blobs drift apart and back together once over the
+        // stream, so a cluster-count rule must fire and then resolve.
+        std::fs::write(
+            &rules,
+            "[[rule]]\nname = \"split\"\nmetric = \"disc_cluster_count\"\n\
+             op = \"gt\"\nthreshold = 1.5\nfor_slides = 2\nclear_slides = 2\n",
+        )
+        .unwrap();
+        let base = [
+            "run",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.6",
+            "--tau",
+            "5",
+            "--window",
+            "1000",
+            "--stride",
+            "200",
+            "--quiet",
+            "--audit-every",
+            "8",
+            "--alerts",
+            rules.to_str().unwrap(),
+            "--alerts-out",
+            alerts.to_str().unwrap(),
+            "--health-out",
+            health.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ];
+        run_strs(&base).unwrap();
+
+        // ≥1 firing→resolved cycle, schema-valid throughout.
+        let alert_text = std::fs::read_to_string(&alerts).unwrap();
+        let mut states = Vec::new();
+        for line in alert_text.lines() {
+            disc_telemetry::AlertEvent::validate_jsonl(line).unwrap();
+            let ev = disc_telemetry::AlertEvent::from_jsonl(line).unwrap();
+            assert_eq!(ev.rule, "split");
+            states.push(ev.state);
+        }
+        let fired = states.iter().position(|s| *s == "firing").unwrap();
+        assert!(
+            states[fired..].contains(&"resolved"),
+            "need a firing→resolved cycle, got {states:?}"
+        );
+
+        // One schema-valid health line per slide, with audited slides
+        // carrying quality scores.
+        let health_text = std::fs::read_to_string(&health).unwrap();
+        // 4000 records, window 1000, stride 200 → fill + 15 advances.
+        assert_eq!(health_text.lines().count(), 16);
+        let mut audited = 0;
+        for line in health_text.lines() {
+            disc_telemetry::HealthEvent::validate_jsonl(line).unwrap();
+            let ev = disc_telemetry::HealthEvent::from_jsonl(line).unwrap();
+            if ev.audited == 1 {
+                audited += 1;
+                assert!(ev.ari_ppm > 0, "audited slide carries quality: {line}");
+            }
+        }
+        assert_eq!(audited, 2, "slides 8 and 16 are audited");
+
+        // Both streams feed the live view's health pane.
+        run_strs(&[
+            "top",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--health",
+            health.to_str().unwrap(),
+            "--once",
+        ])
+        .unwrap();
+
+        // CI mode: the same run with --alerts-fatal exits non-zero,
+        // naming the count of fired alerts.
+        let mut fatal: Vec<&str> = base.to_vec();
+        fatal.push("--alerts-fatal");
+        let err = run_strs(&fatal).unwrap_err();
+        assert!(err.contains("--alerts-fatal"), "got: {err}");
     }
 
     #[test]

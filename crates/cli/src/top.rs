@@ -16,7 +16,7 @@
 
 use crate::Opts;
 use disc_telemetry::mem::fmt_bytes;
-use disc_telemetry::{parse_prometheus, Sample, SlideEvent};
+use disc_telemetry::{parse_prometheus, HealthEvent, Sample, SlideEvent};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 /// How many recent slides feed the rolling latency/memory view.
@@ -26,15 +26,17 @@ const ROLLING: usize = 512;
 pub fn top(opts: &Opts) -> Result<(), String> {
     let refresh = std::time::Duration::from_millis(opts.refresh.max(50));
     match (&opts.metrics, &opts.prom_addr) {
-        (Some(path), _) => tail_jsonl(path, refresh, opts.once),
+        (Some(path), _) => tail_jsonl(path, opts.health.as_deref(), refresh, opts.once),
         (None, Some(addr)) => watch_prom(addr, refresh, opts.once),
         (None, None) => Err("disc top needs --metrics F.jsonl or --prom-addr HOST:PORT".into()),
     }
 }
 
-/// Tail mode: follow a growing `--metrics-out` JSONL file.
+/// Tail mode: follow a growing `--metrics-out` JSONL file, plus the
+/// `--health-out` stream when `--health` names one.
 fn tail_jsonl(
     path: &std::path::Path,
+    health_path: Option<&std::path::Path>,
     refresh: std::time::Duration,
     once: bool,
 ) -> Result<(), String> {
@@ -42,10 +44,33 @@ fn tail_jsonl(
     let mut offset = 0u64;
     let mut partial = String::new();
     let mut events: Vec<SlideEvent> = Vec::new();
+    // The health stream may appear after the run's first slide; reopen
+    // each frame (cheap at refresh cadence) and tolerate its absence.
+    let mut health_offset = 0u64;
+    let mut health_partial = String::new();
+    let mut health: Vec<HealthEvent> = Vec::new();
     loop {
-        offset = drain_new_lines(&mut file, offset, &mut partial, &mut events, path)?;
+        offset = drain_new_lines(&mut file, offset, &mut partial, &mut events, path, &|l| {
+            SlideEvent::from_jsonl(l)
+        })?;
         events.drain(..events.len().saturating_sub(ROLLING));
-        emit_frame(&render_events(&events, &path.display().to_string()), once);
+        if let Some(hp) = health_path {
+            if let Ok(mut hf) = std::fs::File::open(hp) {
+                health_offset = drain_new_lines(
+                    &mut hf,
+                    health_offset,
+                    &mut health_partial,
+                    &mut health,
+                    hp,
+                    &|l| HealthEvent::from_jsonl(l),
+                )?;
+                health.drain(..health.len().saturating_sub(ROLLING));
+            }
+        }
+        emit_frame(
+            &render_events(&events, &health, &path.display().to_string()),
+            once,
+        );
         if once {
             return Ok(());
         }
@@ -55,12 +80,13 @@ fn tail_jsonl(
 
 /// Reads everything appended since `offset`, parsing complete lines into
 /// `events` and carrying an unterminated tail over in `partial`.
-fn drain_new_lines(
+fn drain_new_lines<T>(
     file: &mut std::fs::File,
     offset: u64,
     partial: &mut String,
-    events: &mut Vec<SlideEvent>,
+    events: &mut Vec<T>,
     path: &std::path::Path,
+    parse: &dyn Fn(&str) -> Result<T, String>,
 ) -> Result<u64, String> {
     file.seek(SeekFrom::Start(offset))
         .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -76,14 +102,14 @@ fn drain_new_lines(
         if line.is_empty() {
             continue;
         }
-        let ev = SlideEvent::from_jsonl(line).map_err(|e| format!("{}: {e}", path.display()))?;
+        let ev = parse(line).map_err(|e| format!("{}: {e}", path.display()))?;
         events.push(ev);
     }
     Ok(next)
 }
 
 /// One frame of the JSONL view.
-fn render_events(events: &[SlideEvent], source: &str) -> String {
+fn render_events(events: &[SlideEvent], health: &[HealthEvent], source: &str) -> String {
     let mut out = String::new();
     let Some(last) = events.last() else {
         out.push_str(&format!(
@@ -134,6 +160,31 @@ fn render_events(events: &[SlideEvent], source: &str) -> String {
         "activity   +{} -{} pts | {} range searches | {} ex / {} neo cores\n",
         last.inserted, last.removed, last.range_searches, last.ex_cores, last.neo_cores,
     ));
+    if let Some(h) = health.last() {
+        out.push_str(&format!(
+            "\nhealth     {} clusters | churn {:.1}% | noise {:.1}% | \
+             drift {:.2}\u{3c3} | {} alert(s) active\n",
+            h.clusters,
+            h.churn_ppm as f64 / 1e4,
+            h.noise_ppm as f64 / 1e4,
+            h.drift_ppm as f64 / 1e6,
+            h.alerts_active,
+        ));
+        // The quality sparkline only holds audited slides — between audits
+        // the gauge would just repeat itself.
+        let aris: Vec<u64> = health
+            .iter()
+            .filter(|h| h.audited == 1)
+            .map(|h| h.ari_ppm)
+            .collect();
+        if let Some(&latest) = aris.last() {
+            out.push_str(&format!(
+                "quality    ari {:.3}  {}\n",
+                latest as f64 / 1e6,
+                spark(&aris),
+            ));
+        }
+    }
     out
 }
 
@@ -231,6 +282,52 @@ fn render_prom(samples: &[Sample], source: &str) -> String {
     }
     if let Some(rss) = value_of(samples, "disc_rss_bytes") {
         out.push_str(&format!("  process RSS    {}\n", fmt_bytes(rss as u64)));
+    }
+    // The health pane, when the run carries the stream-health driver
+    // (`--audit-every`/`--alerts`/`--health-out`).
+    if let Some(drift) = value_of(samples, "disc_drift_score") {
+        let churn = value_of(samples, "disc_label_churn").unwrap_or(0.0);
+        let noise = value_of(samples, "disc_noise_fraction").unwrap_or(0.0);
+        let clusters = value_of(samples, "disc_cluster_count").unwrap_or(0.0);
+        out.push_str(&format!(
+            "\nhealth     {clusters:.0} clusters | churn {:.1}% | noise {:.1}% | drift {drift:.2}\u{3c3}\n",
+            churn * 100.0,
+            noise * 100.0,
+        ));
+        if let Some(ari) = value_of(samples, "disc_quality_ari") {
+            out.push_str(&format!(
+                "quality    ari {ari:.3}  nmi {:.3}  purity {:.3}  ({:.0} audits)\n",
+                value_of(samples, "disc_quality_nmi").unwrap_or(0.0),
+                value_of(samples, "disc_quality_purity").unwrap_or(0.0),
+                value_of(samples, "disc_quality_audits_total").unwrap_or(0.0),
+            ));
+        }
+        let mut rules: Vec<(&str, bool)> = samples
+            .iter()
+            .filter(|s| s.name == "disc_alert_active")
+            .filter_map(|s| Some((s.label("rule")?, s.value >= 1.0)))
+            .collect();
+        rules.sort_unstable();
+        if !rules.is_empty() {
+            let firing: Vec<&str> = rules
+                .iter()
+                .filter(|(_, active)| *active)
+                .map(|(rule, _)| *rule)
+                .collect();
+            if firing.is_empty() {
+                out.push_str(&format!(
+                    "alerts     none of {} rule(s) firing\n",
+                    rules.len()
+                ));
+            } else {
+                out.push_str(&format!(
+                    "alerts     {} of {} firing: {}\n",
+                    firing.len(),
+                    rules.len(),
+                    firing.join(", "),
+                ));
+            }
+        }
     }
     out
 }
@@ -339,7 +436,7 @@ mod tests {
         let events: Vec<SlideEvent> = (1..=100)
             .map(|i| ev(i, i * 1_000, 1_000_000 + i * 10_000))
             .collect();
-        let frame = render_events(&events, "m.jsonl");
+        let frame = render_events(&events, &[], "m.jsonl");
         assert!(frame.contains("disc top — m.jsonl"), "{frame}");
         assert!(frame.contains("disc on rtree | slide 100"), "{frame}");
         // p50 of 1..=100 µs is 50µs; p99 is 99µs; max 100µs.
@@ -358,7 +455,7 @@ mod tests {
 
     #[test]
     fn empty_stream_renders_a_waiting_frame() {
-        let frame = render_events(&[], "m.jsonl");
+        let frame = render_events(&[], &[], "m.jsonl");
         assert!(
             frame.contains("waiting for the first slide event"),
             "{frame}"
@@ -407,6 +504,71 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_frame_shows_the_health_pane() {
+        let events: Vec<SlideEvent> = (1..=8).map(|i| ev(i, i * 1_000, 1_000)).collect();
+        let health: Vec<HealthEvent> = (1..=8)
+            .map(|i| HealthEvent {
+                slide: i,
+                clusters: 3,
+                churn_ppm: 125_000, // 12.5%
+                noise_ppm: 40_000,  // 4.0%
+                drift_ppm: 1_750_000,
+                audited: u64::from(i % 4 == 0),
+                ari_ppm: 980_000,
+                nmi_ppm: 990_000,
+                purity_ppm: 1_000_000,
+                alerts_active: 2,
+                ..Default::default()
+            })
+            .collect();
+        let frame = render_events(&events, &health, "m.jsonl");
+        assert!(
+            frame.contains("health     3 clusters | churn 12.5% | noise 4.0% | drift 1.75σ | 2 alert(s) active"),
+            "{frame}"
+        );
+        assert!(frame.contains("quality    ari 0.980"), "{frame}");
+        // Only the two audited slides feed the quality sparkline.
+        let quality_line = frame.lines().find(|l| l.starts_with("quality")).unwrap();
+        assert_eq!(quality_line.chars().filter(|c| *c == '█').count(), 2);
+        // Without health events the pane stays absent.
+        let bare = render_events(&events, &[], "m.jsonl");
+        assert!(!bare.contains("health"), "{bare}");
+    }
+
+    #[test]
+    fn prom_frame_shows_the_health_pane() {
+        use disc_telemetry::{Recorder, Registry};
+        let reg = Registry::new();
+        reg.counter_add("disc_slides_total", 4);
+        reg.gauge_set("disc_drift_score", 0.42);
+        reg.gauge_set("disc_label_churn", 0.03);
+        reg.gauge_set("disc_noise_fraction", 0.10);
+        reg.gauge_set("disc_cluster_count", 5.0);
+        reg.gauge_set("disc_quality_ari", 0.875);
+        reg.gauge_set("disc_quality_nmi", 0.9);
+        reg.gauge_set("disc_quality_purity", 1.0);
+        reg.counter_add("disc_quality_audits_total", 2);
+        reg.gauge_set_labeled("disc_alert_active", "rule", "split", 1.0);
+        reg.gauge_set_labeled("disc_alert_active", "rule", "noisy", 0.0);
+        let samples = parse_prometheus(&reg.render_prometheus()).unwrap();
+        let frame = render_prom(&samples, "127.0.0.1:9");
+        assert!(
+            frame.contains("health     5 clusters | churn 3.0% | noise 10.0% | drift 0.42σ"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("quality    ari 0.875  nmi 0.900  purity 1.000  (2 audits)"),
+            "{frame}"
+        );
+        assert!(frame.contains("alerts     1 of 2 firing: split"), "{frame}");
+        // No drift gauge → no pane (a run without the health driver).
+        let bare = Registry::new();
+        bare.counter_add("disc_slides_total", 1);
+        let samples = parse_prometheus(&bare.render_prometheus()).unwrap();
+        assert!(!render_prom(&samples, "x").contains("health"));
+    }
+
+    #[test]
     fn prom_frame_flags_missing_memory_gauges() {
         use disc_telemetry::{Recorder, Registry};
         let reg = Registry::new();
@@ -439,7 +601,8 @@ mod tests {
         let mut file = std::fs::File::open(&path).unwrap();
         let mut partial = String::new();
         let mut events = Vec::new();
-        let off = drain_new_lines(&mut file, 0, &mut partial, &mut events, &path).unwrap();
+        let parse = |l: &str| SlideEvent::from_jsonl(l);
+        let off = drain_new_lines(&mut file, 0, &mut partial, &mut events, &path, &parse).unwrap();
         assert_eq!(events.len(), 1, "partial line must not parse yet");
         // The writer finishes the second line; the tail picks it up.
         use std::io::Write as _;
@@ -450,7 +613,7 @@ mod tests {
         writeln!(f, "{tail}").unwrap();
         drop(f);
         let mut file = std::fs::File::open(&path).unwrap();
-        drain_new_lines(&mut file, off, &mut partial, &mut events, &path).unwrap();
+        drain_new_lines(&mut file, off, &mut partial, &mut events, &path, &parse).unwrap();
         assert_eq!(events.len(), 2);
         assert_eq!(events[1].seq, 2);
         std::fs::remove_dir_all(&dir).ok();

@@ -425,6 +425,14 @@ impl<const D: usize, B: SpatialBackend<D>> Disc<D, B> {
             if let Some(rss) = disc_telemetry::rss_bytes() {
                 self.recorder.gauge_set("disc_rss_bytes", rss as f64);
             }
+            // Census gauges for the health layer: O(window), so they ride
+            // the same gate as the footprint walk.
+            let (core, border, noise) = self.census();
+            self.recorder.gauge_set("disc_core_points", core as f64);
+            self.recorder.gauge_set("disc_border_points", border as f64);
+            self.recorder.gauge_set("disc_noise_points", noise as f64);
+            self.recorder
+                .gauge_set("disc_cluster_count", self.num_clusters() as f64);
         }
         stats.publish_to(
             self.recorder.as_ref(),

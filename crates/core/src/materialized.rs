@@ -394,6 +394,14 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             if let Some(rss) = disc_telemetry::rss_bytes() {
                 self.recorder.gauge_set("disc_rss_bytes", rss as f64);
             }
+            // Census gauges for the health layer, gated like the footprint
+            // walk so an uninstrumented engine never pays for them.
+            let (core, border, noise) = self.census();
+            self.recorder.gauge_set("disc_core_points", core as f64);
+            self.recorder.gauge_set("disc_border_points", border as f64);
+            self.recorder.gauge_set("disc_noise_points", noise as f64);
+            self.recorder
+                .gauge_set("disc_cluster_count", self.num_clusters() as f64);
             let rec = self.recorder.as_ref();
             let elapsed = start.elapsed();
             rec.counter_add("disc_slides_total", 1);
@@ -529,6 +537,23 @@ impl<const D: usize, B: SpatialBackend<D>> GraphDisc<D, B> {
             }
         }
         roots.len()
+    }
+
+    /// `(core, border, noise)` counts over the window — O(window) via the
+    /// materialised adjacency, no searches.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let tau = self.cfg.tau;
+        let (mut core, mut border, mut noise) = (0, 0, 0);
+        for v in self.vertices.values() {
+            if v.n_eps() >= tau {
+                core += 1;
+            } else if v.neigh.iter().any(|q| self.vertices[q].n_eps() >= tau) {
+                border += 1;
+            } else {
+                noise += 1;
+            }
+        }
+        (core, border, noise)
     }
 }
 

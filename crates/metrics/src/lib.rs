@@ -5,10 +5,14 @@
 //! * [`nmi`] — normalised mutual information, a secondary quality check;
 //! * [`purity`] — majority-class purity;
 //! * [`equivalence`] — the DBSCAN-equivalence oracle used by tests: exact
-//!   core partitions, legal border attachment, identical noise.
+//!   core partitions, legal border attachment, identical noise;
+//! * [`stream`] — cheap per-slide health signals (label churn, noise
+//!   fraction, cluster census) needing no ground truth.
 
 pub mod equivalence;
 pub mod pairs;
+pub mod stream;
 
 pub use equivalence::{assert_dbscan_equivalent, dbscan_equivalent, EquivalenceError, Labeling};
 pub use pairs::{ari, nmi, purity};
+pub use stream::{cluster_count, cluster_sizes, label_churn, noise_fraction};

@@ -89,15 +89,15 @@ pub fn nmi(a: &[i64], b: &[i64]) -> f64 {
             .sum()
     };
     let (ha, hb) = (h(&ca), h(&cb));
-    if ha == 0.0 && hb == 0.0 {
-        return 1.0;
+    if ha == 0.0 || hb == 0.0 {
+        // Either partition is a single cluster, so its entropy — and the
+        // mutual information — is zero and the ratio would be 0/0 when
+        // both collapse. Define the measure at the corner: 1 iff the
+        // partitions are identical (both trivial), 0 otherwise.
+        return if ha == 0.0 && hb == 0.0 { 1.0 } else { 0.0 };
     }
     let denom = 0.5 * (ha + hb);
-    if denom == 0.0 {
-        0.0
-    } else {
-        (mi / denom).clamp(0.0, 1.0)
-    }
+    (mi / denom).clamp(0.0, 1.0)
 }
 
 /// Purity of `pred` against `truth`: the fraction of points whose predicted
@@ -198,6 +198,28 @@ mod tests {
         let all_one_b = vec![4; 10];
         assert_eq!(ari(&all_one_a, &all_one_b), 1.0);
         assert_eq!(nmi(&all_one_a, &all_one_b), 1.0);
+    }
+
+    #[test]
+    fn nmi_single_cluster_vs_single_cluster_is_one() {
+        // Both entropies are zero (0/0): defined as 1.0 — the partitions
+        // are identical up to renaming. Must not be NaN.
+        let v = nmi(&[0; 16], &[-1; 16]);
+        assert!(!v.is_nan());
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn nmi_single_cluster_vs_multi_cluster_is_zero() {
+        // One side trivial, the other not: zero mutual information by
+        // definition, and the score must be 0.0, not NaN.
+        let single = vec![7; 8];
+        let multi = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        for (a, b) in [(&single, &multi), (&multi, &single)] {
+            let v = nmi(a, b);
+            assert!(!v.is_nan());
+            assert_eq!(v, 0.0);
+        }
     }
 
     #[test]

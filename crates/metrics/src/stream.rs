@@ -1,0 +1,163 @@
+//! Cheap per-slide stream-quality signals.
+//!
+//! The offline measures in [`pairs`](crate::pairs) need a ground truth or
+//! an oracle pass; these helpers need only consecutive engine outputs, so
+//! the CLI's health auditor can compute them every slide at O(window)
+//! cost:
+//!
+//! * [`label_churn`] — fraction of window-surviving points whose cluster
+//!   assignment changed across a slide (up to a consistent renaming this
+//!   is the slide-to-slide instability of the clustering);
+//! * [`noise_fraction`] — share of the window labelled noise;
+//! * [`cluster_sizes`] / [`cluster_count`] — the non-noise census the
+//!   lifecycle tracker folds.
+//!
+//! All inputs are `(PointId, label)` slices as returned by the engines'
+//! `assignments()` (sorted by id, noise `< 0`).
+
+use disc_geom::{FxHashMap, PointId};
+
+/// Fraction of points present in both assignment snapshots whose label
+/// changed, after matching each old cluster to the new cluster that
+/// absorbed the plurality of its surviving members (so a pure renaming
+/// scores 0). Returns 0.0 when no points survive.
+///
+/// ```
+/// use disc_geom::PointId;
+/// use disc_metrics::label_churn;
+/// let id = PointId;
+/// let prev = vec![(id(1), 0), (id(2), 0), (id(3), 1)];
+/// // Same partition, new names: no churn.
+/// let next = vec![(id(1), 9), (id(2), 9), (id(3), 4)];
+/// assert_eq!(label_churn(&prev, &next), 0.0);
+/// // Point 3 defects into the other cluster: 1 of 3 survivors moved.
+/// let split = vec![(id(1), 9), (id(2), 9), (id(3), 9)];
+/// assert!((label_churn(&prev, &split) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn label_churn(prev: &[(PointId, i64)], curr: &[(PointId, i64)]) -> f64 {
+    let prev_by_id: FxHashMap<PointId, i64> = prev.iter().copied().collect();
+    // Joint counts over survivors: (old label, new label) → points.
+    let mut joint: FxHashMap<(i64, i64), u64> = FxHashMap::default();
+    let mut survivors = 0u64;
+    for &(id, new) in curr {
+        if let Some(&old) = prev_by_id.get(&id) {
+            *joint.entry((old, new)).or_insert(0) += 1;
+            survivors += 1;
+        }
+    }
+    if survivors == 0 {
+        return 0.0;
+    }
+    // Greedy injective matching over real clusters, largest overlap first:
+    // each old cluster claims at most one new cluster and vice versa, so a
+    // pure renaming is free but a merge strands the smaller constituent.
+    // Noise is never a rename target — cluster→noise and noise→cluster are
+    // churn, noise→noise is stable.
+    let mut overlaps: Vec<(u64, i64, i64)> = joint
+        .iter()
+        .filter(|(&(old, new), _)| old >= 0 && new >= 0)
+        .map(|(&(old, new), &count)| (count, old, new))
+        .collect();
+    overlaps.sort_unstable_by(|a, b| (b.0, a.1, a.2).cmp(&(a.0, b.1, b.2)));
+    let mut old_taken: FxHashMap<i64, ()> = FxHashMap::default();
+    let mut new_taken: FxHashMap<i64, ()> = FxHashMap::default();
+    let mut stable: u64 = joint
+        .iter()
+        .filter(|(&(old, new), _)| old < 0 && new < 0)
+        .map(|(_, &count)| count)
+        .sum();
+    for (count, old, new) in overlaps {
+        if old_taken.contains_key(&old) || new_taken.contains_key(&new) {
+            continue;
+        }
+        old_taken.insert(old, ());
+        new_taken.insert(new, ());
+        stable += count;
+    }
+    1.0 - stable as f64 / survivors as f64
+}
+
+/// Share of the window labelled noise (`label < 0`). Empty windows count
+/// as fully clustered (0.0).
+pub fn noise_fraction(assignments: &[(PointId, i64)]) -> f64 {
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let noise = assignments.iter().filter(|&&(_, l)| l < 0).count();
+    noise as f64 / assignments.len() as f64
+}
+
+/// Sizes of the non-noise clusters, as `(label, size)` sorted by label —
+/// the census [`LifecycleAnalytics`](disc_telemetry) folds each slide.
+pub fn cluster_sizes(assignments: &[(PointId, i64)]) -> Vec<(i64, u64)> {
+    let mut sizes: FxHashMap<i64, u64> = FxHashMap::default();
+    for &(_, label) in assignments {
+        if label >= 0 {
+            *sizes.entry(label).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(i64, u64)> = sizes.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Number of non-noise clusters.
+pub fn cluster_count(assignments: &[(PointId, i64)]) -> u64 {
+    cluster_sizes(assignments).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(pairs: &[(u64, i64)]) -> Vec<(PointId, i64)> {
+        pairs.iter().map(|&(id, l)| (PointId(id), l)).collect()
+    }
+
+    #[test]
+    fn renaming_is_not_churn() {
+        let prev = tag(&[(1, 0), (2, 0), (3, 1), (4, 1)]);
+        let next = tag(&[(1, 5), (2, 5), (3, 8), (4, 8)]);
+        assert_eq!(label_churn(&prev, &next), 0.0);
+    }
+
+    #[test]
+    fn churn_counts_defectors_among_survivors_only() {
+        let prev = tag(&[(1, 0), (2, 0), (3, 0), (4, 1)]);
+        // Point 4 left the window; point 5 arrived (ignored — no history);
+        // point 3 moved from cluster 0's successor into another cluster.
+        let next = tag(&[(1, 2), (2, 2), (3, 7), (5, 7)]);
+        assert!((label_churn(&prev, &next) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_transitions_are_churn() {
+        let prev = tag(&[(1, 0), (2, -1)]);
+        // 1 fell to noise, 2 stayed noise.
+        let next = tag(&[(1, -1), (2, -1)]);
+        assert_eq!(label_churn(&prev, &next), 0.5);
+    }
+
+    #[test]
+    fn disjoint_windows_have_no_churn() {
+        let prev = tag(&[(1, 0), (2, 0)]);
+        let next = tag(&[(3, 0), (4, 1)]);
+        assert_eq!(label_churn(&prev, &next), 0.0);
+        assert_eq!(label_churn(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn noise_fraction_counts_negative_labels() {
+        assert_eq!(noise_fraction(&[]), 0.0);
+        let a = tag(&[(1, 0), (2, -1), (3, 4), (4, -2)]);
+        assert_eq!(noise_fraction(&a), 0.5);
+    }
+
+    #[test]
+    fn census_excludes_noise_and_sorts() {
+        let a = tag(&[(1, 3), (2, 0), (3, -1), (4, 3), (5, 0), (6, 0)]);
+        assert_eq!(cluster_sizes(&a), vec![(0, 3), (3, 2)]);
+        assert_eq!(cluster_count(&a), 2);
+        assert_eq!(cluster_count(&tag(&[(1, -1)])), 0);
+    }
+}

@@ -44,9 +44,11 @@
 //! assert!(text.contains("disc_slides_total 1"));
 //! ```
 
+pub mod alert;
 pub mod chrome;
 pub mod event;
 pub mod folded;
+pub mod health;
 pub mod hist;
 #[cfg(feature = "http")]
 pub mod http;
@@ -59,9 +61,14 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use alert::{parse_rules, AlertEngine, AlertEvent, AlertOp, AlertRule};
 pub use chrome::{chrome_trace_json, validate_chrome_trace};
 pub use event::SlideEvent;
 pub use folded::folded_stacks;
+pub use health::{
+    from_ppm, ppm, ClusterDeath, ClusterRecord, DriftDetector, DriftMonitor, DriftVerdict, Ewma,
+    HealthEvent, LifecycleAnalytics, LifecycleStats, PageHinkley,
+};
 pub use hist::{HistSnapshot, LogHistogram};
 #[cfg(feature = "http")]
 pub use http::PromServer;

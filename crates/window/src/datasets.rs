@@ -479,6 +479,33 @@ pub fn gaussian_blobs<const D: usize>(
         .collect()
 }
 
+/// Adversarial split/merge stream for stress-testing cluster lifecycle
+/// tracking and drift detection: two 2D Gaussian blobs whose centre
+/// separation oscillates as `d(t) = 6 + 4.5·cos(2πt/4000)` — from 10.5
+/// (far apart, two clean clusters) down to 1.5 (overlapping, one merged
+/// cluster) and back, so every period forces a merge and a split.
+/// Emission alternates between blobs; ground truth is the emitting blob,
+/// which a clusterer cannot recover while merged — quality dips are the
+/// *expected* signal, not a bug.
+pub fn split_merge(n: usize, rng_seed: u64) -> Vec<Record<2>> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let sigma = 0.35;
+    (0..n)
+        .map(|i| {
+            let d = 6.0 + 4.5 * (std::f64::consts::TAU * i as f64 / 4000.0).cos();
+            let b = i % 2;
+            // Blobs sit symmetrically about x = 0 on the x-axis.
+            let cx = if b == 0 { -d / 2.0 } else { d / 2.0 };
+            let mut c = [cx, 0.0];
+            for x in &mut c {
+                let (u1, u2): (f64, f64) = (rng.gen_range(1e-9..1.0), rng.gen_range(0.0..1.0));
+                *x += (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * sigma;
+            }
+            Record::labelled(Point::new(c), b as u32)
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // Netflow-like (network anomaly detection, the intro's third application)
 // ---------------------------------------------------------------------
@@ -594,6 +621,30 @@ mod tests {
         assert_eq!(covid_like(500, 7), covid_like(500, 7));
         assert_eq!(iris_like(500, 7), iris_like(500, 7));
         assert_ne!(maze(500, 10, 42), maze(500, 10, 43));
+        assert_eq!(split_merge(500, 7), split_merge(500, 7));
+        assert_ne!(split_merge(500, 7), split_merge(500, 8));
+    }
+
+    #[test]
+    fn split_merge_oscillates_between_separated_and_overlapping() {
+        let recs = split_merge(8000, 3);
+        assert_eq!(recs.len(), 8000);
+        assert!(recs.iter().all(|r| r.truth.is_some()));
+        // At phase 0 (t≈0) the blobs sit ±5.25 from the origin; at phase π
+        // (t≈2000) they sit ±0.75 and overlap heavily. Check mean |x| per
+        // blob in each regime.
+        let mean_absx = |range: std::ops::Range<usize>| -> f64 {
+            let pts: Vec<f64> = recs[range].iter().map(|r| r.point[0].abs()).collect();
+            pts.iter().sum::<f64>() / pts.len() as f64
+        };
+        let split_phase = mean_absx(0..200);
+        let merged_phase = mean_absx(1900..2100);
+        assert!(split_phase > 4.0, "split phase |x| ≈ {split_phase}");
+        assert!(merged_phase < 1.2, "merged phase |x| ≈ {merged_phase}");
+        // Alternating emission: each blob appears once per pair.
+        assert!(recs
+            .chunks(2)
+            .all(|c| c[0].truth == Some(0) && c[1].truth == Some(1)));
     }
 
     #[test]

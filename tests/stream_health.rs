@@ -1,0 +1,202 @@
+//! Drift-detector properties over real generator streams.
+//!
+//! The health driver feeds `DriftMonitor::standard` three cheap per-slide
+//! signals (mean ε-neighbor count, a low-density fraction, arrival-centroid
+//! shift). Two properties make those detectors trustworthy:
+//!
+//! * **No false fires.** Over ~1000 slides of every stationary generator in
+//!   the workspace, the Page–Hinkley layer must stay silent. A monitor that
+//!   cries wolf on ordinary variation trains operators to ignore it.
+//! * **Guaranteed fires.** After a genuine density step change, the monitor
+//!   must declare a change-point within a bounded number of slides — a
+//!   detector that never fires is just an expensive gauge.
+//!
+//! The signals here mirror `disc run`'s health driver (sampled brute-force
+//! neighbor counts, so no engine is needed), keeping the property about the
+//! detectors themselves rather than about clustering.
+
+use disc_geom::{Point, PointId};
+use disc_telemetry::{DriftMonitor, DriftVerdict};
+use disc_window::{datasets, Record, SlideBatch, SlidingWindow};
+
+/// Deterministic every-k-th sample, as the CLI's health driver does (no RNG:
+/// repeated runs over the same stream must produce identical verdicts).
+fn stride_sample<T: Copy>(items: &[T], cap: usize) -> Vec<T> {
+    if items.len() <= cap {
+        return items.to_vec();
+    }
+    let step = items.len().div_ceil(cap);
+    items.iter().copied().step_by(step).collect()
+}
+
+/// One slide's drift signals from window geometry alone.
+struct Signals<const D: usize> {
+    eps: f64,
+    tau: usize,
+    prev_centroid: Option<[f64; D]>,
+}
+
+impl<const D: usize> Signals<D> {
+    fn new(eps: f64, tau: usize) -> Self {
+        Signals {
+            eps,
+            tau,
+            prev_centroid: None,
+        }
+    }
+
+    /// `(neighbor_mean, low_density_fraction, arrival_shift)` for one slide:
+    /// sampled ε-neighbor counts over the incoming probes, the fraction of
+    /// probes below the core threshold, and the arrival-centroid shift.
+    fn observe(&mut self, w: &SlidingWindow<D>, batch: &SlideBatch<D>) -> (f64, f64, f64) {
+        let probes = stride_sample(&batch.incoming, 32);
+        let window: Vec<(PointId, Point<D>)> = w.current().collect();
+        let sample = stride_sample(&window, 256);
+        let (mut neighbor_mean, mut sparse) = (0.0, 0.0);
+        if !probes.is_empty() && !sample.is_empty() {
+            let scale = window.len() as f64 / sample.len() as f64;
+            let mut total = 0usize;
+            let mut below = 0usize;
+            for (pid, p) in &probes {
+                let near = sample
+                    .iter()
+                    .filter(|(qid, q)| qid != pid && p.dist(q) <= self.eps)
+                    .count();
+                total += near;
+                if scale * near as f64 + 1.0 < self.tau as f64 {
+                    below += 1;
+                }
+            }
+            neighbor_mean = scale * total as f64 / probes.len() as f64;
+            sparse = below as f64 / probes.len() as f64;
+        }
+        let mut shift = 0.0;
+        if !batch.incoming.is_empty() {
+            let mut centroid = [0.0f64; D];
+            for (_, p) in &batch.incoming {
+                for (c, x) in centroid.iter_mut().zip(p.coords().iter()) {
+                    *c += x;
+                }
+            }
+            for c in &mut centroid {
+                *c /= batch.incoming.len() as f64;
+            }
+            if let Some(prev) = self.prev_centroid {
+                shift = centroid
+                    .iter()
+                    .zip(prev.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+            }
+            self.prev_centroid = Some(centroid);
+        }
+        (neighbor_mean, sparse, shift)
+    }
+}
+
+/// Streams `recs` through a window, feeding the monitor each slide; returns
+/// the verdicts in slide order.
+fn drive<const D: usize>(
+    recs: Vec<Record<D>>,
+    eps: f64,
+    tau: usize,
+    window: usize,
+    stride: usize,
+) -> Vec<DriftVerdict> {
+    let mut w = SlidingWindow::new(recs, window, stride);
+    let mut signals = Signals::<D>::new(eps, tau);
+    let mut monitor = DriftMonitor::standard(16);
+    let mut verdicts = Vec::new();
+    let fill = w.fill();
+    let (nm, nf, shift) = signals.observe(&w, &fill);
+    verdicts.push(monitor.observe(&[
+        ("neighbor_mean", nm),
+        ("noise_fraction", nf),
+        ("arrival_shift", shift),
+    ]));
+    while let Some(batch) = w.advance() {
+        let (nm, nf, shift) = signals.observe(&w, &batch);
+        verdicts.push(monitor.observe(&[
+            ("neighbor_mean", nm),
+            ("noise_fraction", nf),
+            ("arrival_shift", shift),
+        ]));
+    }
+    verdicts
+}
+
+const WINDOW: usize = 512;
+const STRIDE: usize = 16;
+const SLIDES: usize = 1000;
+const N: usize = WINDOW + SLIDES * STRIDE;
+
+fn assert_no_false_fire(name: &str, verdicts: &[DriftVerdict]) {
+    assert!(verdicts.len() > SLIDES, "{name}: too few slides");
+    for (i, v) in verdicts.iter().enumerate() {
+        assert!(
+            v.changed.is_none(),
+            "{name}: false change-point on slide {i} ({:?}, score {:.2})",
+            v.changed,
+            v.score
+        );
+    }
+}
+
+#[test]
+fn stationary_maze_does_not_false_fire() {
+    let verdicts = drive(datasets::maze(N, 16, 11), 0.5, 4, WINDOW, STRIDE);
+    assert_no_false_fire("maze", &verdicts);
+}
+
+#[test]
+fn stationary_dtg_does_not_false_fire() {
+    let verdicts = drive(datasets::dtg_like(N, 12), 0.5, 4, WINDOW, STRIDE);
+    assert_no_false_fire("dtg_like", &verdicts);
+}
+
+#[test]
+fn stationary_geolife_does_not_false_fire() {
+    let verdicts = drive(datasets::geolife_like(N, 13), 1.5, 4, WINDOW, STRIDE);
+    assert_no_false_fire("geolife_like", &verdicts);
+}
+
+#[test]
+fn stationary_covid_does_not_false_fire() {
+    let verdicts = drive(datasets::covid_like(N, 14), 1.0, 4, WINDOW, STRIDE);
+    assert_no_false_fire("covid_like", &verdicts);
+}
+
+#[test]
+fn stationary_iris_does_not_false_fire() {
+    let verdicts = drive(datasets::iris_like(N, 15), 1.5, 4, WINDOW, STRIDE);
+    assert_no_false_fire("iris_like", &verdicts);
+}
+
+/// A blob whose spread quadruples mid-stream: the mean ε-neighbor count
+/// steps down hard, and the monitor must catch it quickly — but not before.
+#[test]
+fn density_step_change_fires_within_bounded_slides() {
+    let step_at = 400usize; // slides of stationary prefix
+    let dense: Vec<Record<2>> =
+        datasets::gaussian_blobs::<2>(WINDOW + step_at * STRIDE, 1, 0.4, 21);
+    let sparse: Vec<Record<2>> = datasets::gaussian_blobs::<2>(400 * STRIDE, 1, 1.6, 22);
+    let recs: Vec<Record<2>> = dense.into_iter().chain(sparse).collect();
+    let verdicts = drive(recs, 0.5, 4, WINDOW, STRIDE);
+
+    let first_fire = verdicts.iter().position(|v| v.changed.is_some());
+    let fired = first_fire.expect("a 4x density step must fire a change-point");
+    assert!(
+        fired >= step_at,
+        "fired on slide {fired}, before the step at {step_at}"
+    );
+    assert!(
+        fired <= step_at + 64,
+        "fired on slide {fired}, more than 64 slides after the step at {step_at}"
+    );
+    let which = verdicts[fired].changed.unwrap();
+    assert!(
+        which == "neighbor_mean" || which == "noise_fraction",
+        "a density step should fire a density signal, not {which}"
+    );
+}
